@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate the paper's tables and figures at a reduced
+scale (pure Python is orders of magnitude slower per event than the
+paper's Java implementation).  The suite scale and the scalability sweep
+sizes below keep the full ``pytest benchmarks/ --benchmark-only`` run in
+the minutes range; raise them for a longer, more faithful evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.gen import default_suite
+from repro.gen.scenarios import SCENARIOS
+from repro.trace.trace import Trace
+
+#: Event-count multiplier applied to the benchmark-suite profiles.
+SUITE_SCALE = 0.4
+#: Number of suite profiles exercised by the suite-wide benchmarks.
+SUITE_MAX_PROFILES = 10
+#: Thread counts for the Figure-10 scalability sweep.
+SCALABILITY_THREADS = (10, 40, 80)
+#: Events per scalability trace (the paper uses 10M).
+SCALABILITY_EVENTS = 4000
+
+
+@pytest.fixture(scope="session")
+def suite_traces() -> List[Trace]:
+    """Materialized traces of the reduced benchmark suite.
+
+    Every third profile is selected so the subset spans all benchmark
+    families (small Java programs up to the many-thread server traces)
+    rather than only the first family of the suite.
+    """
+    profiles = default_suite(scale=SUITE_SCALE)[::3][:SUITE_MAX_PROFILES]
+    return [profile.generate() for profile in profiles]
+
+
+@pytest.fixture(scope="session")
+def medium_trace(suite_traces) -> Trace:
+    """The largest trace of the reduced suite (used for single-trace benches)."""
+    return max(suite_traces, key=len)
+
+
+@pytest.fixture(scope="session")
+def scalability_traces() -> Dict[str, Dict[int, Trace]]:
+    """Scenario -> thread count -> trace, for the Figure-10 sweep."""
+    return {
+        scenario: {
+            threads: make(threads, SCALABILITY_EVENTS)
+            for threads in SCALABILITY_THREADS
+        }
+        for scenario, make in SCENARIOS.items()
+    }

@@ -1,0 +1,35 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Two ablations, each compared against its optimized counterpart on the
+same trace (per benchmark group):
+
+* ``ablation-hb-release-copy`` — the sublinear ``MonotoneCopy`` at lock
+  releases vs an unconditional deep copy (HB, tree clocks).
+* ``ablation-shb-lastwrite-copy`` — the O(1) ``CopyCheckMonotone`` on
+  last-write clocks vs an unconditional deep copy (SHB, tree clocks).
+"""
+
+import pytest
+
+from repro.analysis import HBAnalysis, SHBAnalysis
+from repro.analysis.ablations import HBDeepCopyAnalysis, SHBDeepCopyAnalysis
+from repro.clocks import TreeClock
+
+HB_VARIANTS = {"monotone-copy": HBAnalysis, "deep-copy": HBDeepCopyAnalysis}
+SHB_VARIANTS = {"copy-check-monotone": SHBAnalysis, "deep-copy": SHBDeepCopyAnalysis}
+
+
+@pytest.mark.parametrize("variant", sorted(HB_VARIANTS))
+def test_ablation_hb_release_copy(benchmark, medium_trace, variant):
+    benchmark.group = "ablation-hb-release-copy"
+    analysis_class = HB_VARIANTS[variant]
+    result = benchmark(lambda: analysis_class(TreeClock).run(medium_trace))
+    assert result.partial_order == "HB"
+
+
+@pytest.mark.parametrize("variant", sorted(SHB_VARIANTS))
+def test_ablation_shb_lastwrite_copy(benchmark, medium_trace, variant):
+    benchmark.group = "ablation-shb-lastwrite-copy"
+    analysis_class = SHB_VARIANTS[variant]
+    result = benchmark(lambda: analysis_class(TreeClock).run(medium_trace))
+    assert result.partial_order == "SHB"

@@ -1,0 +1,30 @@
+"""Figure 10 benchmark: scalability with the thread count, per lock topology.
+
+Each benchmark group ``figure10-<scenario>-t<threads>`` contains a VC and
+a TC entry for the HB computation over the same trace; together they
+reproduce the four panels of Figure 10 (single lock; fifty skewed locks;
+star topology; pairwise communication) at reduced trace lengths.
+"""
+
+import pytest
+
+from repro.analysis import HBAnalysis
+from repro.clocks import TreeClock, VectorClock
+
+from conftest import SCALABILITY_THREADS
+
+CLOCKS = {"VC": VectorClock, "TC": TreeClock}
+SCENARIOS = ("single_lock", "fifty_locks_skewed", "star_topology", "pairwise_communication")
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("threads", SCALABILITY_THREADS)
+@pytest.mark.parametrize("clock_name", sorted(CLOCKS))
+def test_figure10_hb_scalability(benchmark, scalability_traces, scenario, threads, clock_name):
+    benchmark.group = f"figure10-{scenario}-t{threads}"
+    trace = scalability_traces[scenario][threads]
+    clock_class = CLOCKS[clock_name]
+    result = benchmark.pedantic(
+        lambda: HBAnalysis(clock_class).run(trace), rounds=3, iterations=1
+    )
+    assert result.num_events == len(trace)

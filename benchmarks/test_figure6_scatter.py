@@ -1,0 +1,36 @@
+"""Figure 6 benchmark: per-trace processing time, VC vs TC, per partial order.
+
+Each benchmark group ``figure6-<ORDER>[-analysis]`` contains a VC and a TC
+entry for the same trace, i.e. one point of the corresponding scatter
+plot of Figure 6 (x = vector-clock time, y = tree-clock time).
+"""
+
+import pytest
+
+from repro.analysis import ANALYSIS_CLASSES
+from repro.clocks import TreeClock, VectorClock
+
+ORDERS = ("MAZ", "SHB", "HB")
+CLOCKS = {"VC": VectorClock, "TC": TreeClock}
+
+
+@pytest.mark.parametrize("order", ORDERS)
+@pytest.mark.parametrize("clock_name", sorted(CLOCKS))
+def test_figure6_partial_order_point(benchmark, medium_trace, order, clock_name):
+    benchmark.group = f"figure6-{order}-PO"
+    analysis_class = ANALYSIS_CLASSES[order]
+    clock_class = CLOCKS[clock_name]
+    result = benchmark(lambda: analysis_class(clock_class).run(medium_trace))
+    assert result.num_events == len(medium_trace)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+@pytest.mark.parametrize("clock_name", sorted(CLOCKS))
+def test_figure6_with_analysis_point(benchmark, medium_trace, order, clock_name):
+    benchmark.group = f"figure6-{order}-PO+Analysis"
+    analysis_class = ANALYSIS_CLASSES[order]
+    clock_class = CLOCKS[clock_name]
+    result = benchmark(
+        lambda: analysis_class(clock_class, detect=True, keep_races=False).run(medium_trace)
+    )
+    assert result.detection is not None

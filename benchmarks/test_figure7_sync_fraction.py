@@ -1,0 +1,47 @@
+"""Figure 7 benchmark: HB+analysis cost as the synchronization density varies.
+
+The paper observes that the speedup of tree clocks on the full HB
+analysis grows with the fraction of synchronization events, because HB
+performs clock work only at acquire/release events.  Each benchmark group
+``figure7-sync<percent>`` holds a VC and a TC entry for a trace with that
+synchronization fraction; their ratio is one point of Figure 7.
+"""
+
+import pytest
+
+from repro.analysis import HBAnalysis
+from repro.clocks import TreeClock, VectorClock
+from repro.gen import RandomTraceConfig, generate_trace
+
+SYNC_FRACTIONS = (0.05, 0.2, 0.45)
+CLOCKS = {"VC": VectorClock, "TC": TreeClock}
+
+
+def make_trace(sync_fraction: float):
+    return generate_trace(
+        RandomTraceConfig(
+            name=f"figure7-sync{int(sync_fraction * 100)}",
+            num_threads=32,
+            num_locks=8,
+            num_variables=200,
+            num_events=4000,
+            sync_fraction=sync_fraction,
+            seed=77,
+        )
+    )
+
+
+@pytest.fixture(scope="module", params=SYNC_FRACTIONS)
+def sync_trace(request):
+    return request.param, make_trace(request.param)
+
+
+@pytest.mark.parametrize("clock_name", sorted(CLOCKS))
+def test_figure7_hb_analysis_vs_sync_fraction(benchmark, sync_trace, clock_name):
+    sync_fraction, trace = sync_trace
+    benchmark.group = f"figure7-sync{int(sync_fraction * 100)}"
+    clock_class = CLOCKS[clock_name]
+    result = benchmark(
+        lambda: HBAnalysis(clock_class, detect=True, keep_races=False).run(trace)
+    )
+    assert result.num_events == len(trace)

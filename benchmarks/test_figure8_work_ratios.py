@@ -1,0 +1,29 @@
+"""Figure 8 benchmark: work ratios VCWork/VTWork and TCWork/VTWork for HB.
+
+Besides timing the instrumented runs, these benchmarks assert the
+qualitative content of Figure 8: the tree-clock work stays within the
+Theorem-1 bound (≤ 3·VTWork) on every suite trace while the vector-clock
+work exceeds it on the thread-heavy ones.
+"""
+
+from repro.analysis import HBAnalysis
+from repro.metrics import is_vt_optimal, measure_work
+
+
+def test_figure8_work_measurement_over_suite(benchmark, suite_traces):
+    def sweep():
+        return [measure_work(trace, HBAnalysis) for trace in suite_traces]
+
+    measurements = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert all(is_vt_optimal(measurement) for measurement in measurements)
+    # Vector clocks are not vt-optimal: on the traces with many threads their
+    # work exceeds the tree-clock bound.
+    assert max(measurement.vc_over_vt for measurement in measurements) > 3.0
+
+
+def test_figure8_single_trace_work(benchmark, medium_trace):
+    measurement = benchmark.pedantic(
+        measure_work, args=(medium_trace, HBAnalysis), rounds=2, iterations=1
+    )
+    assert measurement.tc_over_vt <= 3.0
+    assert measurement.vc_work >= measurement.vt_work

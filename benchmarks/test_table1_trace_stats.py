@@ -1,0 +1,31 @@
+"""Table 1 benchmark: computing the aggregate trace statistics of the suite.
+
+Regenerates the content of the paper's Table 1 (min/max/mean of threads,
+locks, variables, events and event-type fractions over the benchmark
+suite) and measures how long the statistics pass takes.
+"""
+
+from repro.trace.stats import aggregate_statistics, compute_statistics
+
+
+def test_table1_aggregate_statistics(benchmark, suite_traces):
+    def compute():
+        return aggregate_statistics(compute_statistics(trace) for trace in suite_traces)
+
+    aggregate = benchmark(compute)
+    # The aggregate must contain exactly the paper's Table-1 rows.
+    assert set(aggregate) == {
+        "Threads",
+        "Locks",
+        "Variables",
+        "Events",
+        "Sync. Events (%)",
+        "R/W Events (%)",
+    }
+    assert aggregate["Threads"].maximum >= 50
+    assert 0.0 < aggregate["Sync. Events (%)"].mean < 100.0
+
+
+def test_table1_single_trace_statistics(benchmark, medium_trace):
+    stats = benchmark(compute_statistics, medium_trace)
+    assert stats.num_events == len(medium_trace)

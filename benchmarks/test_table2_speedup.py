@@ -1,0 +1,43 @@
+"""Table 2 benchmark: partial-order computation over the suite, VC vs TC.
+
+Each benchmark group ``table2-<ORDER>[-analysis]`` contains one entry per
+clock data structure processing the whole (reduced) benchmark suite; the
+ratio of the two mean times is this reproduction's counterpart of the
+corresponding Table-2 cell (paper: MAZ 2.02×, SHB 2.66×, HB 2.97× for the
+partial order alone, and 1.49× / 1.80× / 1.11× including the analysis).
+"""
+
+import pytest
+
+from repro.analysis import ANALYSIS_CLASSES
+from repro.clocks import TreeClock, VectorClock
+
+ORDERS = ("MAZ", "SHB", "HB")
+CLOCKS = {"VC": VectorClock, "TC": TreeClock}
+
+
+def run_suite(analysis_class, clock_class, traces, detect):
+    for trace in traces:
+        analysis_class(clock_class, detect=detect, keep_races=False).run(trace)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+@pytest.mark.parametrize("clock_name", sorted(CLOCKS))
+def test_table2_partial_order_only(benchmark, suite_traces, order, clock_name):
+    benchmark.group = f"table2-{order}-PO"
+    analysis_class = ANALYSIS_CLASSES[order]
+    clock_class = CLOCKS[clock_name]
+    benchmark.pedantic(
+        run_suite, args=(analysis_class, clock_class, suite_traces, False), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("order", ORDERS)
+@pytest.mark.parametrize("clock_name", sorted(CLOCKS))
+def test_table2_with_analysis(benchmark, suite_traces, order, clock_name):
+    benchmark.group = f"table2-{order}-PO+Analysis"
+    analysis_class = ANALYSIS_CLASSES[order]
+    clock_class = CLOCKS[clock_name]
+    benchmark.pedantic(
+        run_suite, args=(analysis_class, clock_class, suite_traces, True), rounds=3, iterations=1
+    )

@@ -1,0 +1,34 @@
+"""Table 3 benchmark: per-benchmark trace generation and characterization.
+
+The paper's Table 3 lists every trace with its event, thread, memory
+location and lock counts.  These benchmarks measure the cost of
+materializing representative suite profiles and computing their rows.
+"""
+
+import pytest
+
+from repro.gen import get_profile
+from repro.trace.stats import compute_statistics
+
+#: One representative profile per benchmark family.
+REPRESENTATIVE_PROFILES = (
+    "account-like",
+    "lufact-like",
+    "drb-counter-56-like",
+    "comd-16-like",
+    "cassandra-like",
+)
+
+
+@pytest.mark.parametrize("profile_name", REPRESENTATIVE_PROFILES)
+def test_table3_generate_and_characterize(benchmark, profile_name):
+    benchmark.group = "table3-generate"
+    profile = get_profile(profile_name)
+
+    def generate_row():
+        trace = profile.generate()
+        return compute_statistics(trace).as_row()
+
+    row = benchmark(generate_row)
+    assert row["Benchmark"] == profile_name
+    assert row["N"] > 0 and row["T"] > 1

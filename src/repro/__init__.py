@@ -1,0 +1,94 @@
+"""Tree clocks for causal orderings in concurrent executions.
+
+A from-scratch reproduction of "A Tree Clock Data Structure for Causal
+Orderings in Concurrent Executions" (ASPLOS 2022).  The package provides
+
+* :mod:`repro.trace` — the execution-trace substrate (events, traces,
+  builders, validation, serialization, statistics),
+* :mod:`repro.clocks` — the clock data structures: the classic
+  :class:`~repro.clocks.VectorClock` and the paper's
+  :class:`~repro.clocks.TreeClock`,
+* :mod:`repro.analysis` — streaming algorithms computing the HB, SHB and
+  MAZ partial orders with either clock, race detection, and a graph-based
+  correctness oracle,
+* :mod:`repro.metrics` — work (VTWork / VCWork / TCWork) and timing
+  measurements,
+* :mod:`repro.gen` — synthetic trace generators (random workloads, the
+  paper's scalability scenarios, and a benchmark-suite stand-in),
+* :mod:`repro.experiments` — runners that regenerate every table and
+  figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import TraceBuilder, TreeClock, VectorClock, HBAnalysis
+>>> trace = (
+...     TraceBuilder()
+...     .write(1, "x").acquire(1, "l").release(1, "l")
+...     .acquire(2, "l").release(2, "l").write(2, "x")
+...     .build()
+... )
+>>> result = HBAnalysis(TreeClock, detect=True).run(trace)
+>>> result.detection.race_count
+0
+"""
+
+from .analysis import (
+    AnalysisResult,
+    GraphOrder,
+    HBAnalysis,
+    MAZAnalysis,
+    Race,
+    SHBAnalysis,
+    compute_hb,
+    compute_maz,
+    compute_shb,
+    detect_races,
+    find_races,
+    has_race,
+)
+from .clocks import (
+    ClockContext,
+    Epoch,
+    TreeClock,
+    VectorClock,
+    WorkCounter,
+)
+from .trace import (
+    Event,
+    OpKind,
+    Trace,
+    TraceBuilder,
+    compute_statistics,
+    load_trace,
+    save_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResult",
+    "ClockContext",
+    "Epoch",
+    "Event",
+    "GraphOrder",
+    "HBAnalysis",
+    "MAZAnalysis",
+    "OpKind",
+    "Race",
+    "SHBAnalysis",
+    "Trace",
+    "TraceBuilder",
+    "TreeClock",
+    "VectorClock",
+    "WorkCounter",
+    "__version__",
+    "compute_hb",
+    "compute_maz",
+    "compute_shb",
+    "compute_statistics",
+    "detect_races",
+    "find_races",
+    "has_race",
+    "load_trace",
+    "save_trace",
+]

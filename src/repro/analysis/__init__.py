@@ -1,0 +1,49 @@
+"""Partial-order analyses: HB, SHB, MAZ, race detection and the graph oracle."""
+
+from .detectors import RaceDetector, ReversiblePairDetector
+from .engine import PartialOrderAnalysis
+from .graph import GraphOrder
+from .hb import HBAnalysis, compute_hb
+from .maz import MAZAnalysis, compute_maz
+from .races import detect_races, find_races, has_race
+from .result import AnalysisResult, DetectionSummary, Race
+from .shb import SHBAnalysis, compute_shb
+
+#: Analysis classes selectable by partial-order name.
+ANALYSIS_CLASSES = {
+    "HB": HBAnalysis,
+    "SHB": SHBAnalysis,
+    "MAZ": MAZAnalysis,
+}
+
+
+def analysis_class_by_name(name: str) -> type:
+    """Resolve ``"HB"`` / ``"SHB"`` / ``"MAZ"`` (case-insensitive) to a class."""
+    try:
+        return ANALYSIS_CLASSES[name.upper()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown partial order {name!r}; expected one of {sorted(ANALYSIS_CLASSES)}"
+        ) from exc
+
+
+__all__ = [
+    "ANALYSIS_CLASSES",
+    "AnalysisResult",
+    "DetectionSummary",
+    "GraphOrder",
+    "HBAnalysis",
+    "MAZAnalysis",
+    "PartialOrderAnalysis",
+    "Race",
+    "RaceDetector",
+    "ReversiblePairDetector",
+    "SHBAnalysis",
+    "analysis_class_by_name",
+    "compute_hb",
+    "compute_maz",
+    "compute_shb",
+    "detect_races",
+    "find_races",
+    "has_race",
+]

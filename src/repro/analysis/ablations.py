@@ -1,0 +1,59 @@
+"""Ablation variants of the analyses, used by the ablation benchmarks.
+
+The paper's design rests on a few specific choices inside the tree-clock
+algorithms.  The variants below disable one choice at a time so the
+benchmark harness can quantify its contribution:
+
+* :class:`HBDeepCopyAnalysis` — replaces the ``MonotoneCopy`` performed at
+  lock-release events with an unconditional deep copy.  This removes the
+  sublinear-copy optimization justified by Lemma 2 while keeping joins
+  unchanged.
+* :class:`SHBDeepCopyAnalysis` — replaces ``CopyCheckMonotone`` on
+  last-write clocks with an unconditional deep copy, i.e. ignores the
+  O(1) monotonicity test of Section 5.1.
+
+Both variants compute exactly the same timestamps as their optimized
+counterparts (deep copies are semantically copies); only the cost
+changes, which is what the ablation benches measure.
+"""
+
+from __future__ import annotations
+
+from ..clocks.base import Clock
+from ..trace.event import Event, OpKind
+from .hb import HBAnalysis
+from .shb import SHBAnalysis
+
+
+class HBDeepCopyAnalysis(HBAnalysis):
+    """HB analysis that deep-copies thread clocks into lock clocks at releases."""
+
+    PARTIAL_ORDER = "HB"
+
+    def _handle_event(self, event: Event, clock: Clock) -> None:
+        if event.kind is OpKind.RELEASE:
+            lock_clock = self.clock_of_lock(event.lock)
+            if hasattr(lock_clock, "copy_from"):
+                lock_clock.copy_from(clock)
+            else:  # pragma: no cover - vector clocks: copy is already flat
+                lock_clock.monotone_copy(clock)
+            return
+        super()._handle_event(event, clock)
+
+
+class SHBDeepCopyAnalysis(SHBAnalysis):
+    """SHB analysis that deep-copies thread clocks into last-write clocks."""
+
+    PARTIAL_ORDER = "SHB"
+
+    def _handle_event(self, event: Event, clock: Clock) -> None:
+        if event.kind is OpKind.WRITE:
+            if self._detector is not None:
+                self._detector.on_write(event, clock)
+            last_write = self.last_write_clock(event.variable)
+            if hasattr(last_write, "copy_from"):
+                last_write.copy_from(clock)
+            else:  # pragma: no cover - vector clocks: copy is already flat
+                last_write.copy_check_monotone(clock)
+            return
+        super()._handle_event(event, clock)

@@ -1,0 +1,155 @@
+"""The streaming analysis engine shared by the HB, SHB and MAZ algorithms.
+
+All three algorithms are single-pass: they walk the trace once, maintain
+one clock per thread (plus auxiliary clocks for locks, last writes and
+last reads), and apply a small set of join/copy rules per event kind.
+The engine below factors out everything that is common — clock creation,
+the implicit per-event increment, fork/join handling, timestamp capture,
+work counting and timing — so that each concrete analysis only states its
+per-event rules, exactly like Algorithms 1, 3, 4 and 5 in the paper.
+
+The engine is parametric in the clock class, which is the key experiment
+of the paper: running the *same* algorithm with ``VectorClock`` and with
+``TreeClock`` and comparing cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Type
+
+from ..clocks.base import Clock, ClockContext, VectorTime, WorkCounter
+from ..clocks.tree_clock import TreeClock
+from ..trace.event import Event, OpKind
+from ..trace.trace import Trace
+from .result import AnalysisResult, DetectionSummary
+
+
+class PartialOrderAnalysis:
+    """Base class of the streaming partial-order analyses.
+
+    Parameters
+    ----------
+    clock_class:
+        The clock data structure to use (:class:`~repro.clocks.TreeClock`
+        by default, :class:`~repro.clocks.VectorClock` for the baseline).
+    capture_timestamps:
+        When true, the vector timestamp of every event (the paper's
+        ``C_e``) is recorded in the result.  This costs O(n·k) memory and
+        time and is intended for tests and small demonstrations.
+    count_work:
+        When true, a :class:`~repro.clocks.WorkCounter` is attached to all
+        clocks and reported in the result (used for Figures 8 and 9).
+    detect:
+        When true, the analysis also runs its detection component (race
+        detection for HB/SHB, reversible pairs for MAZ) — the
+        "+Analysis" configuration of the evaluation.
+    keep_races:
+        Whether the detector should keep full race records or only count.
+    """
+
+    #: Name of the partial order; overridden by subclasses.
+    PARTIAL_ORDER = "?"
+
+    def __init__(
+        self,
+        clock_class: Type[Clock] = TreeClock,
+        *,
+        capture_timestamps: bool = False,
+        count_work: bool = False,
+        detect: bool = False,
+        keep_races: bool = True,
+    ) -> None:
+        self.clock_class = clock_class
+        self.capture_timestamps = capture_timestamps
+        self.count_work = count_work
+        self.detect = detect
+        self.keep_races = keep_races
+        # Per-run state (populated by run()).
+        self.context: Optional[ClockContext] = None
+        self.thread_clocks: Dict[int, Clock] = {}
+        self.lock_clocks: Dict[object, Clock] = {}
+
+    # -- clock management ----------------------------------------------------------
+
+    def _new_clock(self, owner: Optional[int] = None) -> Clock:
+        assert self.context is not None
+        return self.clock_class(self.context, owner=owner)
+
+    def clock_of_thread(self, tid: int) -> Clock:
+        """The clock ``C_t`` of thread ``tid`` (created on first use)."""
+        clock = self.thread_clocks.get(tid)
+        if clock is None:
+            clock = self._new_clock(owner=tid)
+            self.thread_clocks[tid] = clock
+        return clock
+
+    def clock_of_lock(self, lock: object) -> Clock:
+        """The clock ``L_ℓ`` of lock ``lock`` (created empty on first use)."""
+        clock = self.lock_clocks.get(lock)
+        if clock is None:
+            clock = self._new_clock(owner=None)
+            self.lock_clocks[lock] = clock
+        return clock
+
+    # -- hooks implemented by subclasses ---------------------------------------------
+
+    def _reset_state(self, trace: Trace) -> None:
+        """Reset all per-run state; subclasses extend this for their own maps."""
+        counter = WorkCounter() if self.count_work else None
+        self.context = ClockContext(threads=list(trace.threads), counter=counter)
+        self.thread_clocks = {}
+        self.lock_clocks = {}
+
+    def _handle_event(self, event: Event, clock: Clock) -> None:
+        """Apply the per-event rules of the concrete analysis.
+
+        ``clock`` is the (already incremented) clock of the event's
+        thread.  Subclasses implement the acquire/release/read/write
+        rules here; fork/join are handled uniformly by the engine.
+        """
+        raise NotImplementedError
+
+    def _detection_summary(self) -> Optional[DetectionSummary]:
+        """The detector's summary, if a detector is attached."""
+        return None
+
+    # -- the single-pass driver --------------------------------------------------------
+
+    def run(self, trace: Trace) -> AnalysisResult:
+        """Process ``trace`` and return the analysis result."""
+        self._reset_state(trace)
+        assert self.context is not None
+
+        timestamps: Optional[List[VectorTime]] = [] if self.capture_timestamps else None
+        started = time.perf_counter()
+        for event in trace:
+            clock = self.clock_of_thread(event.tid)
+            # The implicit per-event increment: after processing its i-th
+            # event, a thread's own entry equals i (footnote 1 of the paper).
+            clock.increment(event.tid, 1)
+            if event.kind is OpKind.FORK:
+                child_clock = self.clock_of_thread(event.other_thread)
+                child_clock.join(clock)
+            elif event.kind is OpKind.JOIN:
+                child_clock = self.clock_of_thread(event.other_thread)
+                clock.join(child_clock)
+            elif event.kind in (OpKind.BEGIN, OpKind.END):
+                pass
+            else:
+                self._handle_event(event, clock)
+            if timestamps is not None:
+                timestamps.append(clock.as_dict())
+        elapsed = time.perf_counter() - started
+
+        return AnalysisResult(
+            partial_order=self.PARTIAL_ORDER,
+            clock_name=getattr(self.clock_class, "SHORT_NAME", self.clock_class.__name__),
+            trace_name=trace.name,
+            num_events=len(trace),
+            num_threads=trace.num_threads,
+            timestamps=timestamps,
+            work=self.context.counter,
+            detection=self._detection_summary(),
+            elapsed_seconds=elapsed,
+        )

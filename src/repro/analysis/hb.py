@@ -1,0 +1,64 @@
+"""The happens-before (HB) analysis (Algorithms 1 and 3 of the paper).
+
+HB is the smallest partial order containing the thread order and ordering
+every lock release before every later acquire of the same lock.  The
+streaming algorithm keeps one clock per thread and one per lock:
+
+* ``acquire(t, ℓ)`` — ``C_t.Join(L_ℓ)``
+* ``release(t, ℓ)`` — ``L_ℓ.MonotoneCopy(C_t)``
+
+(with vector clocks the monotone copy is a plain copy; Lemma 2 guarantees
+the monotonicity precondition).  Read/write events only matter for the
+optional race-detection component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clocks.base import Clock
+from ..trace.event import Event, OpKind
+from ..trace.trace import Trace
+from .detectors import RaceDetector
+from .engine import PartialOrderAnalysis
+from .result import AnalysisResult, DetectionSummary
+
+
+class HBAnalysis(PartialOrderAnalysis):
+    """Streaming computation of the HB partial order."""
+
+    PARTIAL_ORDER = "HB"
+
+    def _reset_state(self, trace: Trace) -> None:
+        super()._reset_state(trace)
+        self._detector: Optional[RaceDetector] = (
+            RaceDetector(keep_races=self.keep_races) if self.detect else None
+        )
+
+    def _handle_event(self, event: Event, clock: Clock) -> None:
+        kind = event.kind
+        if kind is OpKind.ACQUIRE:
+            clock.join(self.clock_of_lock(event.lock))
+        elif kind is OpKind.RELEASE:
+            self.clock_of_lock(event.lock).monotone_copy(clock)
+        elif kind is OpKind.READ:
+            if self._detector is not None:
+                self._detector.on_read(event, clock)
+        elif kind is OpKind.WRITE:
+            if self._detector is not None:
+                self._detector.on_write(event, clock)
+
+    def _detection_summary(self) -> Optional[DetectionSummary]:
+        return self._detector.summary if self._detector is not None else None
+
+
+def compute_hb(trace: Trace, clock_class=None, **kwargs) -> AnalysisResult:
+    """Convenience wrapper: run :class:`HBAnalysis` over ``trace``.
+
+    Keyword arguments are forwarded to :class:`HBAnalysis`; ``clock_class``
+    defaults to the tree clock.
+    """
+    from ..clocks.tree_clock import TreeClock
+
+    analysis = HBAnalysis(clock_class or TreeClock, **kwargs)
+    return analysis.run(trace)

@@ -1,0 +1,65 @@
+"""High-level race-detection entry points.
+
+These wrap the streaming analyses with sensible defaults so that the
+common use case — "find data races in this trace" — is a single call.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Type
+
+from ..clocks.base import Clock
+from ..clocks.tree_clock import TreeClock
+from ..trace.trace import Trace
+from .hb import HBAnalysis
+from .result import AnalysisResult, Race
+from .shb import SHBAnalysis
+
+_ANALYSES = {"HB": HBAnalysis, "SHB": SHBAnalysis}
+
+
+def detect_races(
+    trace: Trace,
+    partial_order: str = "HB",
+    clock_class: Optional[Type[Clock]] = None,
+) -> AnalysisResult:
+    """Run race detection over ``trace`` and return the full analysis result.
+
+    Parameters
+    ----------
+    trace:
+        The execution trace to analyze.
+    partial_order:
+        ``"HB"`` (Lamport happens-before, the classic sound detector) or
+        ``"SHB"`` (schedulable happens-before, which additionally
+        guarantees that every reported race is schedulable).
+    clock_class:
+        The clock data structure to use; defaults to the tree clock.
+    """
+    normalized = partial_order.upper()
+    try:
+        analysis_class = _ANALYSES[normalized]
+    except KeyError as exc:
+        raise ValueError(
+            f"race detection supports HB and SHB, not {partial_order!r}"
+        ) from exc
+    analysis = analysis_class(clock_class or TreeClock, detect=True)
+    return analysis.run(trace)
+
+
+def find_races(
+    trace: Trace,
+    partial_order: str = "HB",
+    clock_class: Optional[Type[Clock]] = None,
+) -> List[Race]:
+    """Like :func:`detect_races` but returns just the list of races."""
+    result = detect_races(trace, partial_order=partial_order, clock_class=clock_class)
+    assert result.detection is not None
+    return list(result.detection.races)
+
+
+def has_race(trace: Trace, partial_order: str = "HB") -> bool:
+    """Whether the trace contains at least one race under the given order."""
+    result = detect_races(trace, partial_order=partial_order)
+    assert result.detection is not None
+    return result.detection.race_count > 0

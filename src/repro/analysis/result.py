@@ -1,0 +1,119 @@
+"""Result objects returned by the partial-order analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..clocks.base import VectorTime, WorkCounter
+
+
+@dataclass(frozen=True, slots=True)
+class Race:
+    """A pair of conflicting events found concurrent by a detector.
+
+    The earlier event is identified by ``(prior_tid, prior_local_time)``
+    (the pair that uniquely identifies an event, Section 2.1); the later
+    event is the one being processed when the race was reported.
+    """
+
+    variable: object
+    prior_tid: int
+    prior_local_time: int
+    event_eid: int
+    event_tid: int
+    event_kind: str
+
+    def pair(self) -> str:
+        """Compact human-readable description of the racy pair."""
+        return (
+            f"{self.variable}: (t{self.prior_tid}@{self.prior_local_time}) || "
+            f"(t{self.event_tid}, event {self.event_eid}, {self.event_kind})"
+        )
+
+
+@dataclass
+class DetectionSummary:
+    """Output of the "+Analysis" component (race / reversible-pair detection)."""
+
+    races: List[Race] = field(default_factory=list)
+    checks: int = 0
+    total_reported: int = 0
+
+    @property
+    def race_count(self) -> int:
+        """Number of concurrent conflicting pairs reported.
+
+        Equals ``len(races)`` when race recording was enabled; detectors
+        that only count still maintain this number.
+        """
+        return self.total_reported
+
+    @property
+    def racy_variables(self) -> List[object]:
+        """Distinct variables involved in at least one reported race."""
+        seen: Dict[object, None] = {}
+        for race in self.races:
+            seen.setdefault(race.variable, None)
+        return list(seen)
+
+
+@dataclass
+class AnalysisResult:
+    """The outcome of running a partial-order analysis over a trace.
+
+    Attributes
+    ----------
+    partial_order:
+        Name of the partial order computed ("HB", "SHB" or "MAZ").
+    clock_name:
+        Short name of the clock data structure used ("VC" or "TC").
+    trace_name / num_events / num_threads:
+        Identification of the analyzed trace.
+    timestamps:
+        When timestamp capture was requested, ``timestamps[eid]`` is the
+        vector timestamp of the event with identifier ``eid``.
+    work:
+        Work counter populated when work counting was requested.
+    detection:
+        Result of the analysis component, when a detector was attached.
+    elapsed_seconds:
+        Wall-clock time of the run (always measured).
+    """
+
+    partial_order: str
+    clock_name: str
+    trace_name: str
+    num_events: int
+    num_threads: int
+    timestamps: Optional[List[VectorTime]] = None
+    work: Optional[WorkCounter] = None
+    detection: Optional[DetectionSummary] = None
+    elapsed_seconds: float = 0.0
+
+    def timestamp_of(self, eid: int) -> VectorTime:
+        """The captured timestamp of event ``eid``.
+
+        Raises :class:`ValueError` when the analysis ran without
+        timestamp capture.
+        """
+        if self.timestamps is None:
+            raise ValueError("analysis was run without capture_timestamps=True")
+        return self.timestamps[eid]
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dictionary suitable for tabular reporting."""
+        row: Dict[str, object] = {
+            "partial_order": self.partial_order,
+            "clock": self.clock_name,
+            "trace": self.trace_name,
+            "events": self.num_events,
+            "threads": self.num_threads,
+            "seconds": round(self.elapsed_seconds, 6),
+        }
+        if self.work is not None:
+            row["entries_processed"] = self.work.entries_processed
+            row["entries_updated"] = self.work.entries_updated
+        if self.detection is not None:
+            row["races"] = self.detection.race_count
+        return row

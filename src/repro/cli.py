@@ -1,0 +1,139 @@
+"""``repro-analyze`` — analyze a trace file from the command line.
+
+This is the user-facing counterpart of the library API: point it at a
+trace file (STD or CSV format, see :mod:`repro.trace.io`), pick a partial
+order and a clock data structure, and get timestamps, races and cost
+statistics without writing any Python.
+
+Examples
+--------
+::
+
+    repro-analyze trace.std --order HB --races
+    repro-analyze trace.csv --format csv --order SHB --clock VC --work
+    repro-analyze trace.std --order MAZ --timestamps --limit 20
+    repro-analyze --demo --races --show-clocks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import ANALYSIS_CLASSES, analysis_class_by_name
+from .clocks import TreeClock, clock_class_by_name
+from .clocks.render import render_clock
+from .trace import TraceBuilder, load_trace
+from .trace.stats import compute_statistics
+from .trace.trace import Trace
+from .trace.validation import validate_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro-analyze`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Compute causal orderings (HB/SHB/MAZ) and races for a trace file.",
+    )
+    parser.add_argument("trace", nargs="?", help="path to the trace file")
+    parser.add_argument("--format", choices=["std", "csv"], default="std", help="trace file format")
+    parser.add_argument(
+        "--order", default="HB", choices=sorted(ANALYSIS_CLASSES), help="partial order to compute"
+    )
+    parser.add_argument("--clock", default="TC", choices=["TC", "VC"], help="clock data structure")
+    parser.add_argument("--races", action="store_true", help="run the race/concurrency detector")
+    parser.add_argument("--timestamps", action="store_true", help="print per-event vector timestamps")
+    parser.add_argument("--work", action="store_true", help="report data-structure work counters")
+    parser.add_argument("--stats", action="store_true", help="print trace statistics")
+    parser.add_argument("--show-clocks", action="store_true", help="print the final per-thread clocks")
+    parser.add_argument("--limit", type=int, default=None, help="limit printed events/races")
+    parser.add_argument("--demo", action="store_true", help="analyze a small built-in demo trace")
+    return parser
+
+
+def demo_trace() -> Trace:
+    """The built-in demo trace used by ``--demo`` (contains one HB race)."""
+    builder = TraceBuilder(name="demo")
+    builder.write(1, "x")
+    builder.acquire(1, "l").write(1, "data").release(1, "l")
+    builder.acquire(2, "l").read(2, "data").release(2, "l")
+    builder.write(2, "x")
+    builder.read(3, "data")
+    return builder.build()
+
+
+def _load(args: argparse.Namespace) -> Trace:
+    if args.demo:
+        return demo_trace()
+    if not args.trace:
+        raise SystemExit("error: provide a trace file or use --demo")
+    return load_trace(args.trace, fmt=args.format, name=args.trace)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    trace = _load(args)
+
+    problems = validate_trace(trace)
+    if problems:
+        print(f"warning: trace is not well-formed ({len(problems)} problems); results may be off:")
+        for problem in problems[:5]:
+            print(f"  - {problem}")
+
+    stats = compute_statistics(trace)
+    print(
+        f"trace {trace.name!r}: {stats.num_events} events, {stats.num_threads} threads, "
+        f"{stats.num_locks} locks, {stats.num_variables} variables, "
+        f"{100 * stats.sync_fraction:.1f}% sync events"
+    )
+    if args.stats:
+        for key, value in stats.as_row().items():
+            print(f"  {key}: {value}")
+
+    analysis_class = analysis_class_by_name(args.order)
+    clock_class = clock_class_by_name(args.clock)
+    analysis = analysis_class(
+        clock_class,
+        capture_timestamps=args.timestamps,
+        count_work=args.work,
+        detect=args.races,
+    )
+    result = analysis.run(trace)
+    print(
+        f"{result.partial_order} computed with {result.clock_name} in "
+        f"{result.elapsed_seconds * 1e3:.1f} ms"
+    )
+
+    if args.timestamps and result.timestamps is not None:
+        limit = args.limit if args.limit is not None else len(trace)
+        for event in list(trace)[:limit]:
+            print(f"  [{event.eid}] {event.pretty():30s} {result.timestamps[event.eid]}")
+
+    if args.work and result.work is not None:
+        work = result.work
+        print(
+            f"work: {work.entries_processed} entries processed, "
+            f"{work.entries_updated} updated, {work.joins} joins, {work.copies} copies"
+        )
+
+    if args.races and result.detection is not None:
+        detection = result.detection
+        label = "reversible pairs" if result.partial_order == "MAZ" else "races"
+        print(f"{label}: {detection.race_count} (on {len(detection.racy_variables)} variables)")
+        limit = args.limit if args.limit is not None else len(detection.races)
+        for race in detection.races[:limit]:
+            print(f"  {race.pair()}")
+
+    if args.show_clocks:
+        for tid in sorted(analysis.thread_clocks):
+            print(f"clock of thread t{tid}:")
+            for line in render_clock(analysis.thread_clocks[tid]).splitlines():
+                print(f"  {line}")
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Clock data structures: vector clocks, tree clocks, epochs."""
+
+from .base import (
+    Clock,
+    ClockContext,
+    VectorTime,
+    WorkCounter,
+    clock_name,
+    vt_equal,
+    vt_get,
+    vt_join,
+    vt_leq,
+)
+from .epoch import EMPTY_EPOCH, Epoch, epoch_of, is_empty
+from .render import render_clock, render_tree_clock, render_vector_time
+from .tree_clock import TreeClock, TreeClockNode
+from .vector_clock import VectorClock
+
+#: Clock classes selectable by short name (used by the CLI and experiments).
+CLOCK_CLASSES = {
+    "VC": VectorClock,
+    "TC": TreeClock,
+}
+
+
+def clock_class_by_name(name: str) -> type:
+    """Resolve ``"VC"`` / ``"TC"`` (case-insensitive) to a clock class."""
+    try:
+        return CLOCK_CLASSES[name.upper()]
+    except KeyError as exc:
+        raise ValueError(f"unknown clock class {name!r}; expected one of {sorted(CLOCK_CLASSES)}") from exc
+
+
+__all__ = [
+    "CLOCK_CLASSES",
+    "Clock",
+    "ClockContext",
+    "EMPTY_EPOCH",
+    "Epoch",
+    "TreeClock",
+    "TreeClockNode",
+    "VectorClock",
+    "VectorTime",
+    "WorkCounter",
+    "clock_class_by_name",
+    "clock_name",
+    "epoch_of",
+    "is_empty",
+    "render_clock",
+    "render_tree_clock",
+    "render_vector_time",
+    "vt_equal",
+    "vt_get",
+    "vt_join",
+    "vt_leq",
+]

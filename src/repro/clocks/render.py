@@ -1,0 +1,64 @@
+"""Human-readable rendering of clocks.
+
+The paper explains tree clocks almost entirely through pictures
+(Figures 3, 4, 5, 11, 12).  This module provides the textual equivalent:
+an ASCII rendering of a tree clock's structure (one line per node, with
+``tid``, ``clk`` and ``aclk``), plus a flat rendering shared with vector
+clocks.  The renderer is used by the quickstart example and is handy when
+debugging analyses interactively.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Clock
+from .tree_clock import TreeClock, TreeClockNode
+from .vector_clock import VectorClock
+
+
+def render_vector_time(clock: Clock) -> str:
+    """Render any clock's vector time as ``[t1:3, t4:7]`` (non-zero entries)."""
+    entries = sorted(clock.as_dict().items())
+    body = ", ".join(f"t{tid}:{value}" for tid, value in entries)
+    return f"[{body}]"
+
+
+def _render_node(node: TreeClockNode, prefix: str, is_last: bool, lines: List[str]) -> None:
+    connector = "`-- " if is_last else "|-- "
+    aclk = "⊥" if node.aclk is None else str(node.aclk)
+    lines.append(f"{prefix}{connector}(t{node.tid}, clk={node.clk}, aclk={aclk})")
+    children = list(node.children())
+    child_prefix = prefix + ("    " if is_last else "|   ")
+    for index, child in enumerate(children):
+        _render_node(child, child_prefix, index == len(children) - 1, lines)
+
+
+def render_tree_clock(clock: TreeClock) -> str:
+    """Render a tree clock as an ASCII tree, one node per line.
+
+    Example output::
+
+        (t2, clk=4, aclk=⊥)
+        |-- (t4, clk=2, aclk=3)
+        `-- (t3, clk=4, aclk=1)
+            |-- (t5, clk=2, aclk=2)
+            `-- (t1, clk=2, aclk=1)
+    """
+    root = clock.root
+    if root is None:
+        return "(empty tree clock)"
+    lines = [f"(t{root.tid}, clk={root.clk}, aclk=⊥)"]
+    children = list(root.children())
+    for index, child in enumerate(children):
+        _render_node(child, "", index == len(children) - 1, lines)
+    return "\n".join(lines)
+
+
+def render_clock(clock: Clock) -> str:
+    """Render any supported clock: trees as trees, vectors as flat vectors."""
+    if isinstance(clock, TreeClock):
+        return render_tree_clock(clock)
+    if isinstance(clock, VectorClock):
+        return render_vector_time(clock)
+    return render_vector_time(clock)

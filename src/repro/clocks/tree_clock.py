@@ -1,0 +1,512 @@
+"""The tree clock data structure (Algorithm 2 of the paper).
+
+A tree clock stores the same information as a vector clock — the last
+known local time of every thread — but arranges the entries in a rooted
+tree whose edges record *how* that knowledge was obtained: a node ``u``
+is a child of ``v`` if the time of ``u.tid`` was learned transitively
+through thread ``v.tid``, and ``u.aclk`` (the *attachment clock*) is the
+local time ``v.tid`` had when it learned it.
+
+This structure enables two pruning rules during ``join`` and
+``monotone_copy`` (Section 3.1):
+
+* **direct monotonicity** — if the receiving clock already knows thread
+  ``u.tid`` at time ``>= u.clk``, it also knows every descendant of ``u``
+  at least as well, so the whole subtree can be skipped, and
+* **indirect monotonicity** — children are kept in descending ``aclk``
+  order, so as soon as a non-progressed child with ``aclk <= Get(parent)``
+  is found, all remaining (older) siblings can be skipped as well.
+
+Consequently both operations run in time proportional to the number of
+entries that actually change (plus a constant per operation), which is
+the basis of the vt-optimality result (Theorem 1).
+
+The implementation below mirrors the paper's pseudocode, with the
+recursive traversals made iterative (as in the authors' Java artifact)
+and the child lists kept as intrusive doubly-linked lists so that both
+``pushChild`` and node detachment are O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .base import ClockContext, VectorTime
+
+
+class TreeClockNode:
+    """A single node of a tree clock.
+
+    Attributes mirror the paper's ``(tid, clk, aclk)`` triple; ``aclk`` is
+    ``None`` for the root.  Sibling links (``next_sibling`` /
+    ``prev_sibling``) implement the ordered child list, whose head
+    (``first_child``) holds the most recently attached child, i.e. the
+    child with the largest attachment clock.
+    """
+
+    __slots__ = ("tid", "clk", "aclk", "parent", "first_child", "next_sibling", "prev_sibling")
+
+    def __init__(self, tid: int, clk: int = 0, aclk: Optional[int] = None) -> None:
+        self.tid = tid
+        self.clk = clk
+        self.aclk = aclk
+        self.parent: Optional["TreeClockNode"] = None
+        self.first_child: Optional["TreeClockNode"] = None
+        self.next_sibling: Optional["TreeClockNode"] = None
+        self.prev_sibling: Optional["TreeClockNode"] = None
+
+    def children(self) -> Iterator["TreeClockNode"]:
+        """Iterate children from the most recently attached to the oldest."""
+        child = self.first_child
+        while child is not None:
+            yield child
+            child = child.next_sibling
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        aclk = "⊥" if self.aclk is None else self.aclk
+        return f"(t{self.tid}, {self.clk}, {aclk})"
+
+
+class TreeClock:
+    """The tree clock data structure.
+
+    Parameters
+    ----------
+    context:
+        Shared :class:`~repro.clocks.base.ClockContext` (thread universe
+        and optional work counter).
+    owner:
+        When given, the clock is initialized as in the paper's ``Init(t)``
+        with a root node ``(owner, 0, ⊥)``; thread clocks use this form.
+        Auxiliary clocks (locks, last-write clocks) pass ``None`` and
+        start empty (the all-zero vector time).
+    """
+
+    SHORT_NAME = "TC"
+
+    __slots__ = ("context", "owner", "_root", "_nodes")
+
+    def __init__(self, context: ClockContext, owner: Optional[int] = None) -> None:
+        self.context = context
+        self.owner = owner
+        self._root: Optional[TreeClockNode] = None
+        self._nodes: Dict[int, TreeClockNode] = {}
+        if owner is not None:
+            root = TreeClockNode(owner, 0, None)
+            self._root = root
+            self._nodes[owner] = root
+
+    # -- basic accessors ----------------------------------------------------------
+
+    def get(self, tid: int) -> int:
+        """The recorded local time of thread ``tid`` (0 if unknown)."""
+        node = self._nodes.get(tid)
+        return node.clk if node is not None else 0
+
+    def increment(self, tid: int, amount: int = 1) -> None:
+        """Advance the root thread's clock (``Increment`` in the paper)."""
+        if self._root is None or self._root.tid != tid:
+            raise ValueError(
+                f"increment of thread t{tid} on a tree clock rooted at "
+                f"{'nothing' if self._root is None else f't{self._root.tid}'}"
+            )
+        self._root.clk += amount
+        counter = self.context.counter
+        if counter is not None:
+            counter.record_increment()
+
+    @property
+    def root(self) -> Optional[TreeClockNode]:
+        """The root node (``None`` for an empty auxiliary clock)."""
+        return self._root
+
+    @property
+    def node_count(self) -> int:
+        """Number of thread entries stored in the clock."""
+        return len(self._nodes)
+
+    def node_of(self, tid: int) -> Optional[TreeClockNode]:
+        """The node of thread ``tid``, if present (``ThrMap`` in the paper)."""
+        return self._nodes.get(tid)
+
+    # -- comparison ----------------------------------------------------------------
+
+    def leq(self, other: "TreeClock") -> bool:
+        """The paper's constant-time ``LessThan``.
+
+        Checks only whether the root entry of this clock is known to
+        ``other``.  This is equivalent to the full pointwise comparison
+        whenever this clock is a *snapshot* clock, i.e. its contents were
+        copied from a thread clock at the root's event (which is how the
+        HB/SHB/MAZ algorithms use it).  For arbitrary clocks use
+        :meth:`leq_full`.
+        """
+        if self._root is None:
+            return True
+        return self._root.clk <= other.get(self._root.tid)
+
+    def leq_full(self, other: "TreeClock") -> bool:
+        """Full pointwise comparison ``self ⊑ other`` (Θ(size) time)."""
+        return all(node.clk <= other.get(tid) for tid, node in self._nodes.items())
+
+    # -- join ------------------------------------------------------------------------
+
+    def join(self, other: "TreeClock") -> None:
+        """In-place join ``self ← self ⊔ other`` (the paper's ``Join``)."""
+        counter = self.context.counter
+        other_root = other._root
+        if other_root is None:
+            # Joining the all-zero vector time is a no-op.
+            if counter is not None:
+                counter.record_join(processed=0, updated=0)
+            return
+        if self._root is None:
+            # An un-owned empty clock has no root to attach under; the join
+            # degenerates to a full copy.  The partial-order algorithms never
+            # hit this case (only thread clocks, which own a root, join).
+            updated, processed = self._deep_copy_from(other)
+            if counter is not None:
+                counter.record_join(processed=processed, updated=updated)
+            return
+        if other_root.clk <= self.get(other_root.tid):
+            # Direct monotonicity at the root: nothing in `other` is new.
+            if counter is not None:
+                counter.record_join(processed=1, updated=0)
+            return
+
+        stack: List[TreeClockNode] = []
+        processed = 1 + self._gather_updated_nodes(stack, other_root, old_root_tid=None)
+        self._detach_nodes(stack)
+        updated = self._attach_nodes(stack)
+
+        # Place the updated subtree under the root of this clock, at the
+        # front of its child list (it carries the freshest attachment clock).
+        subtree_root = self._nodes[other_root.tid]
+        root = self._root
+        if subtree_root is not root:
+            subtree_root.aclk = root.clk
+            self._push_child(subtree_root, root)
+        if counter is not None:
+            counter.record_join(processed=processed, updated=updated)
+
+    # -- copies ------------------------------------------------------------------------
+
+    def monotone_copy(self, other: "TreeClock") -> None:
+        """In-place copy ``self ← other`` assuming ``self ⊑ other``.
+
+        Exploits the same monotonicity pruning as :meth:`join`; the only
+        difference is that the (old) root of this clock is repositioned
+        even when its time has not progressed, because the root of the
+        result must carry the same thread as ``other``'s root.
+        """
+        counter = self.context.counter
+        other_root = other._root
+        if other_root is None:
+            # self ⊑ 0 implies self is the zero vector already.
+            if counter is not None:
+                counter.record_copy(processed=0, updated=0)
+            return
+
+        old_root = self._root
+        stack: List[TreeClockNode] = []
+        processed = 1 + self._gather_updated_nodes(
+            stack, other_root, old_root_tid=None if old_root is None else old_root.tid
+        )
+        self._detach_nodes(stack)
+        updated = self._attach_nodes(stack)
+
+        new_root = self._nodes[other_root.tid]
+        new_root.parent = None
+        new_root.aclk = None
+        self._root = new_root
+        if counter is not None:
+            counter.record_copy(processed=processed, updated=updated)
+
+    def copy_check_monotone(self, other: "TreeClock") -> None:
+        """Copy ``other`` into this clock without assuming monotonicity.
+
+        Performs the constant-time :meth:`leq` test first; when it holds
+        the copy is a (sublinear) :meth:`monotone_copy`, otherwise it
+        falls back to a linear deep copy.  Used by the SHB algorithm for
+        last-write clocks, where the non-monotone case corresponds
+        exactly to a write-read race (Section 5.1).
+        """
+        if self.leq(other):
+            self.monotone_copy(other)
+            return
+        counter = self.context.counter
+        updated, processed = self._deep_copy_from(other)
+        if counter is not None:
+            counter.record_copy(processed=processed, updated=updated)
+
+    def copy_from(self, other: "TreeClock") -> None:
+        """Unconditional deep copy of ``other`` into this clock."""
+        counter = self.context.counter
+        updated, processed = self._deep_copy_from(other)
+        if counter is not None:
+            counter.record_copy(processed=processed, updated=updated)
+
+    # -- snapshots and introspection ------------------------------------------------------
+
+    def as_dict(self) -> VectorTime:
+        """Snapshot of the vector time represented by this clock."""
+        return {tid: node.clk for tid, node in self._nodes.items() if node.clk}
+
+    def nodes(self) -> Iterator[TreeClockNode]:
+        """Iterate all nodes in pre-order from the root, then any detached nodes."""
+        seen = set()
+        if self._root is not None:
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                seen.add(node.tid)
+                yield node
+                stack.extend(node.children())
+        for tid, node in self._nodes.items():
+            if tid not in seen:
+                yield node
+
+    def depth(self) -> int:
+        """Height of the tree (0 for an empty clock, 1 for a single root)."""
+        if self._root is None:
+            return 0
+        best = 0
+        stack: List[Tuple[TreeClockNode, int]] = [(self._root, 1)]
+        while stack:
+            node, level = stack.pop()
+            best = max(best, level)
+            for child in node.children():
+                stack.append((child, level + 1))
+        return best
+
+    def validate_structure(self) -> List[str]:
+        """Check internal invariants; returns a list of violation messages.
+
+        Verified invariants: the thread map and the tree agree, parent /
+        child / sibling pointers are consistent, each thread appears at
+        most once, child lists are sorted by descending attachment clock,
+        and every non-root reachable node carries an attachment clock.
+        """
+        problems: List[str] = []
+        reachable: Dict[int, TreeClockNode] = {}
+        if self._root is not None:
+            if self._root.parent is not None:
+                problems.append("root has a parent")
+            if self._root.aclk is not None:
+                problems.append("root has an attachment clock")
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                if node.tid in reachable:
+                    problems.append(f"thread t{node.tid} appears twice in the tree")
+                    continue
+                reachable[node.tid] = node
+                previous_aclk: Optional[int] = None
+                previous_child: Optional[TreeClockNode] = None
+                for child in node.children():
+                    if child.parent is not node:
+                        problems.append(f"child t{child.tid} has wrong parent pointer")
+                    if child.prev_sibling is not previous_child:
+                        problems.append(f"child t{child.tid} has wrong prev_sibling pointer")
+                    if child.aclk is None:
+                        problems.append(f"non-root node t{child.tid} has no attachment clock")
+                    elif previous_aclk is not None and child.aclk > previous_aclk:
+                        problems.append(
+                            f"children of t{node.tid} are not in descending aclk order"
+                        )
+                    previous_aclk = child.aclk if child.aclk is not None else previous_aclk
+                    previous_child = child
+                    stack.append(child)
+        for tid, node in self._nodes.items():
+            if node.tid != tid:
+                problems.append(f"thread map entry {tid} points at node of t{node.tid}")
+        for tid, node in reachable.items():
+            if self._nodes.get(tid) is not node:
+                problems.append(f"reachable node t{tid} is missing from the thread map")
+        for tid in self._nodes:
+            if self._root is not None and tid not in reachable:
+                problems.append(f"thread map entry t{tid} is not reachable from the root")
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TreeClock(root={self._root!r}, entries={len(self._nodes)})"
+
+    # -- internal helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _push_child(child: TreeClockNode, parent: TreeClockNode) -> None:
+        """The paper's ``pushChild``: attach ``child`` at the front of ``parent``'s list."""
+        child.parent = parent
+        child.prev_sibling = None
+        child.next_sibling = parent.first_child
+        if parent.first_child is not None:
+            parent.first_child.prev_sibling = child
+        parent.first_child = child
+
+    def _detach_from_parent(self, node: TreeClockNode) -> None:
+        """Remove ``node`` from its parent's child list (O(1))."""
+        parent = node.parent
+        if parent is None:
+            return
+        if node.prev_sibling is not None:
+            node.prev_sibling.next_sibling = node.next_sibling
+        else:
+            parent.first_child = node.next_sibling
+        if node.next_sibling is not None:
+            node.next_sibling.prev_sibling = node.prev_sibling
+        node.parent = None
+        node.prev_sibling = None
+        node.next_sibling = None
+
+    def _gather_updated_nodes(
+        self,
+        stack: List[TreeClockNode],
+        other_root: TreeClockNode,
+        old_root_tid: Optional[int],
+    ) -> int:
+        """The paper's ``getUpdatedNodesJoin`` / ``getUpdatedNodesCopy``.
+
+        Performs a pruned pre-order traversal of ``other``'s tree starting
+        at ``other_root`` and fills ``stack`` with the nodes of ``other``
+        whose clock has progressed compared to this clock (children before
+        parents, so that popping yields parents first).  When
+        ``old_root_tid`` is given (the monotone-copy case) the node of
+        that thread is pushed even if it has not progressed, so that the
+        old root gets repositioned under the new one.
+
+        Returns the number of child-node examinations performed — the
+        "light gray" area of Figures 4 and 5, i.e. the quantity that
+        defines ``TCWork``.
+        """
+        examined = 0
+        nodes_get = self._nodes.get
+        stack_push = stack.append
+        # Each frame is (node_of_other, next_child_to_examine).
+        frames: List[Tuple[TreeClockNode, Optional[TreeClockNode]]] = [
+            (other_root, other_root.first_child)
+        ]
+        frames_push = frames.append
+        while frames:
+            node, child = frames.pop()
+            descended = False
+            while child is not None:
+                examined += 1
+                local = nodes_get(child.tid)
+                if (0 if local is None else local.clk) < child.clk:
+                    # Progressed: recurse into the child, resume this node later.
+                    frames_push((node, child.next_sibling))
+                    frames_push((child, child.first_child))
+                    descended = True
+                    break
+                if old_root_tid is not None and child.tid == old_root_tid:
+                    # Monotone copy: the old root must be repositioned even
+                    # though its clock has not progressed.
+                    stack_push(child)
+                aclk = child.aclk
+                if aclk is not None:
+                    parent_local = nodes_get(node.tid)
+                    if aclk <= (0 if parent_local is None else parent_local.clk):
+                        # Indirect monotonicity: all remaining (older) siblings
+                        # are already known to this clock.
+                        break
+                child = child.next_sibling
+            if not descended:
+                stack_push(node)
+        return examined
+
+    def _detach_nodes(self, stack: List[TreeClockNode]) -> None:
+        """The paper's ``detachNodes``: unlink local counterparts of updated nodes."""
+        nodes_get = self._nodes.get
+        root = self._root
+        for other_node in stack:
+            local = nodes_get(other_node.tid)
+            if local is None or local is root:
+                continue
+            parent = local.parent
+            if parent is None:
+                continue
+            # Inlined sibling-list removal (hot path).
+            previous = local.prev_sibling
+            following = local.next_sibling
+            if previous is not None:
+                previous.next_sibling = following
+            else:
+                parent.first_child = following
+            if following is not None:
+                following.prev_sibling = previous
+            local.parent = None
+            local.prev_sibling = None
+            local.next_sibling = None
+
+    def _attach_nodes(self, stack: List[TreeClockNode]) -> int:
+        """The paper's ``attachNodes``: rebuild the updated subtree in this clock.
+
+        Returns the number of entries whose clock value actually changed
+        (the contribution of this operation to ``VTWork``).
+        """
+        updated = 0
+        nodes = self._nodes
+        nodes_get = nodes.get
+        while stack:
+            other_node = stack.pop()
+            tid = other_node.tid
+            local = nodes_get(tid)
+            if local is None:
+                local = TreeClockNode(tid)
+                nodes[tid] = local
+            if local.clk != other_node.clk:
+                updated += 1
+                local.clk = other_node.clk
+            other_parent = other_node.parent
+            if other_parent is not None:
+                local.aclk = other_node.aclk
+                parent_local = nodes[other_parent.tid]
+                # Inlined pushChild (hot path).
+                local.parent = parent_local
+                local.prev_sibling = None
+                head = parent_local.first_child
+                local.next_sibling = head
+                if head is not None:
+                    head.prev_sibling = local
+                parent_local.first_child = local
+        return updated
+
+    def _deep_copy_from(self, other: "TreeClock") -> Tuple[int, int]:
+        """Rebuild this clock as an exact structural copy of ``other``.
+
+        Returns ``(entries_changed, entries_processed)``.
+        """
+        old_values = {tid: node.clk for tid, node in self._nodes.items()}
+        self._nodes = {}
+        self._root = None
+        processed = 0
+        if other._root is None:
+            changed = sum(1 for value in old_values.values() if value)
+            return changed, processed
+
+        def clone(node: TreeClockNode) -> TreeClockNode:
+            copy = TreeClockNode(node.tid, node.clk, node.aclk)
+            self._nodes[node.tid] = copy
+            return copy
+
+        root_copy = clone(other._root)
+        self._root = root_copy
+        processed += 1
+        # Clone children back-to-front so that pushing each at the front of
+        # the child list reproduces the original order.
+        pending: List[Tuple[TreeClockNode, TreeClockNode]] = [(other._root, root_copy)]
+        while pending:
+            original, copy = pending.pop()
+            for child in reversed(list(original.children())):
+                child_copy = clone(child)
+                processed += 1
+                self._push_child(child_copy, copy)
+                pending.append((child, child_copy))
+        changed = 0
+        for tid, node in self._nodes.items():
+            if old_values.get(tid, 0) != node.clk:
+                changed += 1
+        for tid, value in old_values.items():
+            if value and tid not in self._nodes:
+                changed += 1
+        return changed, processed

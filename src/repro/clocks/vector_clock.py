@@ -1,0 +1,121 @@
+"""The classic vector clock data structure (the paper's baseline).
+
+A vector clock is a flat integer array indexed by thread position
+(Section 2.2).  ``join``, ``copy`` and ``leq`` iterate over all ``k``
+entries and therefore take Θ(k) time per operation, which is exactly the
+behaviour tree clocks improve upon.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .base import ClockContext, VectorTime
+
+
+class VectorClock:
+    """A flat, array-backed vector clock.
+
+    Parameters
+    ----------
+    context:
+        The shared :class:`~repro.clocks.base.ClockContext` fixing the
+        thread universe and (optionally) the work counter.
+    owner:
+        Thread identifier this clock belongs to, or ``None`` for auxiliary
+        clocks (lock clocks, last-write clocks).  The owner is only used
+        for error reporting; unlike tree clocks, vector clocks have no
+        structural notion of ownership.
+    """
+
+    SHORT_NAME = "VC"
+
+    __slots__ = ("context", "owner", "_values")
+
+    def __init__(self, context: ClockContext, owner: Optional[int] = None) -> None:
+        self.context = context
+        self.owner = owner
+        self._values: List[int] = [0] * context.num_threads
+
+    # -- basic accessors ---------------------------------------------------------
+
+    def get(self, tid: int) -> int:
+        """The recorded local time of thread ``tid``."""
+        index = self.context.index_of.get(tid)
+        if index is None:
+            return 0
+        return self._values[index]
+
+    def increment(self, tid: int, amount: int = 1) -> None:
+        """Advance the entry of thread ``tid`` by ``amount``."""
+        index = self.context.require_thread(tid)
+        self._values[index] += amount
+        counter = self.context.counter
+        if counter is not None:
+            counter.record_increment()
+
+    # -- vector-time operations ----------------------------------------------------
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum with ``other`` — touches all ``k`` entries."""
+        values = self._values
+        other_values = other._values
+        updated = 0
+        for index in range(len(values)):
+            other_value = other_values[index]
+            if other_value > values[index]:
+                values[index] = other_value
+                updated += 1
+        counter = self.context.counter
+        if counter is not None:
+            counter.record_join(processed=len(values), updated=updated)
+
+    def copy_from(self, other: "VectorClock") -> None:
+        """Plain copy of ``other`` into this clock — touches all ``k`` entries."""
+        values = self._values
+        other_values = other._values
+        updated = 0
+        for index in range(len(values)):
+            other_value = other_values[index]
+            if values[index] != other_value:
+                values[index] = other_value
+                updated += 1
+        counter = self.context.counter
+        if counter is not None:
+            counter.record_copy(processed=len(values), updated=updated)
+
+    def monotone_copy(self, other: "VectorClock") -> None:
+        """Copy assuming ``self ⊑ other``; for vector clocks this is a plain copy."""
+        self.copy_from(other)
+
+    def copy_check_monotone(self, other: "VectorClock") -> None:
+        """Copy without the monotonicity assumption; also a plain copy."""
+        self.copy_from(other)
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Pointwise comparison ``self ⊑ other``."""
+        other_values = other._values
+        return all(value <= other_values[index] for index, value in enumerate(self._values))
+
+    # -- snapshots and debugging -----------------------------------------------------
+
+    def as_dict(self) -> VectorTime:
+        """Snapshot of the vector time (only non-zero entries are included)."""
+        return {
+            tid: self._values[index]
+            for tid, index in self.context.index_of.items()
+            if self._values[index]
+        }
+
+    def as_list(self) -> List[int]:
+        """The raw entry list, ordered by the context's thread order."""
+        return list(self._values)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(tid, clock)`` pairs in thread order."""
+        for tid, index in self.context.index_of.items():
+            yield tid, self._values[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(f"t{tid}:{clk}" for tid, clk in self.items() if clk)
+        return f"VectorClock({entries})"

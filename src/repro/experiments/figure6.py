@@ -1,0 +1,64 @@
+"""Figure 6 — per-trace processing times with tree clocks vs vector clocks.
+
+The paper's Figure 6 contains six scatter plots — one per partial order
+(MAZ, SHB, HB), for the partial-order computation alone (top row) and
+including the analysis component (bottom row) — where each point is one
+benchmark trace, with the vector-clock time on the x-axis and the
+tree-clock time on the y-axis.  Points below the diagonal mean tree
+clocks win.
+
+This runner produces the underlying series: one row per
+(trace, partial order, configuration) with both times and the ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .reporting import ExperimentReport
+from .runner import ExperimentConfig, SuiteRunner
+
+
+def run(config: ExperimentConfig = ExperimentConfig(), runner: Optional[SuiteRunner] = None) -> ExperimentReport:
+    """Compute the per-trace VC/TC timing series behind Figure 6."""
+    runner = runner or SuiteRunner(config)
+    rows = []
+    below_diagonal = 0
+    total = 0
+    for with_analysis in (False, True):
+        panel = "PO+Analysis" if with_analysis else "PO"
+        for trace in runner.traces():
+            for analysis_class in config.analysis_classes():
+                sample = runner.speedup(trace, analysis_class, with_analysis)
+                rows.append(
+                    [
+                        panel,
+                        sample.partial_order,
+                        sample.trace_name,
+                        sample.num_events,
+                        sample.num_threads,
+                        round(sample.vc_seconds, 4),
+                        round(sample.tc_seconds, 4),
+                        round(sample.speedup, 3),
+                    ]
+                )
+                total += 1
+                if sample.tc_seconds <= sample.vc_seconds:
+                    below_diagonal += 1
+    return ExperimentReport(
+        experiment="figure6",
+        title="Per-trace times: vector clocks (x) vs tree clocks (y)",
+        headers=["Panel", "Order", "Trace", "Events", "Threads", "VC (s)", "TC (s)", "VC/TC"],
+        rows=rows,
+        summary={
+            "points": total,
+            "points below diagonal (TC faster)": below_diagonal,
+            "fraction TC faster": round(below_diagonal / total, 3) if total else 0.0,
+        },
+        notes=[
+            "In the paper tree clocks are faster on almost every trace, with the gap widening "
+            "on the more demanding (longer, more threads) benchmarks.",
+            "Here the advantage concentrates on the traces with many threads and sparse "
+            "communication; on small traces the interpreted per-node overhead dominates.",
+        ],
+    )

@@ -1,0 +1,157 @@
+"""Shared machinery for the experiment runners.
+
+The paper's evaluation runs every benchmark trace through each of the
+three partial orders with both clock data structures, with and without
+the analysis component (Table 2, Figures 6 and 7), and separately
+measures data-structure work (Figures 8 and 9) and scalability
+(Figure 10).  :class:`ExperimentConfig` captures the knobs shared by all
+of these (suite scale, repetitions, which partial orders to include) and
+:class:`SuiteRunner` caches the generated traces and the per-trace
+measurements so that several experiment runners can share one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..analysis import ANALYSIS_CLASSES
+from ..analysis.engine import PartialOrderAnalysis
+from ..gen.suite import BenchmarkProfile, default_suite
+from ..metrics.timing import SpeedupSample, compare_clocks
+from ..metrics.work import WorkMeasurement, measure_work
+from ..trace.stats import TraceStatistics, compute_statistics
+from ..trace.trace import Trace
+
+#: The partial orders of the evaluation, in the order the paper lists them.
+DEFAULT_ORDERS = ("MAZ", "SHB", "HB")
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Shared knobs for the experiment runners.
+
+    Attributes
+    ----------
+    scale:
+        Multiplier applied to the suite's per-profile event counts.  The
+        default of 1.0 gives a laptop-friendly run; larger values stress
+        the data structures more (the paper's traces are several orders
+        of magnitude longer).
+    repetitions:
+        Timing repetitions per measurement (the paper uses 3).
+    orders:
+        Which partial orders to include.
+    max_profiles:
+        Optional cap on the number of suite profiles (for quick runs).
+    families:
+        Optional family filter for the suite.
+    """
+
+    scale: float = 1.0
+    repetitions: int = 3
+    orders: Sequence[str] = DEFAULT_ORDERS
+    max_profiles: Optional[int] = None
+    families: Optional[Sequence[str]] = None
+
+    def analysis_classes(self) -> List[Type[PartialOrderAnalysis]]:
+        """The analysis classes selected by :attr:`orders`."""
+        classes: List[Type[PartialOrderAnalysis]] = []
+        for order in self.orders:
+            normalized = order.upper()
+            if normalized not in ANALYSIS_CLASSES:
+                raise ValueError(f"unknown partial order {order!r}")
+            classes.append(ANALYSIS_CLASSES[normalized])
+        return classes
+
+
+class SuiteRunner:
+    """Generates the benchmark suite once and caches per-trace measurements."""
+
+    def __init__(self, config: ExperimentConfig = ExperimentConfig()) -> None:
+        self.config = config
+        self._profiles: Optional[List[BenchmarkProfile]] = None
+        self._traces: Dict[str, Trace] = {}
+        self._speedups: Dict[Tuple[str, str, bool], SpeedupSample] = {}
+        self._work: Dict[Tuple[str, str], WorkMeasurement] = {}
+
+    # -- suite materialization -------------------------------------------------------
+
+    @property
+    def profiles(self) -> List[BenchmarkProfile]:
+        """The benchmark profiles selected by the configuration."""
+        if self._profiles is None:
+            self._profiles = default_suite(
+                scale=self.config.scale,
+                families=self.config.families,
+                max_profiles=self.config.max_profiles,
+            )
+        return self._profiles
+
+    def trace(self, profile: BenchmarkProfile) -> Trace:
+        """The (cached) trace of one profile."""
+        cached = self._traces.get(profile.name)
+        if cached is None:
+            cached = profile.generate()
+            self._traces[profile.name] = cached
+        return cached
+
+    def traces(self) -> List[Trace]:
+        """All traces of the suite, generated lazily and cached."""
+        return [self.trace(profile) for profile in self.profiles]
+
+    # -- per-trace measurements ---------------------------------------------------------
+
+    def statistics(self) -> List[TraceStatistics]:
+        """Per-trace statistics (Table 3 rows)."""
+        return [compute_statistics(trace) for trace in self.traces()]
+
+    def speedup(
+        self,
+        trace: Trace,
+        analysis_class: Type[PartialOrderAnalysis],
+        with_analysis: bool,
+    ) -> SpeedupSample:
+        """The (cached) VC-vs-TC timing comparison for one configuration."""
+        key = (trace.name, analysis_class.PARTIAL_ORDER, with_analysis)
+        cached = self._speedups.get(key)
+        if cached is None:
+            cached = compare_clocks(
+                trace,
+                analysis_class,
+                with_analysis=with_analysis,
+                repetitions=self.config.repetitions,
+            )
+            self._speedups[key] = cached
+        return cached
+
+    def speedups(self, with_analysis: bool) -> List[SpeedupSample]:
+        """Timing comparisons for every (trace, partial order) pair."""
+        samples: List[SpeedupSample] = []
+        for trace in self.traces():
+            for analysis_class in self.config.analysis_classes():
+                samples.append(self.speedup(trace, analysis_class, with_analysis))
+        return samples
+
+    def work_measurement(
+        self, trace: Trace, analysis_class: Type[PartialOrderAnalysis]
+    ) -> WorkMeasurement:
+        """The (cached) work metrics of one (trace, partial order) pair."""
+        key = (trace.name, analysis_class.PARTIAL_ORDER)
+        cached = self._work.get(key)
+        if cached is None:
+            cached = measure_work(trace, analysis_class)
+            self._work[key] = cached
+        return cached
+
+    def work_measurements(
+        self, orders: Optional[Sequence[str]] = None
+    ) -> List[WorkMeasurement]:
+        """Work metrics for every trace and the selected partial orders."""
+        selected = list(orders) if orders is not None else list(self.config.orders)
+        classes = [ANALYSIS_CLASSES[name.upper()] for name in selected]
+        measurements: List[WorkMeasurement] = []
+        for trace in self.traces():
+            for analysis_class in classes:
+                measurements.append(self.work_measurement(trace, analysis_class))
+        return measurements

@@ -1,0 +1,47 @@
+"""Table 1 — aggregate statistics of the benchmark traces.
+
+The paper's Table 1 reports, across the 153 benchmark traces, the
+min/max/mean of the number of threads, locks, variables and events and
+the percentage of synchronization and read/write events.  This runner
+computes the same summary over the synthetic benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..trace.stats import aggregate_statistics
+from .reporting import ExperimentReport
+from .runner import ExperimentConfig, SuiteRunner
+
+
+def run(config: ExperimentConfig = ExperimentConfig(), runner: Optional[SuiteRunner] = None) -> ExperimentReport:
+    """Compute the Table-1 style aggregate over the benchmark suite."""
+    runner = runner or SuiteRunner(config)
+    stats = runner.statistics()
+    aggregate = aggregate_statistics(stats)
+    rows = []
+    for label, summary in aggregate.items():
+        rows.append(
+            [
+                label,
+                round(summary.minimum, 1),
+                round(summary.maximum, 1),
+                round(summary.mean, 1),
+            ]
+        )
+    report = ExperimentReport(
+        experiment="table1",
+        title="Trace statistics (aggregate over the benchmark suite)",
+        headers=["Statistic", "Min", "Max", "Mean"],
+        rows=rows,
+        summary={"traces": len(stats)},
+        notes=[
+            "Paper (Table 1): Threads 3-222 (mean 31), Locks 1-60.5k (mean 688), "
+            "Variables 18-37.8M (mean 1.8M), Events 51-2.1B (mean 227M), "
+            "Sync 0-44.4% (mean 9.5%), R/W 55.6-100% (mean 90.5%).",
+            "Event/variable counts here are scaled down for pure-Python processing; "
+            "thread counts, lock counts and sync fractions span the paper's ranges.",
+        ],
+    )
+    return report

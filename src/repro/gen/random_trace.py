@@ -1,0 +1,215 @@
+"""Seeded random trace generation.
+
+The generator produces well-formed traces (lock semantics hold by
+construction) whose high-level characteristics — number of threads, locks
+and variables, fraction of synchronization events, thread-activity skew
+and lock-sharing topology — are controlled by a
+:class:`RandomTraceConfig`.  These characteristics are what drive the
+relative behaviour of tree clocks and vector clocks, so controlling them
+lets the benchmark suite span the same space as the paper's Table 1/3.
+
+Generation works in *blocks*: at each step a thread is chosen according
+to the configured activity weights and emits either a critical section
+(acquire, a few accesses, release — kept contiguous so lock semantics
+hold trivially) or a plain access.  This mirrors how the paper's
+scalability traces are produced ("a randomly chosen thread performs two
+consecutive operations, acq(l) followed by rel(l)").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..trace import event as ev
+from ..trace.event import Event
+from ..trace.trace import Trace
+
+#: Lock-selection topologies supported by :class:`RandomTraceConfig`.
+TOPOLOGIES = ("shared", "partitioned", "star", "pairwise")
+
+
+@dataclass(frozen=True, slots=True)
+class RandomTraceConfig:
+    """Parameters of a randomly generated trace.
+
+    Attributes
+    ----------
+    name:
+        Name given to the generated trace.
+    num_threads / num_locks / num_variables:
+        Sizes of the thread, lock and variable universes.
+    num_events:
+        Approximate number of events to generate (the generator stops at
+        the first block boundary at or after this count).
+    sync_fraction:
+        Target fraction of synchronization (acquire/release) events.
+    write_fraction:
+        Fraction of access events that are writes.
+    accesses_per_critical_section:
+        Number of read/write events emitted inside each critical section.
+    hot_thread_fraction / hot_thread_weight:
+        A fraction of threads designated "hot" and given a higher
+        selection weight (the paper's skewed scenario uses 20% of the
+        threads at weight 5).
+    topology:
+        How locks are shared between threads:
+
+        ``"shared"``
+            every thread may use every lock (uniformly at random);
+        ``"partitioned"``
+            each thread has a home partition of locks and variables and
+            only occasionally (10% of the time) strays outside it;
+        ``"star"``
+            thread 0 is a server; each other thread communicates with the
+            server through a dedicated lock;
+        ``"pairwise"``
+            every pair of threads shares a dedicated lock (``num_locks``
+            is ignored).
+    variable_locality:
+        Probability that an access goes to a thread-local variable
+        partition rather than a shared one.
+    seed:
+        PRNG seed; generation is fully deterministic given the config.
+    """
+
+    name: str = "random"
+    num_threads: int = 8
+    num_locks: int = 4
+    num_variables: int = 32
+    num_events: int = 2000
+    sync_fraction: float = 0.2
+    write_fraction: float = 0.3
+    accesses_per_critical_section: int = 2
+    hot_thread_fraction: float = 0.0
+    hot_thread_weight: float = 5.0
+    topology: str = "shared"
+    variable_locality: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be positive")
+        if self.num_events < 1:
+            raise ValueError("num_events must be positive")
+        if not 0.0 <= self.sync_fraction <= 1.0:
+            raise ValueError("sync_fraction must be in [0, 1]")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {self.topology!r}; expected one of {TOPOLOGIES}")
+
+
+class _LockChooser:
+    """Selects the lock a thread synchronizes on, per the configured topology."""
+
+    def __init__(self, config: RandomTraceConfig, rng: random.Random) -> None:
+        self._config = config
+        self._rng = rng
+        self._threads = list(range(1, config.num_threads + 1))
+        if config.topology == "pairwise":
+            self._pair_locks = {
+                (a, b): f"l_{a}_{b}"
+                for i, a in enumerate(self._threads)
+                for b in self._threads[i + 1:]
+            }
+        else:
+            self._pair_locks = {}
+
+    def choose(self, tid: int) -> object:
+        config = self._config
+        rng = self._rng
+        if config.topology == "star":
+            # Thread 1 acts as the server; clients use their dedicated lock.
+            if tid == self._threads[0]:
+                client = rng.choice(self._threads[1:]) if len(self._threads) > 1 else tid
+                return f"l_star_{client}"
+            return f"l_star_{tid}"
+        if config.topology == "pairwise":
+            if len(self._threads) == 1:
+                return "l_self"
+            other = rng.choice([t for t in self._threads if t != tid])
+            key = (min(tid, other), max(tid, other))
+            return self._pair_locks[key]
+        if config.topology == "partitioned":
+            locks_per_thread = max(1, config.num_locks // config.num_threads)
+            if rng.random() < 0.9:
+                base = ((tid - 1) * locks_per_thread) % max(config.num_locks, 1)
+                return f"l{base + rng.randrange(locks_per_thread)}"
+            return f"l{rng.randrange(max(config.num_locks, 1))}"
+        # "shared": uniform over the lock universe.
+        return f"l{rng.randrange(max(config.num_locks, 1))}"
+
+
+class _VariableChooser:
+    """Selects the variable accessed by a thread."""
+
+    def __init__(self, config: RandomTraceConfig, rng: random.Random) -> None:
+        self._config = config
+        self._rng = rng
+
+    def choose(self, tid: int) -> object:
+        config = self._config
+        rng = self._rng
+        num_variables = max(config.num_variables, 1)
+        if rng.random() < config.variable_locality:
+            per_thread = max(1, num_variables // (2 * config.num_threads))
+            base = ((tid - 1) * per_thread) % num_variables
+            return f"x{base + rng.randrange(per_thread)}"
+        return f"x{rng.randrange(num_variables)}"
+
+
+def _thread_weights(config: RandomTraceConfig) -> List[float]:
+    """Per-thread selection weights, applying the hot-thread skew."""
+    weights = [1.0] * config.num_threads
+    num_hot = int(round(config.hot_thread_fraction * config.num_threads))
+    for index in range(num_hot):
+        weights[index] = config.hot_thread_weight
+    return weights
+
+
+def generate_trace(config: RandomTraceConfig) -> Trace:
+    """Generate a well-formed random trace according to ``config``."""
+    rng = random.Random(config.seed)
+    threads = list(range(1, config.num_threads + 1))
+    weights = _thread_weights(config)
+    lock_chooser = _LockChooser(config, rng)
+    variable_chooser = _VariableChooser(config, rng)
+    events: List[Event] = []
+
+    # Each critical section contributes 2 sync events plus the configured
+    # number of accesses, so the probability of emitting a critical-section
+    # block (rather than a single access) is chosen to hit the target
+    # synchronization fraction in expectation.
+    accesses_inside = config.accesses_per_critical_section
+    if config.sync_fraction >= 1.0:
+        section_probability = 1.0
+        accesses_inside = 0
+    elif config.sync_fraction <= 0.0:
+        section_probability = 0.0
+    else:
+        # Solve p*2 / (p*(2+a) + (1-p)) = sync_fraction for p.
+        target = config.sync_fraction
+        denominator = 2.0 - target * (1.0 + accesses_inside)
+        section_probability = min(1.0, max(0.0, target / max(denominator, 1e-9)))
+
+    def emit_access(tid: int) -> None:
+        variable = variable_chooser.choose(tid)
+        if rng.random() < config.write_fraction:
+            events.append(ev.write(tid, variable))
+        else:
+            events.append(ev.read(tid, variable))
+
+    while len(events) < config.num_events:
+        tid = rng.choices(threads, weights=weights, k=1)[0]
+        if rng.random() < section_probability:
+            lock = lock_chooser.choose(tid)
+            events.append(ev.acquire(tid, lock))
+            for _ in range(accesses_inside):
+                emit_access(tid)
+            events.append(ev.release(tid, lock))
+        else:
+            emit_access(tid)
+
+    return Trace(events, name=config.name)

@@ -1,0 +1,31 @@
+"""Work and timing metrics for comparing clock data structures."""
+
+from .timing import (
+    DEFAULT_REPETITIONS,
+    SpeedupSample,
+    TimingSample,
+    average_speedup,
+    compare_clocks,
+    geometric_mean,
+    time_analysis,
+)
+from .work import (
+    TC_OPTIMALITY_FACTOR,
+    WorkMeasurement,
+    is_vt_optimal,
+    measure_work,
+)
+
+__all__ = [
+    "DEFAULT_REPETITIONS",
+    "SpeedupSample",
+    "TC_OPTIMALITY_FACTOR",
+    "TimingSample",
+    "WorkMeasurement",
+    "average_speedup",
+    "compare_clocks",
+    "geometric_mean",
+    "is_vt_optimal",
+    "measure_work",
+    "time_analysis",
+]

@@ -1,0 +1,145 @@
+"""Wall-clock timing of the partial-order analyses.
+
+The paper's evaluation reports, per benchmark trace, the time to compute
+each partial order with vector clocks and with tree clocks (Figure 6) and
+the speedup averaged over benchmarks (Table 2), repeating each
+measurement three times and reporting the mean.  This module provides a
+small timing harness that mirrors that methodology.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..analysis.engine import PartialOrderAnalysis
+from ..clocks.base import Clock
+from ..clocks.tree_clock import TreeClock
+from ..clocks.vector_clock import VectorClock
+from ..trace.trace import Trace
+
+#: Number of measurement repetitions used by the paper ("every measurement
+#: was repeated 3 times and the average time was reported").
+DEFAULT_REPETITIONS = 3
+
+
+@dataclass(frozen=True, slots=True)
+class TimingSample:
+    """Timing of one (trace, partial order, clock, with/without analysis) cell."""
+
+    trace_name: str
+    partial_order: str
+    clock_name: str
+    with_analysis: bool
+    num_events: int
+    num_threads: int
+    seconds: float
+    repetitions: int
+
+    @property
+    def events_per_second(self) -> float:
+        """Processing throughput."""
+        return self.num_events / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupSample:
+    """Vector-clock vs tree-clock comparison on one trace."""
+
+    trace_name: str
+    partial_order: str
+    with_analysis: bool
+    num_events: int
+    num_threads: int
+    vc_seconds: float
+    tc_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """``VC time / TC time`` — values above 1 mean tree clocks win."""
+        return self.vc_seconds / self.tc_seconds if self.tc_seconds > 0 else float("inf")
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary for tabular reports."""
+        return {
+            "trace": self.trace_name,
+            "order": self.partial_order,
+            "analysis": self.with_analysis,
+            "events": self.num_events,
+            "threads": self.num_threads,
+            "VC (s)": round(self.vc_seconds, 4),
+            "TC (s)": round(self.tc_seconds, 4),
+            "speedup": round(self.speedup, 3),
+        }
+
+
+def time_analysis(
+    trace: Trace,
+    analysis_class: Type[PartialOrderAnalysis],
+    clock_class: Type[Clock],
+    *,
+    with_analysis: bool = False,
+    repetitions: int = DEFAULT_REPETITIONS,
+) -> TimingSample:
+    """Time one analysis configuration, averaged over ``repetitions`` runs."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    total = 0.0
+    for _ in range(repetitions):
+        analysis = analysis_class(clock_class, detect=with_analysis, keep_races=False)
+        started = time.perf_counter()
+        analysis.run(trace)
+        total += time.perf_counter() - started
+    return TimingSample(
+        trace_name=trace.name,
+        partial_order=analysis_class.PARTIAL_ORDER,
+        clock_name=getattr(clock_class, "SHORT_NAME", clock_class.__name__),
+        with_analysis=with_analysis,
+        num_events=len(trace),
+        num_threads=trace.num_threads,
+        seconds=total / repetitions,
+        repetitions=repetitions,
+    )
+
+
+def compare_clocks(
+    trace: Trace,
+    analysis_class: Type[PartialOrderAnalysis],
+    *,
+    with_analysis: bool = False,
+    repetitions: int = DEFAULT_REPETITIONS,
+) -> SpeedupSample:
+    """Time the analysis with vector clocks and with tree clocks on one trace."""
+    vc = time_analysis(
+        trace, analysis_class, VectorClock, with_analysis=with_analysis, repetitions=repetitions
+    )
+    tc = time_analysis(
+        trace, analysis_class, TreeClock, with_analysis=with_analysis, repetitions=repetitions
+    )
+    return SpeedupSample(
+        trace_name=trace.name,
+        partial_order=analysis_class.PARTIAL_ORDER,
+        with_analysis=with_analysis,
+        num_events=len(trace),
+        num_threads=trace.num_threads,
+        vc_seconds=vc.seconds,
+        tc_seconds=tc.seconds,
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (0 for an empty sequence); robust to large spreads."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def average_speedup(samples: Sequence[SpeedupSample]) -> float:
+    """Arithmetic mean of per-trace speedups, as reported in Table 2."""
+    if not samples:
+        return 0.0
+    return sum(sample.speedup for sample in samples) / len(samples)

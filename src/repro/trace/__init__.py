@@ -1,0 +1,79 @@
+"""Trace substrate: events, traces, builders, validation, io, statistics."""
+
+from .event import (
+    ACCESS_KINDS,
+    LOCK_KINDS,
+    SYNC_KINDS,
+    Event,
+    OpKind,
+    acquire,
+    begin,
+    end,
+    fork,
+    join,
+    read,
+    release,
+    write,
+)
+from .builder import TraceBuilder
+from .io import (
+    TraceFormatError,
+    dumps_csv,
+    dumps_std,
+    load_trace,
+    loads_csv,
+    loads_std,
+    save_trace,
+)
+from .stats import (
+    FieldSummary,
+    TraceStatistics,
+    aggregate_statistics,
+    compute_statistics,
+)
+from .trace import Trace
+from .validation import (
+    ValidationError,
+    ValidationProblem,
+    assert_well_formed,
+    is_well_formed,
+    validate_fork_join,
+    validate_lock_semantics,
+    validate_trace,
+)
+
+__all__ = [
+    "ACCESS_KINDS",
+    "LOCK_KINDS",
+    "SYNC_KINDS",
+    "Event",
+    "OpKind",
+    "Trace",
+    "TraceBuilder",
+    "TraceFormatError",
+    "TraceStatistics",
+    "FieldSummary",
+    "ValidationError",
+    "ValidationProblem",
+    "acquire",
+    "aggregate_statistics",
+    "assert_well_formed",
+    "begin",
+    "compute_statistics",
+    "dumps_csv",
+    "dumps_std",
+    "end",
+    "fork",
+    "is_well_formed",
+    "join",
+    "load_trace",
+    "loads_csv",
+    "loads_std",
+    "read",
+    "release",
+    "save_trace",
+    "validate_fork_join",
+    "validate_lock_semantics",
+    "validate_trace",
+    "write",
+]

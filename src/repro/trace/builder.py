@@ -1,0 +1,108 @@
+"""A small DSL for constructing traces in tests, examples and generators.
+
+The builder keeps events in program order as they are appended and can
+emit a validated :class:`~repro.trace.trace.Trace`.  It also offers the
+``sync`` convenience used throughout the paper's figures, which expands to
+an acquire immediately followed by a release of the same lock.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import event as ev
+from .event import Event
+from .trace import Trace
+from .validation import ValidationError, validate_trace
+
+
+class TraceBuilder:
+    """Incrementally build a :class:`Trace`.
+
+    Example
+    -------
+    >>> builder = TraceBuilder()
+    >>> builder.write(1, "x").sync(1, "l").sync(2, "l").read(2, "x")
+    <...>
+    >>> trace = builder.build()
+    >>> len(trace)
+    6
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self._events: List[Event] = []
+        self._name = name
+
+    # -- event appenders ----------------------------------------------------------
+
+    def append(self, event: Event) -> "TraceBuilder":
+        """Append an already-constructed event (its eid is reassigned on build)."""
+        self._events.append(event)
+        return self
+
+    def read(self, tid: int, variable: object) -> "TraceBuilder":
+        """Append ``<tid, r(variable)>``."""
+        return self.append(ev.read(tid, variable))
+
+    def write(self, tid: int, variable: object) -> "TraceBuilder":
+        """Append ``<tid, w(variable)>``."""
+        return self.append(ev.write(tid, variable))
+
+    def acquire(self, tid: int, lock: object) -> "TraceBuilder":
+        """Append ``<tid, acq(lock)>``."""
+        return self.append(ev.acquire(tid, lock))
+
+    def release(self, tid: int, lock: object) -> "TraceBuilder":
+        """Append ``<tid, rel(lock)>``."""
+        return self.append(ev.release(tid, lock))
+
+    def sync(self, tid: int, lock: object) -> "TraceBuilder":
+        """Append the acquire/release pair the paper writes as ``sync(lock)``."""
+        self.acquire(tid, lock)
+        return self.release(tid, lock)
+
+    def fork(self, tid: int, child: int) -> "TraceBuilder":
+        """Append a fork of thread ``child`` by thread ``tid``."""
+        return self.append(ev.fork(tid, child))
+
+    def join(self, tid: int, child: int) -> "TraceBuilder":
+        """Append a join of thread ``child`` by thread ``tid``."""
+        return self.append(ev.join(tid, child))
+
+    def critical_section(self, tid: int, lock: object, body: Optional[List[Event]] = None) -> "TraceBuilder":
+        """Append ``acq(lock)``, the body events, and ``rel(lock)``."""
+        self.acquire(tid, lock)
+        for body_event in body or []:
+            if body_event.tid != tid:
+                raise ValueError(
+                    f"critical-section body event {body_event!r} belongs to thread "
+                    f"{body_event.tid}, expected {tid}"
+                )
+            self.append(body_event)
+        return self.release(tid, lock)
+
+    # -- finalization --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[Event]:
+        """The events appended so far (without renumbered ids)."""
+        return list(self._events)
+
+    def build(self, validate: bool = True) -> Trace:
+        """Construct the trace.
+
+        Parameters
+        ----------
+        validate:
+            When true (the default), check lock semantics and fork/join
+            sanity with :func:`repro.trace.validation.validate_trace` and
+            raise :class:`ValidationError` on violations.
+        """
+        trace = Trace(self._events, name=self._name)
+        if validate:
+            problems = validate_trace(trace)
+            if problems:
+                raise ValidationError(problems)
+        return trace

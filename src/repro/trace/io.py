@@ -1,0 +1,186 @@
+"""Trace serialization.
+
+Two plain-text formats are supported:
+
+* the *STD format*, a line-oriented format modelled after the one used by
+  the RAPID tool that the paper's artifact builds on
+  (``<thread>|<op>(<target>)|<location>`` per line), and
+* a CSV format (``eid,tid,kind,target``) convenient for spreadsheets and
+  external tools.
+
+Both formats round-trip exactly through :class:`~repro.trace.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from pathlib import Path
+from typing import Iterable, List, Optional, TextIO, Union
+
+from .event import Event, OpKind
+from .trace import Trace
+
+_STD_KIND_NAMES = {
+    OpKind.READ: "r",
+    OpKind.WRITE: "w",
+    OpKind.ACQUIRE: "acq",
+    OpKind.RELEASE: "rel",
+    OpKind.FORK: "fork",
+    OpKind.JOIN: "join",
+    OpKind.BEGIN: "begin",
+    OpKind.END: "end",
+}
+_STD_KIND_BY_NAME = {name: kind for kind, name in _STD_KIND_NAMES.items()}
+
+_STD_LINE = re.compile(
+    r"^\s*T(?P<tid>\d+)\s*\|\s*(?P<op>[a-z]+)\s*(?:\(\s*(?P<target>[^)]*)\s*\))?\s*(?:\|\s*(?P<loc>\S+))?\s*$"
+)
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+class TraceFormatError(ValueError):
+    """Raised when parsing a malformed trace file."""
+
+
+def _target_to_text(event: Event) -> str:
+    if event.target is None:
+        return ""
+    if event.kind in (OpKind.FORK, OpKind.JOIN):
+        return f"T{event.target}"
+    return str(event.target)
+
+
+def _parse_target(kind: OpKind, text: Optional[str], line_number: int) -> Optional[object]:
+    if kind in (OpKind.BEGIN, OpKind.END):
+        return None
+    if text is None or text == "":
+        raise TraceFormatError(f"line {line_number}: operation {kind.value!r} requires a target")
+    if kind in (OpKind.FORK, OpKind.JOIN):
+        cleaned = text.strip()
+        if cleaned.upper().startswith("T"):
+            cleaned = cleaned[1:]
+        try:
+            return int(cleaned)
+        except ValueError as exc:
+            raise TraceFormatError(f"line {line_number}: invalid thread target {text!r}") from exc
+    return text.strip()
+
+
+# -- STD format -----------------------------------------------------------------
+
+
+def dumps_std(trace: Trace) -> str:
+    """Serialize a trace to the STD text format."""
+    lines = []
+    for event in trace:
+        op = _STD_KIND_NAMES[event.kind]
+        target = _target_to_text(event)
+        if target:
+            lines.append(f"T{event.tid}|{op}({target})|{event.eid}")
+        else:
+            lines.append(f"T{event.tid}|{op}|{event.eid}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def loads_std(text: str, name: str = "") -> Trace:
+    """Parse a trace from the STD text format."""
+    events: List[Event] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _STD_LINE.match(line)
+        if not match:
+            raise TraceFormatError(f"line {line_number}: cannot parse {raw_line!r}")
+        op_name = match.group("op")
+        if op_name not in _STD_KIND_BY_NAME:
+            raise TraceFormatError(f"line {line_number}: unknown operation {op_name!r}")
+        kind = _STD_KIND_BY_NAME[op_name]
+        tid = int(match.group("tid"))
+        target = _parse_target(kind, match.group("target"), line_number)
+        events.append(Event(eid=len(events), tid=tid, kind=kind, target=target))
+    return Trace(events, name=name)
+
+
+# -- CSV format -----------------------------------------------------------------
+
+
+def dumps_csv(trace: Trace) -> str:
+    """Serialize a trace to CSV with a header row."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["eid", "tid", "kind", "target"])
+    for event in trace:
+        writer.writerow([event.eid, event.tid, _STD_KIND_NAMES[event.kind], _target_to_text(event)])
+    return buffer.getvalue()
+
+
+def loads_csv(text: str, name: str = "") -> Trace:
+    """Parse a trace from the CSV format produced by :func:`dumps_csv`."""
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        return Trace([], name=name)
+    header = [column.strip().lower() for column in rows[0]]
+    expected = ["eid", "tid", "kind", "target"]
+    if header != expected:
+        raise TraceFormatError(f"unexpected CSV header {header!r}, expected {expected!r}")
+    events: List[Event] = []
+    for line_number, row in enumerate(rows[1:], start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != 4:
+            raise TraceFormatError(f"line {line_number}: expected 4 columns, got {len(row)}")
+        _, tid_text, kind_name, target_text = row
+        if kind_name not in _STD_KIND_BY_NAME:
+            raise TraceFormatError(f"line {line_number}: unknown operation {kind_name!r}")
+        kind = _STD_KIND_BY_NAME[kind_name]
+        target = _parse_target(kind, target_text or None, line_number)
+        events.append(Event(eid=len(events), tid=int(tid_text), kind=kind, target=target))
+    return Trace(events, name=name)
+
+
+# -- file helpers ----------------------------------------------------------------
+
+
+def _open_for_read(source: PathOrFile):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def _open_for_write(destination: PathOrFile):
+    if isinstance(destination, (str, Path)):
+        return open(destination, "w", encoding="utf-8"), True
+    return destination, False
+
+
+def save_trace(trace: Trace, destination: PathOrFile, fmt: str = "std") -> None:
+    """Write a trace to a file or file-like object in the given format."""
+    text = dumps_std(trace) if fmt == "std" else dumps_csv(trace) if fmt == "csv" else None
+    if text is None:
+        raise ValueError(f"unknown trace format {fmt!r}")
+    handle, should_close = _open_for_write(destination)
+    try:
+        handle.write(text)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def load_trace(source: PathOrFile, fmt: str = "std", name: str = "") -> Trace:
+    """Read a trace from a file or file-like object in the given format."""
+    handle, should_close = _open_for_read(source)
+    try:
+        text = handle.read()
+    finally:
+        if should_close:
+            handle.close()
+    if fmt == "std":
+        return loads_std(text, name=name)
+    if fmt == "csv":
+        return loads_csv(text, name=name)
+    raise ValueError(f"unknown trace format {fmt!r}")

@@ -1,0 +1,115 @@
+"""Trace statistics, mirroring Table 1 and Table 3 of the paper.
+
+Table 3 reports, for each benchmark trace, the total number of events
+(N), threads (T), memory locations (M) and locks (L).  Table 1 aggregates
+these across the suite together with the percentage of synchronization
+events and read/write events.  :class:`TraceStatistics` computes the
+per-trace numbers and :func:`aggregate_statistics` folds them into the
+Table-1 style summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from .event import OpKind
+from .trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStatistics:
+    """Summary statistics of a single trace (one row of Table 3)."""
+
+    name: str
+    num_events: int
+    num_threads: int
+    num_variables: int
+    num_locks: int
+    num_sync_events: int
+    num_access_events: int
+    num_read_events: int
+    num_write_events: int
+
+    @property
+    def sync_fraction(self) -> float:
+        """Fraction of events that are synchronization events (acq/rel/fork/join)."""
+        if self.num_events == 0:
+            return 0.0
+        return self.num_sync_events / self.num_events
+
+    @property
+    def access_fraction(self) -> float:
+        """Fraction of events that are read/write events."""
+        if self.num_events == 0:
+            return 0.0
+        return self.num_access_events / self.num_events
+
+    def as_row(self) -> Dict[str, object]:
+        """Render as a Table-3 style row dictionary."""
+        return {
+            "Benchmark": self.name,
+            "N": self.num_events,
+            "T": self.num_threads,
+            "M": self.num_variables,
+            "L": self.num_locks,
+            "Sync%": round(100.0 * self.sync_fraction, 1),
+            "R/W%": round(100.0 * self.access_fraction, 1),
+        }
+
+
+def compute_statistics(trace: Trace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for one trace."""
+    kinds = trace.count_kinds()
+    num_sync = sum(
+        kinds.get(kind, 0)
+        for kind in (OpKind.ACQUIRE, OpKind.RELEASE, OpKind.FORK, OpKind.JOIN)
+    )
+    num_reads = kinds.get(OpKind.READ, 0)
+    num_writes = kinds.get(OpKind.WRITE, 0)
+    return TraceStatistics(
+        name=trace.name or "<unnamed>",
+        num_events=len(trace),
+        num_threads=trace.num_threads,
+        num_variables=len(trace.variables),
+        num_locks=len(trace.locks),
+        num_sync_events=num_sync,
+        num_access_events=num_reads + num_writes,
+        num_read_events=num_reads,
+        num_write_events=num_writes,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class FieldSummary:
+    """Min / max / mean of one statistic across a suite of traces."""
+
+    minimum: float
+    maximum: float
+    mean: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"min": self.minimum, "max": self.maximum, "mean": self.mean}
+
+
+def _summarize(values: Sequence[float]) -> FieldSummary:
+    if not values:
+        return FieldSummary(0.0, 0.0, 0.0)
+    return FieldSummary(min(values), max(values), sum(values) / len(values))
+
+
+def aggregate_statistics(stats: Iterable[TraceStatistics]) -> Mapping[str, FieldSummary]:
+    """Aggregate per-trace statistics into the Table-1 style summary.
+
+    Returns a mapping from row label (Threads, Locks, Variables, Events,
+    ``Sync. Events (%)``, ``R/W Events (%)``) to its min/max/mean summary.
+    """
+    stat_list: List[TraceStatistics] = list(stats)
+    return {
+        "Threads": _summarize([s.num_threads for s in stat_list]),
+        "Locks": _summarize([s.num_locks for s in stat_list]),
+        "Variables": _summarize([s.num_variables for s in stat_list]),
+        "Events": _summarize([s.num_events for s in stat_list]),
+        "Sync. Events (%)": _summarize([100.0 * s.sync_fraction for s in stat_list]),
+        "R/W Events (%)": _summarize([100.0 * s.access_fraction for s in stat_list]),
+    }

@@ -1,0 +1,213 @@
+"""The :class:`Trace` container.
+
+A trace is an ordered sequence of :class:`~repro.trace.event.Event`
+objects together with derived indexing structures used throughout the
+library: the set of threads, locks and variables appearing in the trace,
+per-event local times (``lTime`` in the paper), and helpers to enumerate
+conflicting event pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .event import Event, OpKind
+
+
+class Trace:
+    """An immutable sequence of events with derived metadata.
+
+    The constructor re-numbers event identifiers to be the position of
+    each event in the sequence, so ``trace[e.eid] is e`` always holds.
+
+    Parameters
+    ----------
+    events:
+        Events in trace order.  Their ``eid`` fields are ignored and
+        reassigned.
+    name:
+        Optional human-readable name (used by the benchmark suite and the
+        experiment reports).
+    """
+
+    __slots__ = ("_events", "_name", "_threads", "_locks", "_variables", "_local_times")
+
+    def __init__(self, events: Iterable[Event], name: str = "") -> None:
+        renumbered: List[Event] = []
+        for position, event in enumerate(events):
+            if event.eid == position:
+                renumbered.append(event)
+            else:
+                renumbered.append(
+                    Event(eid=position, tid=event.tid, kind=event.kind, target=event.target)
+                )
+        self._events: Tuple[Event, ...] = tuple(renumbered)
+        self._name = name
+        self._threads: Tuple[int, ...] = tuple(
+            sorted({event.tid for event in self._events})
+        )
+        self._locks: Tuple[object, ...] = tuple(
+            sorted({event.target for event in self._events if event.is_lock_op}, key=str)
+        )
+        self._variables: Tuple[object, ...] = tuple(
+            sorted({event.target for event in self._events if event.is_access}, key=str)
+        )
+        self._local_times: Tuple[int, ...] = self._compute_local_times()
+
+    # -- basic container protocol -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self._name!r}" if self._name else ""
+        return f"<Trace{label}: {len(self)} events, {len(self._threads)} threads>"
+
+    # -- metadata ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The trace's optional human-readable name."""
+        return self._name
+
+    @property
+    def events(self) -> Sequence[Event]:
+        """The events of the trace, in trace order."""
+        return self._events
+
+    @property
+    def threads(self) -> Sequence[int]:
+        """Sorted thread identifiers appearing in the trace (``Thrds`` in the paper)."""
+        return self._threads
+
+    @property
+    def locks(self) -> Sequence[object]:
+        """Sorted lock identifiers appearing in the trace."""
+        return self._locks
+
+    @property
+    def variables(self) -> Sequence[object]:
+        """Sorted variable identifiers appearing in the trace."""
+        return self._variables
+
+    @property
+    def num_threads(self) -> int:
+        """Number of distinct threads (``k`` in the paper)."""
+        return len(self._threads)
+
+    def with_name(self, name: str) -> "Trace":
+        """Return a copy of this trace carrying the given name."""
+        clone = Trace.__new__(Trace)
+        clone._events = self._events
+        clone._name = name
+        clone._threads = self._threads
+        clone._locks = self._locks
+        clone._variables = self._variables
+        clone._local_times = self._local_times
+        return clone
+
+    # -- local times and thread order -------------------------------------------
+
+    def _compute_local_times(self) -> Tuple[int, ...]:
+        counters: Dict[int, int] = {}
+        local_times: List[int] = []
+        for event in self._events:
+            counters[event.tid] = counters.get(event.tid, 0) + 1
+            local_times.append(counters[event.tid])
+        return tuple(local_times)
+
+    def local_time(self, event: Event) -> int:
+        """The paper's ``lTime(e)``: the 1-based index of ``e`` within its thread."""
+        return self._local_times[event.eid]
+
+    def local_times(self) -> Sequence[int]:
+        """Local times of all events, indexed by event id."""
+        return self._local_times
+
+    def event_at(self, tid: int, local_time: int) -> Event:
+        """The unique event identified by ``(tid, lTime)``.
+
+        Raises :class:`KeyError` if no such event exists.
+        """
+        count = 0
+        for event in self._events:
+            if event.tid == tid:
+                count += 1
+                if count == local_time:
+                    return event
+        raise KeyError(f"no event with tid={tid} and local time {local_time}")
+
+    def thread_ordered(self, first: Event, second: Event) -> bool:
+        """Whether ``first <=TO second`` (same thread, first not later)."""
+        return first.tid == second.tid and first.eid <= second.eid
+
+    def events_of_thread(self, tid: int) -> List[Event]:
+        """All events of the given thread, in trace order."""
+        return [event for event in self._events if event.tid == tid]
+
+    # -- per-variable / per-lock views -------------------------------------------
+
+    def accesses_of(self, variable: object) -> List[Event]:
+        """All read/write events on ``variable``, in trace order."""
+        return [event for event in self._events if event.is_access and event.target == variable]
+
+    def critical_sections(self, lock: object) -> List[Tuple[Event, Optional[Event]]]:
+        """(acquire, release) pairs on ``lock``, in trace order.
+
+        The release element is ``None`` for a critical section that is
+        still open at the end of the trace.
+        """
+        sections: List[Tuple[Event, Optional[Event]]] = []
+        open_acquire: Dict[int, Event] = {}
+        for event in self._events:
+            if not event.is_lock_op or event.target != lock:
+                continue
+            if event.is_acquire:
+                open_acquire[event.tid] = event
+            else:
+                acquire_event = open_acquire.pop(event.tid, None)
+                if acquire_event is not None:
+                    sections.append((acquire_event, event))
+        for acquire_event in open_acquire.values():
+            sections.append((acquire_event, None))
+        sections.sort(key=lambda pair: pair[0].eid)
+        return sections
+
+    def conflicting_pairs(self) -> Iterator[Tuple[Event, Event]]:
+        """Enumerate all conflicting event pairs ``(e1, e2)`` with ``e1 <tr e2``.
+
+        This is the candidate set examined by the "+Analysis" component of
+        the paper's evaluation (race detection for HB/SHB, reversible
+        races for MAZ).  Enumeration is grouped per variable so it does
+        not require the quadratic cross product over the whole trace.
+        """
+        per_variable: Dict[object, List[Event]] = {}
+        for event in self._events:
+            if event.is_access:
+                per_variable.setdefault(event.target, []).append(event)
+        for accesses in per_variable.values():
+            for i, first in enumerate(accesses):
+                for second in accesses[i + 1:]:
+                    if first.conflicts_with(second):
+                        yield first, second
+
+    def count_kinds(self) -> Dict[OpKind, int]:
+        """Histogram of event kinds."""
+        histogram: Dict[OpKind, int] = {}
+        for event in self._events:
+            histogram[event.kind] = histogram.get(event.kind, 0) + 1
+        return histogram

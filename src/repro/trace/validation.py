@@ -1,0 +1,141 @@
+"""Trace well-formedness checks.
+
+The paper requires traces to respect lock semantics: between two acquires
+of the same lock there must be a release by the first acquiring thread
+(Section 2.1).  The validator below checks this property along with a few
+additional sanity conditions that make analyses well-defined:
+
+* a thread never acquires a lock it already holds (no re-entrant locking
+  in the trace model; re-entrant program locks are expected to be
+  flattened by the tracer),
+* a thread only releases locks it holds,
+* a thread is forked at most once and not by itself,
+* a join of a thread only appears after that thread's last event,
+* no events of a thread appear before it is forked (when a fork event for
+  it exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .event import Event
+from .trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationProblem:
+    """A single well-formedness violation found in a trace."""
+
+    event: Optional[Event]
+    message: str
+
+    def __str__(self) -> str:
+        location = f" at event {self.event.eid} ({self.event.pretty()})" if self.event else ""
+        return f"{self.message}{location}"
+
+
+class ValidationError(ValueError):
+    """Raised when a trace violates the well-formedness conditions."""
+
+    def __init__(self, problems: List[ValidationProblem]) -> None:
+        self.problems = problems
+        details = "; ".join(str(problem) for problem in problems[:5])
+        more = "" if len(problems) <= 5 else f" (+{len(problems) - 5} more)"
+        super().__init__(f"trace is not well-formed: {details}{more}")
+
+
+def validate_lock_semantics(trace: Trace) -> List[ValidationProblem]:
+    """Check the lock discipline of the trace.
+
+    Returns a (possibly empty) list of problems; critical sections left
+    open at the end of the trace are allowed, matching the paper's model
+    where a trace may be a prefix of an execution.
+    """
+    problems: List[ValidationProblem] = []
+    holder: Dict[object, int] = {}
+    held_by_thread: Dict[int, Set[object]] = {}
+    for event in trace:
+        if not event.is_lock_op:
+            continue
+        lock = event.target
+        if event.is_acquire:
+            if lock in holder:
+                owner = holder[lock]
+                if owner == event.tid:
+                    problems.append(
+                        ValidationProblem(event, f"thread t{event.tid} re-acquires lock {lock!r} it already holds")
+                    )
+                else:
+                    problems.append(
+                        ValidationProblem(
+                            event,
+                            f"lock {lock!r} acquired by t{event.tid} while held by t{owner}",
+                        )
+                    )
+            holder[lock] = event.tid
+            held_by_thread.setdefault(event.tid, set()).add(lock)
+        else:
+            if holder.get(lock) != event.tid:
+                problems.append(
+                    ValidationProblem(event, f"thread t{event.tid} releases lock {lock!r} it does not hold")
+                )
+            else:
+                del holder[lock]
+                held_by_thread[event.tid].discard(lock)
+    return problems
+
+
+def validate_fork_join(trace: Trace) -> List[ValidationProblem]:
+    """Check fork/join sanity conditions."""
+    problems: List[ValidationProblem] = []
+    forked: Dict[int, int] = {}
+    first_event_of: Dict[int, int] = {}
+    last_event_of: Dict[int, int] = {}
+    for event in trace:
+        first_event_of.setdefault(event.tid, event.eid)
+        last_event_of[event.tid] = event.eid
+
+    for event in trace:
+        if event.is_fork:
+            child = event.other_thread
+            if child == event.tid:
+                problems.append(ValidationProblem(event, f"thread t{event.tid} forks itself"))
+            if child in forked:
+                problems.append(ValidationProblem(event, f"thread t{child} forked more than once"))
+            forked[child] = event.eid
+            if child in first_event_of and first_event_of[child] < event.eid:
+                problems.append(
+                    ValidationProblem(
+                        event, f"thread t{child} has events before its fork"
+                    )
+                )
+        elif event.is_join:
+            child = event.other_thread
+            if child == event.tid:
+                problems.append(ValidationProblem(event, f"thread t{event.tid} joins itself"))
+            if child in last_event_of and last_event_of[child] > event.eid:
+                problems.append(
+                    ValidationProblem(event, f"thread t{child} has events after it is joined")
+                )
+    return problems
+
+
+def validate_trace(trace: Trace) -> List[ValidationProblem]:
+    """Run all well-formedness checks and return the combined problem list."""
+    problems = validate_lock_semantics(trace)
+    problems.extend(validate_fork_join(trace))
+    return problems
+
+
+def assert_well_formed(trace: Trace) -> None:
+    """Raise :class:`ValidationError` if the trace is not well-formed."""
+    problems = validate_trace(trace)
+    if problems:
+        raise ValidationError(problems)
+
+
+def is_well_formed(trace: Trace) -> bool:
+    """Whether the trace passes all well-formedness checks."""
+    return not validate_trace(trace)

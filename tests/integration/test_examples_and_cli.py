@@ -1,0 +1,86 @@
+"""Integration tests: the example scripts and the experiments CLI run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+class TestExamples:
+    def test_quickstart_runs_and_reports_race(self):
+        completed = run_example("quickstart.py")
+        assert completed.returncode == 0, completed.stderr
+        assert "HB data races found: 1" in completed.stdout
+        assert "identical timestamps" in completed.stdout
+
+    def test_bank_example_runs(self):
+        completed = run_example("race_detection_bank.py", "--transfers", "80", "--tellers", "4")
+        assert completed.returncode == 0, completed.stderr
+        assert "racy access" in completed.stdout
+        assert "drop-in replacement" in completed.stdout
+
+    def test_star_scalability_example_runs(self):
+        completed = run_example("scalability_star.py", "--events", "1500", "--threads", "8", "16")
+        assert completed.returncode == 0, completed.stderr
+        assert "Star topology" in completed.stdout
+
+    def test_work_metrics_example_reports_no_violations(self):
+        completed = run_example("work_metrics.py", "--scale", "0.2", "--max-profiles", "4")
+        assert completed.returncode == 0, completed.stderr
+        assert "violations observed: 0" in completed.stdout
+
+
+class TestCliEndToEnd:
+    def test_module_invocation_runs_table2(self):
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "table2",
+                "--scale",
+                "0.1",
+                "--max-profiles",
+                "3",
+                "--repetitions",
+                "1",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "Average speedup" in completed.stdout
+
+    def test_module_invocation_runs_figure9(self):
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "figure9",
+                "--scale",
+                "0.1",
+                "--max-profiles",
+                "3",
+                "--repetitions",
+                "1",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "VCWork/TCWork" in completed.stdout

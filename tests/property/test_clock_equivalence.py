@@ -1,0 +1,69 @@
+"""Property-based tests: tree clocks and vector clocks are interchangeable.
+
+The central correctness claim of the paper is that the tree clock is a
+drop-in replacement for the vector clock: running the same streaming
+algorithm with either data structure produces identical vector timestamps
+for every event (Lemma 4 for HB; Section 5 for SHB and MAZ).  These tests
+exercise that claim on randomly generated well-formed traces.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import HBAnalysis, MAZAnalysis, SHBAnalysis
+from repro.clocks import TreeClock, VectorClock
+from util_traces import trace_strategy
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@RELAXED
+@given(trace=trace_strategy())
+def test_hb_timestamps_identical_for_both_clocks(trace):
+    tc = HBAnalysis(TreeClock, capture_timestamps=True).run(trace)
+    vc = HBAnalysis(VectorClock, capture_timestamps=True).run(trace)
+    assert tc.timestamps == vc.timestamps
+
+
+@RELAXED
+@given(trace=trace_strategy())
+def test_shb_timestamps_identical_for_both_clocks(trace):
+    tc = SHBAnalysis(TreeClock, capture_timestamps=True).run(trace)
+    vc = SHBAnalysis(VectorClock, capture_timestamps=True).run(trace)
+    assert tc.timestamps == vc.timestamps
+
+
+@RELAXED
+@given(trace=trace_strategy())
+def test_maz_timestamps_identical_for_both_clocks(trace):
+    tc = MAZAnalysis(TreeClock, capture_timestamps=True).run(trace)
+    vc = MAZAnalysis(VectorClock, capture_timestamps=True).run(trace)
+    assert tc.timestamps == vc.timestamps
+
+
+@RELAXED
+@given(trace=trace_strategy(include_fork_join=True))
+def test_hb_with_fork_join_is_clock_independent(trace):
+    tc = HBAnalysis(TreeClock, capture_timestamps=True).run(trace)
+    vc = HBAnalysis(VectorClock, capture_timestamps=True).run(trace)
+    assert tc.timestamps == vc.timestamps
+
+
+@RELAXED
+@given(trace=trace_strategy())
+def test_race_detection_counts_are_clock_independent(trace):
+    tc = HBAnalysis(TreeClock, detect=True).run(trace)
+    vc = HBAnalysis(VectorClock, detect=True).run(trace)
+    assert tc.detection.race_count == vc.detection.race_count
+
+
+@RELAXED
+@given(trace=trace_strategy())
+def test_entry_update_counts_are_clock_independent(trace):
+    """Both data structures perform exactly VTWork(σ) entry updates."""
+    tc = HBAnalysis(TreeClock, count_work=True).run(trace)
+    vc = HBAnalysis(VectorClock, count_work=True).run(trace)
+    assert tc.work.entries_updated == vc.work.entries_updated

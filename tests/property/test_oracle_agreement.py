@@ -1,0 +1,70 @@
+"""Property-based tests: the streaming analyses agree with the graph oracle.
+
+The graph oracle (:class:`repro.analysis.GraphOrder`) is built directly
+from the declarative definitions of the partial orders and shares no code
+with the clock-based streaming algorithms, so agreement on random traces
+is strong evidence that the clock algorithms (and hence the tree clock
+operations they exercise) are correct.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import GraphOrder, HBAnalysis, MAZAnalysis, SHBAnalysis
+from repro.clocks import TreeClock
+from util_traces import trace_strategy
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@RELAXED
+@given(trace=trace_strategy(max_events=60))
+def test_hb_timestamps_match_graph_oracle(trace):
+    result = HBAnalysis(TreeClock, capture_timestamps=True).run(trace)
+    assert result.timestamps == GraphOrder(trace, "HB").timestamps()
+
+
+@RELAXED
+@given(trace=trace_strategy(max_events=60))
+def test_shb_timestamps_match_graph_oracle(trace):
+    result = SHBAnalysis(TreeClock, capture_timestamps=True).run(trace)
+    assert result.timestamps == GraphOrder(trace, "SHB").timestamps()
+
+
+@RELAXED
+@given(trace=trace_strategy(max_events=60))
+def test_maz_timestamps_match_graph_oracle(trace):
+    result = MAZAnalysis(TreeClock, capture_timestamps=True).run(trace)
+    assert result.timestamps == GraphOrder(trace, "MAZ").timestamps()
+
+
+@RELAXED
+@given(trace=trace_strategy(max_events=60))
+def test_streaming_detector_agrees_with_oracle_on_race_existence(trace):
+    """The epoch-optimized detector reports a race iff the trace has one."""
+    detected = HBAnalysis(TreeClock, detect=True).run(trace).detection.race_count > 0
+    oracle_has_race = bool(GraphOrder(trace, "HB").racy_pairs())
+    assert detected == oracle_has_race
+
+
+@RELAXED
+@given(trace=trace_strategy(max_events=60))
+def test_hb_timestamp_ordering_characterizes_oracle_order(trace):
+    """Lemma 1: pointwise timestamp comparison coincides with the partial order."""
+    result = HBAnalysis(TreeClock, capture_timestamps=True).run(trace)
+    oracle = GraphOrder(trace, "HB")
+    events = list(trace)
+    # Compare a bounded number of pairs to keep the test fast.
+    for first in events[:: max(1, len(events) // 8)]:
+        for second in events[:: max(1, len(events) // 8)]:
+            if first.eid >= second.eid:
+                continue
+            first_time = result.timestamps[first.eid]
+            second_time = result.timestamps[second.eid]
+            dominated = all(
+                value <= second_time.get(tid, 0) for tid, value in first_time.items()
+            )
+            assert dominated == oracle.ordered(first, second)

@@ -1,0 +1,40 @@
+"""Property-based tests for trace serialization and trace invariants."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.trace import dumps_csv, dumps_std, is_well_formed, loads_csv, loads_std
+from util_traces import trace_strategy
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@RELAXED
+@given(trace=trace_strategy(include_fork_join=True))
+def test_std_roundtrip(trace):
+    assert loads_std(dumps_std(trace)) == trace
+
+
+@RELAXED
+@given(trace=trace_strategy(include_fork_join=True))
+def test_csv_roundtrip(trace):
+    assert loads_csv(dumps_csv(trace)) == trace
+
+
+@RELAXED
+@given(trace=trace_strategy(include_fork_join=True))
+def test_generated_traces_are_well_formed(trace):
+    assert is_well_formed(trace)
+
+
+@RELAXED
+@given(trace=trace_strategy())
+def test_local_times_are_dense_per_thread(trace):
+    last_seen = {}
+    for event in trace:
+        local = trace.local_time(event)
+        assert local == last_seen.get(event.tid, 0) + 1
+        last_seen[event.tid] = local

@@ -1,0 +1,123 @@
+"""Property-based tests of the tree clock's structural invariants.
+
+These check, on random traces processed by the three streaming
+algorithms, that every tree clock in play maintains the invariants the
+paper's correctness argument relies on:
+
+* the internal structure is consistent (thread map ⟷ tree, sibling links,
+  children sorted by descending attachment clock) — the preconditions of
+  the pruning rules;
+* direct and indirect monotonicity (Lemma 3) hold between every pair of
+  clocks maintained by the algorithm;
+* join computes the pointwise maximum (least upper bound) of the operand
+  vector times.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import HBAnalysis, MAZAnalysis, SHBAnalysis
+from repro.clocks import TreeClock
+from repro.clocks.base import vt_join, vt_leq
+from util_traces import trace_strategy
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _all_clocks(analysis):
+    clocks = list(analysis.thread_clocks.values()) + list(analysis.lock_clocks.values())
+    for attr in ("_last_write_clocks", "_last_read_clocks"):
+        clocks.extend(getattr(analysis, attr, {}).values())
+    return clocks
+
+
+def _assert_lemma3(clock: TreeClock, other: TreeClock) -> None:
+    """Direct and indirect monotonicity of `clock`'s tree w.r.t. `other`."""
+    if clock.root is None:
+        return
+    stack = [clock.root]
+    while stack:
+        node = stack.pop()
+        for child in node.children():
+            stack.append(child)
+            # Direct monotonicity: if the parent's entry is known to `other`,
+            # so is every descendant's.
+            if node.clk <= other.get(node.tid):
+                assert child.clk <= other.get(child.tid)
+            # Indirect monotonicity: if the child's attachment time is known
+            # to `other` (as part of the parent thread), so are the entries of
+            # the child's subtree.
+            if child.aclk is not None and child.aclk <= other.get(node.tid):
+                grandchildren = [child]
+                while grandchildren:
+                    descendant = grandchildren.pop()
+                    assert descendant.clk <= other.get(descendant.tid)
+                    grandchildren.extend(descendant.children())
+
+
+@RELAXED
+@given(trace=trace_strategy(max_events=60))
+def test_structure_invariants_hold_after_hb(trace):
+    analysis = HBAnalysis(TreeClock)
+    analysis.run(trace)
+    for clock in _all_clocks(analysis):
+        assert clock.validate_structure() == []
+
+
+@RELAXED
+@given(trace=trace_strategy(max_events=60))
+def test_structure_invariants_hold_after_shb_and_maz(trace):
+    for analysis_class in (SHBAnalysis, MAZAnalysis):
+        analysis = analysis_class(TreeClock)
+        analysis.run(trace)
+        for clock in _all_clocks(analysis):
+            assert clock.validate_structure() == []
+
+
+@RELAXED
+@given(trace=trace_strategy(max_events=50))
+def test_lemma3_monotonicity_between_all_clock_pairs(trace):
+    analysis = HBAnalysis(TreeClock)
+    analysis.run(trace)
+    clocks = _all_clocks(analysis)
+    for clock in clocks:
+        for other in clocks:
+            if clock is not other:
+                _assert_lemma3(clock, other)
+
+
+@RELAXED
+@given(trace=trace_strategy(max_events=60))
+def test_join_is_least_upper_bound(trace):
+    """Joining the lock clock into a thread clock yields exactly the pointwise max."""
+    analysis = HBAnalysis(TreeClock)
+    analysis.run(trace)
+    threads = list(analysis.thread_clocks)
+    for lock, lock_clock in analysis.lock_clocks.items():
+        for tid in threads:
+            thread_clock = analysis.thread_clocks[tid]
+            expected = vt_join(thread_clock.as_dict(), lock_clock.as_dict())
+            # Perform the join on a fresh copy so the analysis state is unchanged.
+            scratch = TreeClock(thread_clock.context, owner=None)
+            scratch.copy_from(thread_clock)
+            scratch.join(lock_clock)
+            assert scratch.as_dict() == expected
+            assert vt_leq(lock_clock.as_dict(), scratch.as_dict())
+            assert scratch.validate_structure() == []
+
+
+@RELAXED
+@given(trace=trace_strategy(max_events=60))
+def test_thread_clock_entries_never_exceed_actual_progress(trace):
+    """No clock can know a thread beyond the number of events it executed."""
+    analysis = HBAnalysis(TreeClock)
+    analysis.run(trace)
+    progress = {}
+    for event in trace:
+        progress[event.tid] = progress.get(event.tid, 0) + 1
+    for clock in _all_clocks(analysis):
+        for tid, value in clock.as_dict().items():
+            assert value <= progress.get(tid, 0)

@@ -1,0 +1,50 @@
+"""Property-based tests of the vt-optimality bound (Theorem 1).
+
+Theorem 1 states that, for any trace, the total number of tree-clock
+entries accessed by the HB algorithm is at most a constant (3) times the
+inherent vector-time work ``VTWork(σ)``.  Vector clocks enjoy no such
+bound — their work is Θ(n·k) regardless of ``VTWork``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import HBAnalysis, MAZAnalysis, SHBAnalysis
+from repro.metrics import is_vt_optimal, measure_work
+from util_traces import trace_strategy
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@RELAXED
+@given(trace=trace_strategy(max_threads=8, max_events=150))
+def test_tree_clock_work_is_vt_optimal_for_hb(trace):
+    measurement = measure_work(trace, HBAnalysis)
+    assert is_vt_optimal(measurement), measurement.as_row()
+
+
+@RELAXED
+@given(trace=trace_strategy(max_threads=8, max_events=150))
+def test_tree_clock_work_is_within_bound_for_shb_and_maz(trace):
+    for analysis_class in (SHBAnalysis, MAZAnalysis):
+        measurement = measure_work(trace, analysis_class)
+        assert is_vt_optimal(measurement), measurement.as_row()
+
+
+@RELAXED
+@given(trace=trace_strategy(max_threads=8, max_events=150))
+def test_vt_work_lower_bound(trace):
+    """VTWork is at least the number of events (each event bumps one entry)."""
+    measurement = measure_work(trace, HBAnalysis)
+    assert measurement.vt_work >= measurement.num_events
+
+
+@RELAXED
+@given(trace=trace_strategy(max_threads=8, max_events=150))
+def test_vector_clock_work_dominates_tree_clock_work(trace):
+    """On every trace the vector clock touches at least as many entries as needed."""
+    measurement = measure_work(trace, HBAnalysis)
+    assert measurement.vc_work >= measurement.vt_work

@@ -1,0 +1,81 @@
+"""Unit tests for the ``repro-analyze`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, demo_trace, main
+from repro.trace import save_trace
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["trace.std"])
+        assert args.order == "HB" and args.clock == "TC" and args.format == "std"
+
+    def test_demo_needs_no_trace_argument(self):
+        args = build_parser().parse_args(["--demo"])
+        assert args.demo and args.trace is None
+
+    def test_rejects_unknown_order(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace.std", "--order", "WCP"])
+
+
+class TestDemoTrace:
+    def test_demo_trace_has_race(self):
+        from repro import has_race
+
+        assert has_race(demo_trace())
+
+
+class TestMain:
+    def test_requires_trace_or_demo(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_demo_run_with_races(self, capsys):
+        assert main(["--demo", "--races"]) == 0
+        output = capsys.readouterr().out
+        assert "HB computed with TC" in output
+        assert "races:" in output
+
+    def test_demo_run_with_timestamps_and_limit(self, capsys):
+        assert main(["--demo", "--timestamps", "--limit", "3"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("[0]") == 1
+        assert "[5]" not in output
+
+    def test_demo_run_with_work_and_stats(self, capsys):
+        assert main(["--demo", "--work", "--stats", "--clock", "VC", "--order", "SHB"]) == 0
+        output = capsys.readouterr().out
+        assert "SHB computed with VC" in output
+        assert "entries processed" in output
+        assert "Benchmark" in output
+
+    def test_demo_show_clocks_renders_trees(self, capsys):
+        assert main(["--demo", "--show-clocks"]) == 0
+        output = capsys.readouterr().out
+        assert "clock of thread t1" in output
+        assert "clk=" in output
+
+    def test_maz_detector_label(self, capsys):
+        assert main(["--demo", "--order", "MAZ", "--races"]) == 0
+        assert "reversible pairs:" in capsys.readouterr().out
+
+    def test_analyze_trace_file(self, tmp_path, capsys, racy_trace):
+        path = tmp_path / "trace.std"
+        save_trace(racy_trace, path)
+        assert main([str(path), "--races"]) == 0
+        output = capsys.readouterr().out
+        assert "races: 1" in output
+
+    def test_analyze_csv_trace_file(self, tmp_path, capsys, race_free_trace):
+        path = tmp_path / "trace.csv"
+        save_trace(race_free_trace, path, fmt="csv")
+        assert main([str(path), "--format", "csv", "--races"]) == 0
+        assert "races: 0" in capsys.readouterr().out
+
+    def test_ill_formed_trace_produces_warning(self, tmp_path, capsys):
+        path = tmp_path / "bad.std"
+        path.write_text("T1|rel(l)|0\n", encoding="utf-8")
+        assert main([str(path)]) == 0
+        assert "not well-formed" in capsys.readouterr().out

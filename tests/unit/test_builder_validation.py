@@ -1,0 +1,158 @@
+"""Unit tests for the trace builder and well-formedness validation."""
+
+import pytest
+
+from repro.trace import Trace, TraceBuilder
+from repro.trace import event as ev
+from repro.trace.validation import (
+    ValidationError,
+    assert_well_formed,
+    is_well_formed,
+    validate_fork_join,
+    validate_lock_semantics,
+    validate_trace,
+)
+
+
+class TestBuilder:
+    def test_fluent_chaining_returns_builder(self):
+        builder = TraceBuilder()
+        assert builder.read(1, "x") is builder
+        assert builder.write(1, "x") is builder
+        assert builder.acquire(1, "l").release(1, "l") is builder
+
+    def test_build_produces_trace_with_name(self):
+        trace = TraceBuilder(name="demo").read(1, "x").build()
+        assert isinstance(trace, Trace)
+        assert trace.name == "demo"
+
+    def test_sync_expands_to_acquire_release(self):
+        trace = TraceBuilder().sync(1, "l").build()
+        assert [event.kind.value for event in trace] == ["acq", "rel"]
+
+    def test_len_counts_pending_events(self):
+        builder = TraceBuilder().read(1, "x").write(2, "y")
+        assert len(builder) == 2
+
+    def test_events_returns_copy(self):
+        builder = TraceBuilder().read(1, "x")
+        events = builder.events()
+        events.clear()
+        assert len(builder) == 1
+
+    def test_critical_section_wraps_body(self):
+        trace = TraceBuilder().critical_section(1, "l", [ev.write(1, "x")]).build()
+        assert [event.kind.value for event in trace] == ["acq", "w", "rel"]
+
+    def test_critical_section_rejects_foreign_thread_body(self):
+        with pytest.raises(ValueError):
+            TraceBuilder().critical_section(1, "l", [ev.write(2, "x")])
+
+    def test_fork_and_join(self):
+        trace = TraceBuilder().fork(1, 2).read(2, "x").join(1, 2).build()
+        assert trace[0].is_fork and trace[2].is_join
+
+    def test_build_validates_by_default(self):
+        builder = TraceBuilder().release(1, "l")
+        with pytest.raises(ValidationError):
+            builder.build()
+
+    def test_build_can_skip_validation(self):
+        trace = TraceBuilder().release(1, "l").build(validate=False)
+        assert len(trace) == 1
+
+    def test_append_accepts_prebuilt_events(self):
+        trace = TraceBuilder().append(ev.read(3, "v")).build()
+        assert trace[0].tid == 3
+
+
+class TestLockSemantics:
+    def test_valid_locking_passes(self):
+        trace = TraceBuilder().sync(1, "l").sync(2, "l").build(validate=False)
+        assert validate_lock_semantics(trace) == []
+
+    def test_release_without_acquire_is_flagged(self):
+        trace = Trace([ev.release(1, "l")])
+        problems = validate_lock_semantics(trace)
+        assert len(problems) == 1
+        assert "does not hold" in problems[0].message
+
+    def test_double_acquire_same_thread_is_flagged(self):
+        trace = Trace([ev.acquire(1, "l"), ev.acquire(1, "l")])
+        problems = validate_lock_semantics(trace)
+        assert any("re-acquires" in problem.message for problem in problems)
+
+    def test_acquire_of_held_lock_by_other_thread_is_flagged(self):
+        trace = Trace([ev.acquire(1, "l"), ev.acquire(2, "l")])
+        problems = validate_lock_semantics(trace)
+        assert any("while held by" in problem.message for problem in problems)
+
+    def test_release_by_non_owner_is_flagged(self):
+        trace = Trace([ev.acquire(1, "l"), ev.release(2, "l")])
+        problems = validate_lock_semantics(trace)
+        assert any("does not hold" in problem.message for problem in problems)
+
+    def test_open_critical_section_is_allowed(self):
+        trace = Trace([ev.acquire(1, "l"), ev.read(1, "x")])
+        assert validate_lock_semantics(trace) == []
+
+    def test_independent_locks_do_not_interfere(self):
+        trace = Trace([ev.acquire(1, "a"), ev.acquire(2, "b"), ev.release(2, "b"), ev.release(1, "a")])
+        assert validate_lock_semantics(trace) == []
+
+
+class TestForkJoin:
+    def test_valid_fork_join_passes(self):
+        trace = Trace([ev.fork(1, 2), ev.read(2, "x"), ev.join(1, 2)])
+        assert validate_fork_join(trace) == []
+
+    def test_self_fork_is_flagged(self):
+        trace = Trace([ev.fork(1, 1)])
+        assert any("forks itself" in problem.message for problem in validate_fork_join(trace))
+
+    def test_double_fork_is_flagged(self):
+        trace = Trace([ev.fork(1, 2), ev.fork(3, 2)])
+        assert any("forked more than once" in p.message for p in validate_fork_join(trace))
+
+    def test_events_before_fork_are_flagged(self):
+        trace = Trace([ev.read(2, "x"), ev.fork(1, 2)])
+        assert any("events before its fork" in p.message for p in validate_fork_join(trace))
+
+    def test_events_after_join_are_flagged(self):
+        trace = Trace([ev.fork(1, 2), ev.join(1, 2), ev.read(2, "x")])
+        assert any("events after it is joined" in p.message for p in validate_fork_join(trace))
+
+    def test_self_join_is_flagged(self):
+        trace = Trace([ev.join(1, 1)])
+        assert any("joins itself" in p.message for p in validate_fork_join(trace))
+
+
+class TestTopLevelValidation:
+    def test_validate_trace_combines_all_checks(self):
+        trace = Trace([ev.release(1, "l"), ev.fork(2, 2)])
+        problems = validate_trace(trace)
+        assert len(problems) == 2
+
+    def test_is_well_formed(self):
+        good = TraceBuilder().sync(1, "l").build(validate=False)
+        bad = Trace([ev.release(1, "l")])
+        assert is_well_formed(good)
+        assert not is_well_formed(bad)
+
+    def test_assert_well_formed_raises_with_details(self):
+        bad = Trace([ev.release(1, "l")])
+        with pytest.raises(ValidationError) as excinfo:
+            assert_well_formed(bad)
+        assert "not well-formed" in str(excinfo.value)
+        assert excinfo.value.problems
+
+    def test_validation_error_truncates_long_problem_lists(self):
+        bad = Trace([ev.release(1, f"l{i}") for i in range(10)])
+        with pytest.raises(ValidationError) as excinfo:
+            assert_well_formed(bad)
+        assert "+5 more" in str(excinfo.value)
+
+    def test_problem_str_mentions_event(self):
+        bad = Trace([ev.release(1, "l")])
+        problem = validate_trace(bad)[0]
+        assert "rel(l)" in str(problem)

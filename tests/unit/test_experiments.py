@@ -1,0 +1,131 @@
+"""Unit tests for the experiment runners (small, fast configurations)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, SuiteRunner
+from repro.experiments import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.figure7 import spearman_correlation
+from repro.experiments.figure10 import ScalabilityConfig
+from repro.experiments.runner import DEFAULT_ORDERS
+
+
+# A deliberately tiny configuration so each experiment runs in well under a second.
+FAST = ExperimentConfig(scale=0.15, repetitions=1, max_profiles=5)
+
+
+@pytest.fixture(scope="module")
+def shared_runner() -> SuiteRunner:
+    return SuiteRunner(FAST)
+
+
+class TestExperimentConfig:
+    def test_default_orders(self):
+        assert tuple(DEFAULT_ORDERS) == ("MAZ", "SHB", "HB")
+
+    def test_analysis_classes_resolution(self):
+        classes = FAST.analysis_classes()
+        assert [cls.PARTIAL_ORDER for cls in classes] == ["MAZ", "SHB", "HB"]
+
+    def test_analysis_classes_rejects_unknown_order(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(orders=("HB", "XYZ")).analysis_classes()
+
+
+class TestSuiteRunner:
+    def test_profiles_respect_max(self, shared_runner):
+        assert len(shared_runner.profiles) == 5
+
+    def test_traces_are_cached(self, shared_runner):
+        first = shared_runner.traces()
+        second = shared_runner.traces()
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_statistics_align_with_profiles(self, shared_runner):
+        stats = shared_runner.statistics()
+        assert [s.name for s in stats] == [p.name for p in shared_runner.profiles]
+
+    def test_speedup_is_cached(self, shared_runner):
+        trace = shared_runner.traces()[0]
+        analysis_class = FAST.analysis_classes()[0]
+        first = shared_runner.speedup(trace, analysis_class, False)
+        second = shared_runner.speedup(trace, analysis_class, False)
+        assert first is second
+
+    def test_work_measurements_cover_orders(self, shared_runner):
+        measurements = shared_runner.work_measurements(orders=["HB"])
+        assert len(measurements) == len(shared_runner.profiles)
+        assert all(m.partial_order == "HB" for m in measurements)
+
+
+class TestTableRunners:
+    def test_table1_rows(self, shared_runner):
+        report = table1.run(FAST, shared_runner)
+        assert report.experiment == "table1"
+        labels = [row[0] for row in report.rows]
+        assert "Threads" in labels and "Events" in labels
+        assert report.summary["traces"] == 5
+
+    def test_table2_shape(self, shared_runner):
+        report = table2.run(FAST, shared_runner)
+        assert report.headers[0] == "Configuration"
+        assert len(report.rows) == 2
+        assert len(report.rows[0]) == 1 + len(FAST.orders)
+
+    def test_table2_includes_paper_reference_values(self, shared_runner):
+        report = table2.run(FAST, shared_runner)
+        assert any("paper" in key for key in report.summary)
+
+    def test_table3_lists_every_profile(self, shared_runner):
+        report = table3.run(FAST, shared_runner)
+        assert len(report.rows) == 5
+        assert report.headers[:2] == ["Benchmark", "Family"]
+
+
+class TestFigureRunners:
+    def test_figure6_point_count(self, shared_runner):
+        report = figure6.run(FAST, shared_runner)
+        # 5 traces x 3 orders x 2 panels
+        assert len(report.rows) == 30
+        assert report.summary["points"] == 30
+
+    def test_figure7_rows_sorted_by_sync_fraction(self, shared_runner):
+        report = figure7.run(FAST, shared_runner)
+        sync_column = [row[2] for row in report.rows]
+        assert sync_column == sorted(sync_column)
+
+    def test_figure8_respects_theorem_bound(self, shared_runner):
+        report = figure8.run(FAST, shared_runner)
+        assert report.summary["max TCWork/VTWork"] <= 3.0
+        assert len(report.rows) == 5
+
+    def test_figure9_has_rows_per_order(self, shared_runner):
+        report = figure9.run(FAST, shared_runner)
+        orders_in_rows = {row[0] for row in report.rows}
+        assert orders_in_rows == {"MAZ", "SHB", "HB"}
+
+    def test_figure10_sweep(self):
+        scalability = ScalabilityConfig(thread_counts=(4, 8), num_events=400, repetitions=1)
+        report = figure10.run(FAST, scalability)
+        assert len(report.rows) == 2 * len(scalability.scenarios)
+        assert report.headers[0] == "Scenario"
+
+
+class TestSpearman:
+    def test_perfect_positive_correlation(self):
+        assert spearman_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative_correlation(self):
+        assert spearman_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_degenerate_inputs(self):
+        assert spearman_correlation([1], [1]) == 0.0
+        assert spearman_correlation([1, 2], [1]) == 0.0

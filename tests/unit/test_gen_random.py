@@ -1,0 +1,118 @@
+"""Unit tests for the random trace generator (:mod:`repro.gen.random_trace`)."""
+
+import pytest
+
+from repro.gen import RandomTraceConfig, generate_trace
+from repro.trace import compute_statistics, is_well_formed
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(ValueError):
+            RandomTraceConfig(num_threads=0)
+
+    def test_rejects_nonpositive_events(self):
+        with pytest.raises(ValueError):
+            RandomTraceConfig(num_events=0)
+
+    def test_rejects_out_of_range_sync_fraction(self):
+        with pytest.raises(ValueError):
+            RandomTraceConfig(sync_fraction=1.5)
+
+    def test_rejects_out_of_range_write_fraction(self):
+        with pytest.raises(ValueError):
+            RandomTraceConfig(write_fraction=-0.1)
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ValueError):
+            RandomTraceConfig(topology="ring")
+
+
+class TestGeneration:
+    def test_generation_is_deterministic(self):
+        config = RandomTraceConfig(seed=3, num_events=300)
+        assert generate_trace(config) == generate_trace(config)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(RandomTraceConfig(seed=1, num_events=300))
+        b = generate_trace(RandomTraceConfig(seed=2, num_events=300))
+        assert a != b
+
+    def test_trace_is_well_formed(self):
+        for topology in ("shared", "partitioned", "star", "pairwise"):
+            trace = generate_trace(
+                RandomTraceConfig(seed=5, num_events=400, topology=topology, num_threads=6)
+            )
+            assert is_well_formed(trace), topology
+
+    def test_trace_name_comes_from_config(self):
+        trace = generate_trace(RandomTraceConfig(name="my-trace", num_events=50))
+        assert trace.name == "my-trace"
+
+    def test_event_count_is_close_to_target(self):
+        trace = generate_trace(RandomTraceConfig(num_events=1000, seed=1))
+        assert 1000 <= len(trace) <= 1004  # may finish the last block
+
+    def test_thread_universe_is_respected(self):
+        trace = generate_trace(RandomTraceConfig(num_threads=5, num_events=500, seed=2))
+        assert set(trace.threads) <= set(range(1, 6))
+
+    def test_sync_fraction_is_approximated(self):
+        config = RandomTraceConfig(num_events=4000, sync_fraction=0.3, seed=4)
+        stats = compute_statistics(generate_trace(config))
+        assert 0.2 <= stats.sync_fraction <= 0.4
+
+    def test_pure_sync_trace(self):
+        config = RandomTraceConfig(num_events=200, sync_fraction=1.0, seed=4)
+        stats = compute_statistics(generate_trace(config))
+        assert stats.sync_fraction == 1.0
+        assert stats.num_access_events == 0
+
+    def test_pure_access_trace(self):
+        config = RandomTraceConfig(num_events=200, sync_fraction=0.0, seed=4)
+        stats = compute_statistics(generate_trace(config))
+        assert stats.num_sync_events == 0
+
+    def test_write_fraction_extremes(self):
+        all_writes = generate_trace(
+            RandomTraceConfig(num_events=300, sync_fraction=0.0, write_fraction=1.0, seed=1)
+        )
+        assert all(event.is_write for event in all_writes)
+        all_reads = generate_trace(
+            RandomTraceConfig(num_events=300, sync_fraction=0.0, write_fraction=0.0, seed=1)
+        )
+        assert all(event.is_read for event in all_reads)
+
+    def test_hot_threads_are_more_active(self):
+        config = RandomTraceConfig(
+            num_threads=10, num_events=4000, hot_thread_fraction=0.2, hot_thread_weight=5.0, seed=9
+        )
+        trace = generate_trace(config)
+        counts = {tid: 0 for tid in trace.threads}
+        for event in trace:
+            counts[event.tid] += 1
+        hot = counts[1] + counts[2]
+        cold_average = sum(counts[tid] for tid in range(3, 11)) / 8
+        assert hot / 2 > 2 * cold_average
+
+    def test_star_topology_uses_per_client_locks(self):
+        config = RandomTraceConfig(
+            num_threads=6, num_events=500, sync_fraction=1.0, topology="star", seed=3
+        )
+        trace = generate_trace(config)
+        assert all(str(lock).startswith("l_star_") for lock in trace.locks)
+
+    def test_pairwise_topology_uses_pair_locks(self):
+        config = RandomTraceConfig(
+            num_threads=4, num_events=500, sync_fraction=1.0, topology="pairwise", seed=3
+        )
+        trace = generate_trace(config)
+        assert all(str(lock).startswith("l_") and str(lock).count("_") == 2 for lock in trace.locks)
+        assert len(trace.locks) <= 6  # at most C(4, 2) pair locks
+
+    def test_single_thread_star_and_pairwise_do_not_crash(self):
+        for topology in ("star", "pairwise"):
+            trace = generate_trace(
+                RandomTraceConfig(num_threads=1, num_events=50, sync_fraction=1.0, topology=topology)
+            )
+            assert len(trace) >= 50

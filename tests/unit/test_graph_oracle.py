@@ -1,0 +1,100 @@
+"""Unit tests for the graph-based partial-order oracle."""
+
+import pytest
+
+from repro.analysis import GraphOrder
+from repro.trace import TraceBuilder
+
+
+@pytest.fixture
+def locked_trace():
+    return TraceBuilder().write(1, "x").sync(1, "l").sync(2, "l").write(2, "x").build()
+
+
+class TestConstruction:
+    def test_rejects_unknown_order(self, locked_trace):
+        with pytest.raises(ValueError):
+            GraphOrder(locked_trace, "WCP")
+
+    def test_order_name_is_normalized(self, locked_trace):
+        assert GraphOrder(locked_trace, "hb").order == "HB"
+
+
+class TestHBQueries:
+    def test_thread_order_is_included(self, locked_trace):
+        oracle = GraphOrder(locked_trace, "HB")
+        assert oracle.ordered(locked_trace[0], locked_trace[1])
+        assert not oracle.ordered(locked_trace[1], locked_trace[0])
+
+    def test_release_acquire_ordering(self, locked_trace):
+        oracle = GraphOrder(locked_trace, "HB")
+        release, acquire = locked_trace[2], locked_trace[3]
+        assert oracle.ordered(release, acquire)
+
+    def test_ordered_is_reflexive(self, locked_trace):
+        oracle = GraphOrder(locked_trace, "HB")
+        assert oracle.ordered(locked_trace[0], locked_trace[0])
+
+    def test_transitivity_across_lock(self, locked_trace):
+        oracle = GraphOrder(locked_trace, "HB")
+        assert oracle.ordered(locked_trace[0], locked_trace[5])
+
+    def test_concurrent_events(self):
+        trace = TraceBuilder().write(1, "x").write(2, "x").build()
+        oracle = GraphOrder(trace, "HB")
+        assert oracle.concurrent(trace[0], trace[1])
+
+    def test_release_to_all_later_acquires(self):
+        trace = TraceBuilder().sync(1, "l").sync(2, "l").sync(3, "l").build()
+        oracle = GraphOrder(trace, "HB")
+        assert oracle.ordered(trace[1], trace[4])
+
+    def test_fork_join_edges(self):
+        trace = TraceBuilder().fork(1, 2).write(2, "x").join(3, 2).build(validate=False)
+        oracle = GraphOrder(trace, "HB")
+        assert oracle.ordered(trace[0], trace[1])
+        assert oracle.ordered(trace[1], trace[2])
+
+
+class TestTimestampsAndRaces:
+    def test_timestamp_of_includes_own_local_time(self, locked_trace):
+        oracle = GraphOrder(locked_trace, "HB")
+        assert oracle.timestamp_of(locked_trace[0]) == {1: 1}
+
+    def test_timestamps_length_matches_trace(self, locked_trace):
+        assert len(GraphOrder(locked_trace, "HB").timestamps()) == len(locked_trace)
+
+    def test_predecessors(self, locked_trace):
+        oracle = GraphOrder(locked_trace, "HB")
+        predecessor_ids = {event.eid for event in oracle.predecessors(locked_trace[3])}
+        assert predecessor_ids == {0, 1, 2}
+
+    def test_racy_pairs_on_protected_trace(self, locked_trace):
+        assert GraphOrder(locked_trace, "HB").racy_pairs() == []
+
+    def test_racy_pairs_on_unprotected_trace(self, racy_trace):
+        oracle = GraphOrder(racy_trace, "HB")
+        pairs = oracle.racy_pairs()
+        assert len(pairs) == 1
+        assert {event.tid for pair in pairs for event in pair} == {1, 2}
+
+    def test_racy_access_events_deduplicates(self):
+        trace = TraceBuilder().write(1, "x").write(2, "x").write(3, "x").build()
+        oracle = GraphOrder(trace, "HB")
+        events = oracle.racy_access_events()
+        assert [event.eid for event in events] == [1, 2]
+
+
+class TestOrderStrength:
+    def test_shb_orders_read_after_last_write(self):
+        trace = TraceBuilder().write(1, "x").read(2, "x").build()
+        assert GraphOrder(trace, "SHB").ordered(trace[0], trace[1])
+        assert not GraphOrder(trace, "HB").ordered(trace[0], trace[1])
+
+    def test_maz_orders_all_conflicting_accesses(self):
+        trace = TraceBuilder().write(1, "x").write(2, "x").build()
+        assert GraphOrder(trace, "MAZ").ordered(trace[0], trace[1])
+        assert not GraphOrder(trace, "SHB").ordered(trace[0], trace[1])
+
+    def test_maz_has_no_races(self, racy_trace):
+        assert GraphOrder(racy_trace, "MAZ").racy_pairs() == []

@@ -1,0 +1,143 @@
+"""Unit tests for the HB analysis (:mod:`repro.analysis.hb`)."""
+
+import pytest
+
+from repro.analysis import GraphOrder, HBAnalysis, compute_hb
+from repro.clocks import TreeClock, VectorClock
+from repro.trace import TraceBuilder
+
+
+@pytest.mark.parametrize("clock_class", [TreeClock, VectorClock])
+class TestHBTimestamps:
+    def test_thread_order_is_respected(self, clock_class):
+        trace = TraceBuilder().read(1, "x").read(1, "x").read(1, "x").build()
+        result = HBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps == [{1: 1}, {1: 2}, {1: 3}]
+
+    def test_release_acquire_creates_ordering(self, clock_class):
+        trace = TraceBuilder().sync(1, "l").sync(2, "l").build()
+        result = HBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        # The acquire of t2 (event 2) happens after the release of t1 (event 1).
+        assert result.timestamps[2] == {1: 2, 2: 1}
+        assert result.timestamps[3] == {1: 2, 2: 2}
+
+    def test_unrelated_locks_do_not_order(self, clock_class):
+        trace = TraceBuilder().sync(1, "l").sync(2, "m").build()
+        result = HBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps[2] == {2: 1}
+        assert result.timestamps[3] == {2: 2}
+
+    def test_reads_and_writes_do_not_order_in_hb(self, clock_class):
+        trace = TraceBuilder().write(1, "x").read(2, "x").build()
+        result = HBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps[1] == {2: 1}
+
+    def test_transitive_ordering_through_two_locks(self, clock_class):
+        trace = TraceBuilder().sync(1, "a").sync(2, "a").sync(2, "b").sync(3, "b").build()
+        result = HBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        # Thread 3's final event must know thread 1's release through t2.
+        assert result.timestamps[-1][1] == 2
+
+    def test_fork_orders_parent_before_child(self, clock_class):
+        trace = TraceBuilder().write(1, "x").fork(1, 2).read(2, "x").build()
+        result = HBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps[2] == {1: 2, 2: 1}
+
+    def test_join_orders_child_before_parent(self, clock_class):
+        trace = TraceBuilder().fork(1, 2).write(2, "x").join(1, 2).read(1, "x").build()
+        result = HBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps[3][2] == 1
+
+    def test_matches_graph_oracle(self, clock_class, figure11_trace):
+        result = HBAnalysis(clock_class, capture_timestamps=True).run(figure11_trace)
+        assert result.timestamps == GraphOrder(figure11_trace, "HB").timestamps()
+
+
+class TestFigure11WorkedExample:
+    """Checks against the worked example of Appendix B (Figure 11)."""
+
+    def test_thread2_vector_time_after_e13(self, figure11_trace):
+        analysis = HBAnalysis(TreeClock, capture_timestamps=True)
+        result = analysis.run(figure11_trace)
+        # e13 is the acquire of l1 by thread 2 (event id 12).
+        assert result.timestamps[12] == {2: 1, 3: 4, 1: 2, 5: 2}
+
+    def test_thread2_vector_time_after_e15(self, figure11_trace):
+        result = HBAnalysis(TreeClock, capture_timestamps=True).run(figure11_trace)
+        # e15 is the acquire of l2 by thread 2 (event id 14).
+        assert result.timestamps[14] == {2: 3, 3: 4, 1: 2, 5: 2, 4: 2}
+
+    def test_thread2_tree_structure_after_run(self, figure11_trace):
+        analysis = HBAnalysis(TreeClock)
+        analysis.run(figure11_trace)
+        clock = analysis.thread_clocks[2]
+        assert clock.validate_structure() == []
+        assert clock.root.tid == 2
+        # The subtree learned via lock l2 (rooted at thread 4) was attached
+        # last, at thread 2's local time 3, so it heads the child list.
+        first_child = clock.root.first_child
+        assert first_child.tid == 4
+        assert first_child.aclk == 3
+        # The subtree learned via lock l1 is rooted at thread 3 and carries
+        # threads 1 and 5 transitively.
+        second_child = first_child.next_sibling
+        assert second_child.tid == 3
+        assert {node.tid for node in second_child.children()} == {1, 5}
+
+    def test_lock_clock_roots_track_last_releasing_thread(self, figure11_trace):
+        analysis = HBAnalysis(TreeClock)
+        analysis.run(figure11_trace)
+        assert analysis.lock_clocks["l1"].root.tid == 2
+        assert analysis.lock_clocks["l2"].root.tid == 2
+        assert analysis.lock_clocks["l3"].root.tid == 4
+
+
+class TestHBRaceDetection:
+    def test_detects_race_on_unprotected_variable(self, racy_trace):
+        result = HBAnalysis(TreeClock, detect=True).run(racy_trace)
+        assert result.detection is not None
+        assert result.detection.race_count >= 1
+        assert "x" in result.detection.racy_variables
+
+    def test_no_race_when_lock_protected(self, race_free_trace):
+        result = HBAnalysis(TreeClock, detect=True).run(race_free_trace)
+        assert result.detection.race_count == 0
+
+    def test_detection_agrees_between_clock_classes(self, racy_trace):
+        tc = HBAnalysis(TreeClock, detect=True).run(racy_trace)
+        vc = HBAnalysis(VectorClock, detect=True).run(racy_trace)
+        assert tc.detection.race_count == vc.detection.race_count
+
+    def test_no_detection_summary_without_detect_flag(self, racy_trace):
+        result = HBAnalysis(TreeClock).run(racy_trace)
+        assert result.detection is None
+
+
+class TestResultMetadata:
+    def test_result_identifies_clock_and_order(self, racy_trace):
+        result = HBAnalysis(TreeClock).run(racy_trace)
+        assert result.partial_order == "HB"
+        assert result.clock_name == "TC"
+        assert result.num_events == len(racy_trace)
+        assert result.num_threads == 2
+        assert result.elapsed_seconds >= 0.0
+
+    def test_timestamp_of_requires_capture(self, racy_trace):
+        result = HBAnalysis(TreeClock).run(racy_trace)
+        with pytest.raises(ValueError):
+            result.timestamp_of(0)
+        captured = HBAnalysis(TreeClock, capture_timestamps=True).run(racy_trace)
+        assert captured.timestamp_of(0) == {1: 1}
+
+    def test_summary_row_contains_core_fields(self, racy_trace):
+        result = HBAnalysis(TreeClock, count_work=True, detect=True).run(racy_trace)
+        row = result.summary()
+        assert row["partial_order"] == "HB"
+        assert row["clock"] == "TC"
+        assert "entries_processed" in row and "races" in row
+
+    def test_compute_hb_convenience_defaults_to_tree_clock(self, racy_trace):
+        result = compute_hb(racy_trace)
+        assert result.clock_name == "TC"
+        result_vc = compute_hb(racy_trace, clock_class=VectorClock)
+        assert result_vc.clock_name == "VC"

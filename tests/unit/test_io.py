@@ -1,0 +1,132 @@
+"""Unit tests for trace serialization (:mod:`repro.trace.io`)."""
+
+import io
+
+import pytest
+
+from repro.trace import Trace, TraceBuilder
+from repro.trace import event as ev
+from repro.trace.io import (
+    TraceFormatError,
+    dumps_csv,
+    dumps_std,
+    load_trace,
+    loads_csv,
+    loads_std,
+    save_trace,
+)
+
+
+@pytest.fixture
+def sample_trace() -> Trace:
+    builder = TraceBuilder(name="io-sample")
+    builder.write(1, "x").acquire(1, "l1").release(1, "l1")
+    builder.fork(1, 2)
+    builder.acquire(2, "l1").read(2, "x").release(2, "l1")
+    builder.join(1, 2)
+    return builder.build()
+
+
+class TestStdFormat:
+    def test_dumps_produces_one_line_per_event(self, sample_trace):
+        text = dumps_std(sample_trace)
+        assert len(text.strip().splitlines()) == len(sample_trace)
+
+    def test_roundtrip_preserves_events(self, sample_trace):
+        restored = loads_std(dumps_std(sample_trace), name="io-sample")
+        assert restored == sample_trace
+        assert restored.name == "io-sample"
+
+    def test_dumps_format_example(self):
+        trace = Trace([ev.write(3, "v")])
+        assert dumps_std(trace) == "T3|w(v)|0\n"
+
+    def test_fork_target_uses_thread_syntax(self):
+        trace = Trace([ev.fork(1, 2)])
+        assert "fork(T2)" in dumps_std(trace)
+
+    def test_loads_ignores_comments_and_blank_lines(self):
+        text = "# comment\n\nT1|w(x)|0\n"
+        trace = loads_std(text)
+        assert len(trace) == 1
+
+    def test_loads_rejects_garbage(self):
+        with pytest.raises(TraceFormatError):
+            loads_std("this is not a trace line")
+
+    def test_loads_rejects_unknown_operation(self):
+        with pytest.raises(TraceFormatError):
+            loads_std("T1|frobnicate(x)|0")
+
+    def test_loads_rejects_missing_target(self):
+        with pytest.raises(TraceFormatError):
+            loads_std("T1|w|0")
+
+    def test_loads_rejects_bad_fork_target(self):
+        with pytest.raises(TraceFormatError):
+            loads_std("T1|fork(banana)|0")
+
+    def test_empty_text_gives_empty_trace(self):
+        assert len(loads_std("")) == 0
+
+    def test_begin_end_have_no_target(self):
+        trace = Trace([ev.begin(1), ev.end(1)])
+        restored = loads_std(dumps_std(trace))
+        assert [event.kind for event in restored] == [event.kind for event in trace]
+
+
+class TestCsvFormat:
+    def test_roundtrip(self, sample_trace):
+        restored = loads_csv(dumps_csv(sample_trace))
+        assert restored == sample_trace
+
+    def test_header_row_present(self, sample_trace):
+        assert dumps_csv(sample_trace).splitlines()[0] == "eid,tid,kind,target"
+
+    def test_rejects_wrong_header(self):
+        with pytest.raises(TraceFormatError):
+            loads_csv("a,b,c,d\n1,2,w,x\n")
+
+    def test_rejects_wrong_column_count(self):
+        with pytest.raises(TraceFormatError):
+            loads_csv("eid,tid,kind,target\n0,1,w\n")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TraceFormatError):
+            loads_csv("eid,tid,kind,target\n0,1,zap,x\n")
+
+    def test_empty_text_gives_empty_trace(self):
+        assert len(loads_csv("")) == 0
+
+    def test_blank_lines_are_skipped(self):
+        text = "eid,tid,kind,target\n0,1,w,x\n\n"
+        assert len(loads_csv(text)) == 1
+
+
+class TestFileHelpers:
+    def test_save_and_load_std_path(self, tmp_path, sample_trace):
+        path = tmp_path / "trace.std"
+        save_trace(sample_trace, path, fmt="std")
+        assert load_trace(path, fmt="std") == sample_trace
+
+    def test_save_and_load_csv_path(self, tmp_path, sample_trace):
+        path = tmp_path / "trace.csv"
+        save_trace(sample_trace, path, fmt="csv")
+        assert load_trace(path, fmt="csv") == sample_trace
+
+    def test_save_to_file_object(self, sample_trace):
+        buffer = io.StringIO()
+        save_trace(sample_trace, buffer, fmt="std")
+        buffer.seek(0)
+        assert load_trace(buffer, fmt="std") == sample_trace
+
+    def test_unknown_format_raises(self, tmp_path, sample_trace):
+        with pytest.raises(ValueError):
+            save_trace(sample_trace, tmp_path / "x", fmt="yaml")
+        with pytest.raises(ValueError):
+            load_trace(io.StringIO(""), fmt="yaml")
+
+    def test_load_assigns_name(self, tmp_path, sample_trace):
+        path = tmp_path / "trace.std"
+        save_trace(sample_trace, path)
+        assert load_trace(path, name="renamed").name == "renamed"

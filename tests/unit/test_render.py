@@ -1,0 +1,76 @@
+"""Unit tests for the clock renderers (:mod:`repro.clocks.render`)."""
+
+from repro.analysis import HBAnalysis
+from repro.clocks import (
+    ClockContext,
+    TreeClock,
+    VectorClock,
+    render_clock,
+    render_tree_clock,
+    render_vector_time,
+)
+from repro.trace import TraceBuilder
+
+
+def make_context():
+    return ClockContext(threads=[1, 2, 3, 4])
+
+
+class TestRenderVectorTime:
+    def test_empty_clock(self):
+        assert render_vector_time(VectorClock(make_context())) == "[]"
+
+    def test_nonzero_entries_sorted_by_thread(self):
+        clock = VectorClock(make_context())
+        clock.increment(3, 7)
+        clock.increment(1, 2)
+        assert render_vector_time(clock) == "[t1:2, t3:7]"
+
+    def test_works_for_tree_clocks_too(self):
+        clock = TreeClock(make_context(), owner=2)
+        clock.increment(2, 5)
+        assert render_vector_time(clock) == "[t2:5]"
+
+
+class TestRenderTreeClock:
+    def test_empty_tree_clock(self):
+        assert render_tree_clock(TreeClock(make_context())) == "(empty tree clock)"
+
+    def test_single_root(self):
+        clock = TreeClock(make_context(), owner=1)
+        clock.increment(1, 3)
+        assert render_tree_clock(clock) == "(t1, clk=3, aclk=⊥)"
+
+    def test_nested_rendering_shows_structure(self):
+        context = make_context()
+        a = TreeClock(context, owner=1)
+        a.increment(1, 2)
+        b = TreeClock(context, owner=2)
+        b.increment(2, 1)
+        c = TreeClock(context, owner=3)
+        c.increment(3, 4)
+        b.join(c)       # t2 learns t3
+        a.join(b)       # t1 learns t2 (and t3 transitively)
+        text = render_tree_clock(a)
+        lines = text.splitlines()
+        assert lines[0] == "(t1, clk=2, aclk=⊥)"
+        assert any("t2" in line and "clk=1" in line for line in lines)
+        # t3 is rendered one level deeper than t2 (learned transitively).
+        t2_line = next(line for line in lines if "(t2," in line)
+        t3_line = next(line for line in lines if "(t3," in line)
+        assert len(t3_line) - len(t3_line.lstrip("| `-")) >= 0
+        assert lines.index(t3_line) > lines.index(t2_line)
+
+    def test_one_line_per_entry(self):
+        analysis = HBAnalysis(TreeClock)
+        trace = TraceBuilder().sync(1, "a").sync(2, "a").sync(3, "a").build()
+        analysis.run(trace)
+        clock = analysis.thread_clocks[3]
+        assert len(render_tree_clock(clock).splitlines()) == clock.node_count
+
+
+class TestRenderClockDispatch:
+    def test_dispatches_on_type(self):
+        context = make_context()
+        assert render_clock(TreeClock(context, owner=1)).startswith("(t1")
+        assert render_clock(VectorClock(context)) == "[]"

@@ -1,0 +1,145 @@
+"""Unit tests for the SHB and MAZ analyses."""
+
+import pytest
+
+from repro.analysis import (
+    GraphOrder,
+    HBAnalysis,
+    MAZAnalysis,
+    SHBAnalysis,
+    compute_maz,
+    compute_shb,
+)
+from repro.clocks import TreeClock, VectorClock
+from repro.trace import TraceBuilder
+
+
+@pytest.mark.parametrize("clock_class", [TreeClock, VectorClock])
+class TestSHBTimestamps:
+    def test_read_is_ordered_after_last_write(self, clock_class):
+        trace = TraceBuilder().write(1, "x").read(2, "x").build()
+        result = SHBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        # Unlike HB, the read of t2 must see the write of t1.
+        assert result.timestamps[1] == {1: 1, 2: 1}
+
+    def test_write_write_is_not_ordered_by_shb(self, clock_class):
+        trace = TraceBuilder().write(1, "x").write(2, "x").build()
+        result = SHBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps[1] == {2: 1}
+
+    def test_shb_contains_hb(self, clock_class, figure11_trace):
+        shb = SHBAnalysis(clock_class, capture_timestamps=True).run(figure11_trace)
+        hb = HBAnalysis(clock_class, capture_timestamps=True).run(figure11_trace)
+        for shb_time, hb_time in zip(shb.timestamps, hb.timestamps):
+            for tid, value in hb_time.items():
+                assert shb_time.get(tid, 0) >= value
+
+    def test_matches_graph_oracle(self, clock_class):
+        trace = (
+            TraceBuilder()
+            .write(1, "x").sync(1, "l").read(2, "x")
+            .sync(2, "l").write(2, "x").read(3, "x")
+            .build()
+        )
+        result = SHBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps == GraphOrder(trace, "SHB").timestamps()
+
+    def test_read_of_own_write_costs_nothing_extra(self, clock_class):
+        trace = TraceBuilder().write(1, "x").read(1, "x").build()
+        result = SHBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps == [{1: 1}, {1: 2}]
+
+
+class TestSHBRaceDetection:
+    def test_write_read_race_is_detected(self):
+        trace = TraceBuilder().write(1, "x").read(2, "x").build()
+        result = SHBAnalysis(TreeClock, detect=True).run(trace)
+        assert result.detection.race_count == 1
+
+    def test_protected_accesses_do_not_race(self, race_free_trace):
+        result = SHBAnalysis(TreeClock, detect=True).run(race_free_trace)
+        assert result.detection.race_count == 0
+
+    def test_compute_shb_convenience(self):
+        trace = TraceBuilder().write(1, "x").build()
+        assert compute_shb(trace).partial_order == "SHB"
+
+
+@pytest.mark.parametrize("clock_class", [TreeClock, VectorClock])
+class TestMAZTimestamps:
+    def test_conflicting_writes_are_ordered(self, clock_class):
+        trace = TraceBuilder().write(1, "x").write(2, "x").build()
+        result = MAZAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps[1] == {1: 1, 2: 1}
+
+    def test_read_to_write_is_ordered(self, clock_class):
+        trace = TraceBuilder().read(1, "x").write(2, "x").build()
+        result = MAZAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps[1] == {1: 1, 2: 1}
+
+    def test_read_read_is_not_ordered(self, clock_class):
+        trace = TraceBuilder().read(1, "x").read(2, "x").build()
+        result = MAZAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps[1] == {2: 1}
+
+    def test_accesses_to_different_variables_are_not_ordered(self, clock_class):
+        trace = TraceBuilder().write(1, "x").write(2, "y").build()
+        result = MAZAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps[1] == {2: 1}
+
+    def test_maz_contains_shb(self, clock_class):
+        trace = (
+            TraceBuilder()
+            .write(1, "x").read(2, "x").write(3, "x")
+            .sync(1, "l").sync(3, "l").read(1, "x")
+            .build()
+        )
+        maz = MAZAnalysis(clock_class, capture_timestamps=True).run(trace)
+        shb = SHBAnalysis(clock_class, capture_timestamps=True).run(trace)
+        for maz_time, shb_time in zip(maz.timestamps, shb.timestamps):
+            for tid, value in shb_time.items():
+                assert maz_time.get(tid, 0) >= value
+
+    def test_matches_graph_oracle(self, clock_class):
+        trace = (
+            TraceBuilder()
+            .write(1, "x").read(2, "x").read(3, "x").write(2, "x")
+            .sync(3, "l").sync(1, "l").read(1, "x").write(3, "y").read(1, "y")
+            .build()
+        )
+        result = MAZAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps == GraphOrder(trace, "MAZ").timestamps()
+
+    def test_transitive_read_to_write_through_intermediate_write(self, clock_class):
+        # r1(x) by t1, then w(x) by t2, then w(x) by t3: the second write must
+        # be ordered after the read transitively even though only the first
+        # read-to-write edge is materialized.
+        trace = TraceBuilder().read(1, "x").write(2, "x").write(3, "x").build()
+        result = MAZAnalysis(clock_class, capture_timestamps=True).run(trace)
+        assert result.timestamps[2][1] == 1
+        assert result.timestamps[2][2] == 1
+
+
+class TestMAZDetection:
+    def test_reversible_pair_is_reported(self):
+        trace = TraceBuilder().write(1, "x").write(2, "x").build()
+        result = MAZAnalysis(TreeClock, detect=True).run(trace)
+        assert result.detection.race_count == 1
+
+    def test_lock_ordered_pair_is_not_reversible(self, race_free_trace):
+        result = MAZAnalysis(TreeClock, detect=True).run(race_free_trace)
+        assert result.detection.race_count == 0
+
+    def test_detection_counts_agree_between_clocks(self):
+        trace = (
+            TraceBuilder()
+            .write(1, "x").read(2, "x").write(3, "x").write(1, "y").write(2, "y")
+            .build()
+        )
+        tc = MAZAnalysis(TreeClock, detect=True).run(trace)
+        vc = MAZAnalysis(VectorClock, detect=True).run(trace)
+        assert tc.detection.race_count == vc.detection.race_count
+
+    def test_compute_maz_convenience(self):
+        trace = TraceBuilder().write(1, "x").build()
+        assert compute_maz(trace).partial_order == "MAZ"

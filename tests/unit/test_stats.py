@@ -1,0 +1,90 @@
+"""Unit tests for trace statistics (:mod:`repro.trace.stats`)."""
+
+import pytest
+
+from repro.trace import TraceBuilder, aggregate_statistics, compute_statistics
+from repro.trace.stats import FieldSummary
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def mixed_trace() -> Trace:
+    builder = TraceBuilder(name="mixed")
+    builder.write(1, "x").read(2, "x").read(2, "y")
+    builder.sync(1, "l1").sync(2, "l2")
+    builder.fork(1, 3).read(3, "x").join(1, 3)
+    return builder.build()
+
+
+class TestComputeStatistics:
+    def test_counts(self, mixed_trace):
+        stats = compute_statistics(mixed_trace)
+        assert stats.num_events == len(mixed_trace) == 10
+        assert stats.num_threads == 3
+        assert stats.num_variables == 2
+        assert stats.num_locks == 2
+
+    def test_event_kind_counts(self, mixed_trace):
+        stats = compute_statistics(mixed_trace)
+        assert stats.num_read_events == 3
+        assert stats.num_write_events == 1
+        assert stats.num_access_events == 4
+        assert stats.num_sync_events == 6  # 4 lock ops + fork + join
+
+    def test_fractions(self, mixed_trace):
+        stats = compute_statistics(mixed_trace)
+        assert stats.sync_fraction == pytest.approx(0.6)
+        assert stats.access_fraction == pytest.approx(0.4)
+
+    def test_name_defaults_for_unnamed_trace(self):
+        stats = compute_statistics(Trace([]))
+        assert stats.name == "<unnamed>"
+
+    def test_empty_trace_fractions_are_zero(self):
+        stats = compute_statistics(Trace([]))
+        assert stats.sync_fraction == 0.0
+        assert stats.access_fraction == 0.0
+
+    def test_as_row_shape(self, mixed_trace):
+        row = compute_statistics(mixed_trace).as_row()
+        assert row["Benchmark"] == "mixed"
+        assert row["N"] == 10
+        assert row["T"] == 3
+        assert row["M"] == 2
+        assert row["L"] == 2
+        assert row["Sync%"] == 60.0
+
+
+class TestAggregate:
+    def test_aggregate_over_two_traces(self, mixed_trace):
+        other = TraceBuilder(name="tiny").write(1, "x").build()
+        aggregate = aggregate_statistics(
+            [compute_statistics(mixed_trace), compute_statistics(other)]
+        )
+        assert aggregate["Events"].minimum == 1
+        assert aggregate["Events"].maximum == 10
+        assert aggregate["Events"].mean == pytest.approx(5.5)
+        assert aggregate["Threads"].maximum == 3
+
+    def test_aggregate_has_all_paper_rows(self, mixed_trace):
+        aggregate = aggregate_statistics([compute_statistics(mixed_trace)])
+        assert set(aggregate) == {
+            "Threads",
+            "Locks",
+            "Variables",
+            "Events",
+            "Sync. Events (%)",
+            "R/W Events (%)",
+        }
+
+    def test_aggregate_of_empty_suite(self):
+        aggregate = aggregate_statistics([])
+        assert aggregate["Events"] == FieldSummary(0.0, 0.0, 0.0)
+
+    def test_field_summary_as_dict(self):
+        summary = FieldSummary(1.0, 3.0, 2.0)
+        assert summary.as_dict() == {"min": 1.0, "max": 3.0, "mean": 2.0}
+
+    def test_sync_percentages_are_scaled_to_100(self, mixed_trace):
+        aggregate = aggregate_statistics([compute_statistics(mixed_trace)])
+        assert aggregate["Sync. Events (%)"].mean == pytest.approx(60.0)

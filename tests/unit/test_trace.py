@@ -1,0 +1,164 @@
+"""Unit tests for the trace container (:mod:`repro.trace.trace`)."""
+
+import pytest
+
+from repro.trace import Trace, TraceBuilder
+from repro.trace import event as ev
+from repro.trace.event import OpKind
+
+
+@pytest.fixture
+def simple_trace() -> Trace:
+    return Trace(
+        [
+            ev.write(1, "x"),
+            ev.acquire(1, "l"),
+            ev.release(1, "l"),
+            ev.acquire(2, "l"),
+            ev.read(2, "x"),
+            ev.release(2, "l"),
+        ],
+        name="simple",
+    )
+
+
+class TestBasics:
+    def test_length(self, simple_trace):
+        assert len(simple_trace) == 6
+
+    def test_iteration_preserves_order(self, simple_trace):
+        kinds = [event.kind for event in simple_trace]
+        assert kinds == [
+            OpKind.WRITE,
+            OpKind.ACQUIRE,
+            OpKind.RELEASE,
+            OpKind.ACQUIRE,
+            OpKind.READ,
+            OpKind.RELEASE,
+        ]
+
+    def test_eids_are_positions(self, simple_trace):
+        for position, event in enumerate(simple_trace):
+            assert event.eid == position
+            assert simple_trace[position] is event
+
+    def test_name(self, simple_trace):
+        assert simple_trace.name == "simple"
+
+    def test_with_name_returns_renamed_copy(self, simple_trace):
+        renamed = simple_trace.with_name("other")
+        assert renamed.name == "other"
+        assert renamed == simple_trace
+        assert simple_trace.name == "simple"
+
+    def test_equality_and_hash(self, simple_trace):
+        clone = Trace(list(simple_trace.events))
+        assert clone == simple_trace
+        assert hash(clone) == hash(simple_trace)
+
+    def test_inequality_with_other_types(self, simple_trace):
+        assert simple_trace != "not a trace"
+
+    def test_empty_trace(self):
+        empty = Trace([])
+        assert len(empty) == 0
+        assert empty.threads == ()
+        assert empty.num_threads == 0
+
+
+class TestMetadata:
+    def test_threads(self, simple_trace):
+        assert list(simple_trace.threads) == [1, 2]
+        assert simple_trace.num_threads == 2
+
+    def test_locks(self, simple_trace):
+        assert list(simple_trace.locks) == ["l"]
+
+    def test_variables(self, simple_trace):
+        assert list(simple_trace.variables) == ["x"]
+
+    def test_count_kinds(self, simple_trace):
+        counts = simple_trace.count_kinds()
+        assert counts[OpKind.ACQUIRE] == 2
+        assert counts[OpKind.RELEASE] == 2
+        assert counts[OpKind.READ] == 1
+        assert counts[OpKind.WRITE] == 1
+
+
+class TestLocalTimes:
+    def test_local_times_increment_per_thread(self, simple_trace):
+        times = [simple_trace.local_time(event) for event in simple_trace]
+        assert times == [1, 2, 3, 1, 2, 3]
+
+    def test_local_times_sequence(self, simple_trace):
+        assert list(simple_trace.local_times()) == [1, 2, 3, 1, 2, 3]
+
+    def test_event_at(self, simple_trace):
+        event = simple_trace.event_at(2, 2)
+        assert event.kind is OpKind.READ
+        assert event.tid == 2
+
+    def test_event_at_missing_raises(self, simple_trace):
+        with pytest.raises(KeyError):
+            simple_trace.event_at(2, 10)
+
+    def test_thread_ordered(self, simple_trace):
+        first, second = simple_trace[0], simple_trace[1]
+        assert simple_trace.thread_ordered(first, second)
+        assert not simple_trace.thread_ordered(second, first)
+        assert simple_trace.thread_ordered(first, first)
+
+    def test_thread_ordered_cross_thread_is_false(self, simple_trace):
+        assert not simple_trace.thread_ordered(simple_trace[0], simple_trace[3])
+
+    def test_events_of_thread(self, simple_trace):
+        events = simple_trace.events_of_thread(2)
+        assert [event.eid for event in events] == [3, 4, 5]
+
+
+class TestPerObjectViews:
+    def test_accesses_of(self, simple_trace):
+        accesses = simple_trace.accesses_of("x")
+        assert [event.eid for event in accesses] == [0, 4]
+
+    def test_accesses_of_unknown_variable(self, simple_trace):
+        assert simple_trace.accesses_of("zzz") == []
+
+    def test_critical_sections(self, simple_trace):
+        sections = simple_trace.critical_sections("l")
+        assert len(sections) == 2
+        (acq1, rel1), (acq2, rel2) = sections
+        assert (acq1.eid, rel1.eid) == (1, 2)
+        assert (acq2.eid, rel2.eid) == (3, 5)
+
+    def test_open_critical_section_has_none_release(self):
+        trace = Trace([ev.acquire(1, "l"), ev.read(1, "x")])
+        sections = trace.critical_sections("l")
+        assert len(sections) == 1
+        assert sections[0][1] is None
+
+    def test_conflicting_pairs(self, simple_trace):
+        pairs = list(simple_trace.conflicting_pairs())
+        assert len(pairs) == 1
+        first, second = pairs[0]
+        assert first.is_write and second.is_read
+        assert first.eid < second.eid
+
+    def test_conflicting_pairs_exclude_same_thread(self):
+        trace = Trace([ev.write(1, "x"), ev.write(1, "x")])
+        assert list(trace.conflicting_pairs()) == []
+
+    def test_conflicting_pairs_exclude_read_read(self):
+        trace = Trace([ev.read(1, "x"), ev.read(2, "x")])
+        assert list(trace.conflicting_pairs()) == []
+
+
+class TestRenumbering:
+    def test_events_with_wrong_eids_are_renumbered(self):
+        trace = Trace([ev.read(1, "x", eid=99), ev.write(2, "x", eid=-5)])
+        assert [event.eid for event in trace] == [0, 1]
+
+    def test_events_with_correct_eids_are_kept(self):
+        original = ev.read(1, "x", eid=0)
+        trace = Trace([original])
+        assert trace[0] is original

@@ -1,0 +1,145 @@
+"""Unit tests for the vector clock baseline (:mod:`repro.clocks.vector_clock`)."""
+
+import pytest
+
+from repro.clocks import ClockContext, VectorClock, WorkCounter
+
+
+class TestBasics:
+    def test_starts_at_zero(self, context):
+        clock = VectorClock(context)
+        assert all(clock.get(tid) == 0 for tid in context.threads)
+
+    def test_get_unknown_thread_is_zero(self, context):
+        clock = VectorClock(context)
+        assert clock.get(999) == 0
+
+    def test_increment(self, context):
+        clock = VectorClock(context, owner=1)
+        clock.increment(1)
+        clock.increment(1, 3)
+        assert clock.get(1) == 4
+
+    def test_increment_unknown_thread_raises(self, context):
+        clock = VectorClock(context)
+        with pytest.raises(KeyError):
+            clock.increment(42)
+
+    def test_short_name(self):
+        assert VectorClock.SHORT_NAME == "VC"
+
+    def test_as_dict_skips_zero_entries(self, context):
+        clock = VectorClock(context, owner=2)
+        clock.increment(2, 5)
+        assert clock.as_dict() == {2: 5}
+
+    def test_as_list_follows_context_order(self, context):
+        clock = VectorClock(context)
+        clock.increment(3, 7)
+        assert clock.as_list() == [0, 0, 7, 0, 0]
+
+    def test_items_iterates_all_threads(self, context):
+        clock = VectorClock(context)
+        assert dict(clock.items()) == {tid: 0 for tid in context.threads}
+
+    def test_repr_mentions_nonzero_entries(self, context):
+        clock = VectorClock(context)
+        clock.increment(1, 2)
+        assert "t1:2" in repr(clock)
+
+
+class TestJoinCopyCompare:
+    def test_join_takes_pointwise_maximum(self, context):
+        left = VectorClock(context)
+        right = VectorClock(context)
+        left.increment(1, 5)
+        left.increment(2, 1)
+        right.increment(2, 4)
+        right.increment(3, 2)
+        left.join(right)
+        assert left.as_dict() == {1: 5, 2: 4, 3: 2}
+
+    def test_join_is_idempotent(self, context):
+        left = VectorClock(context)
+        left.increment(1, 2)
+        snapshot = left.as_dict()
+        left.join(left)
+        assert left.as_dict() == snapshot
+
+    def test_join_does_not_modify_argument(self, context):
+        left, right = VectorClock(context), VectorClock(context)
+        right.increment(4, 9)
+        before = right.as_dict()
+        left.join(right)
+        assert right.as_dict() == before
+
+    def test_copy_from_overwrites_everything(self, context):
+        left, right = VectorClock(context), VectorClock(context)
+        left.increment(1, 10)
+        right.increment(2, 3)
+        left.copy_from(right)
+        assert left.as_dict() == {2: 3}
+
+    def test_monotone_copy_is_plain_copy(self, context):
+        left, right = VectorClock(context), VectorClock(context)
+        right.increment(2, 3)
+        left.monotone_copy(right)
+        assert left.as_dict() == right.as_dict()
+
+    def test_copy_check_monotone_is_plain_copy(self, context):
+        left, right = VectorClock(context), VectorClock(context)
+        left.increment(1, 5)
+        right.increment(2, 3)
+        left.copy_check_monotone(right)
+        assert left.as_dict() == {2: 3}
+
+    def test_leq_pointwise(self, context):
+        left, right = VectorClock(context), VectorClock(context)
+        left.increment(1, 1)
+        right.increment(1, 2)
+        right.increment(2, 1)
+        assert left.leq(right)
+        assert not right.leq(left)
+
+    def test_leq_reflexive(self, context):
+        clock = VectorClock(context)
+        clock.increment(1, 4)
+        assert clock.leq(clock)
+
+
+class TestWorkAccounting:
+    def test_join_counts_k_processed_entries(self):
+        counter = WorkCounter()
+        context = ClockContext(threads=[1, 2, 3, 4], counter=counter)
+        left, right = VectorClock(context), VectorClock(context)
+        right.increment(2, 1)
+        counter.reset()
+        left.join(right)
+        assert counter.entries_processed == 4
+        assert counter.entries_updated == 1
+        assert counter.joins == 1
+
+    def test_copy_counts_k_processed_entries(self):
+        counter = WorkCounter()
+        context = ClockContext(threads=[1, 2, 3], counter=counter)
+        left, right = VectorClock(context), VectorClock(context)
+        right.increment(1, 1)
+        right.increment(2, 2)
+        counter.reset()
+        left.copy_from(right)
+        assert counter.entries_processed == 3
+        assert counter.entries_updated == 2
+        assert counter.copies == 1
+
+    def test_increment_counts_one_update(self):
+        counter = WorkCounter()
+        context = ClockContext(threads=[1, 2], counter=counter)
+        clock = VectorClock(context)
+        clock.increment(1)
+        assert counter.increments == 1
+        assert counter.entries_updated == 1
+
+    def test_no_counter_means_no_accounting(self, context):
+        clock = VectorClock(context)
+        clock.increment(1)
+        assert context.counter is None

@@ -1,0 +1,93 @@
+"""Test helpers: random well-formed trace generation and hypothesis strategies."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from hypothesis import strategies as st
+
+from repro.trace import Trace
+from repro.trace import event as ev
+
+
+def make_random_trace(
+    seed: int,
+    num_threads: int = 6,
+    num_locks: int = 3,
+    num_variables: int = 4,
+    num_events: int = 200,
+    sync_bias: float = 0.45,
+    include_fork_join: bool = False,
+) -> Trace:
+    """Generate a small random trace that respects lock semantics.
+
+    Threads acquire only free locks and only release locks they hold, so
+    the result always validates.  Optionally the first thread forks the
+    others at the start and joins them at the end.
+    """
+    rng = random.Random(seed)
+    threads = list(range(1, num_threads + 1))
+    events = []
+    held: Dict[int, List[object]] = {tid: [] for tid in threads}
+
+    if include_fork_join:
+        for tid in threads[1:]:
+            events.append(ev.fork(threads[0], tid))
+
+    for _ in range(num_events):
+        tid = rng.choice(threads)
+        roll = rng.random()
+        if roll < sync_bias / 2 and held[tid]:
+            lock = rng.choice(held[tid])
+            held[tid].remove(lock)
+            events.append(ev.release(tid, lock))
+        elif roll < sync_bias:
+            in_use = {lock for locks in held.values() for lock in locks}
+            free = [f"l{index}" for index in range(num_locks) if f"l{index}" not in in_use]
+            if free:
+                lock = rng.choice(free)
+                held[tid].append(lock)
+                events.append(ev.acquire(tid, lock))
+        elif roll < sync_bias + (1.0 - sync_bias) * 0.6:
+            events.append(ev.read(tid, f"x{rng.randrange(num_variables)}"))
+        else:
+            events.append(ev.write(tid, f"x{rng.randrange(num_variables)}"))
+
+    for tid, locks in held.items():
+        for lock in list(locks):
+            events.append(ev.release(tid, lock))
+
+    if include_fork_join:
+        for tid in threads[1:]:
+            events.append(ev.join(threads[0], tid))
+
+    return Trace(events, name=f"random-{seed}")
+
+
+@st.composite
+def trace_strategy(
+    draw,
+    max_threads: int = 5,
+    max_locks: int = 3,
+    max_variables: int = 3,
+    max_events: int = 80,
+    include_fork_join: bool = False,
+) -> Trace:
+    """Hypothesis strategy producing small well-formed traces."""
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    num_threads = draw(st.integers(min_value=2, max_value=max_threads))
+    num_locks = draw(st.integers(min_value=1, max_value=max_locks))
+    num_variables = draw(st.integers(min_value=1, max_value=max_variables))
+    num_events = draw(st.integers(min_value=1, max_value=max_events))
+    sync_bias = draw(st.floats(min_value=0.0, max_value=0.9))
+    fork_join = include_fork_join and draw(st.booleans())
+    return make_random_trace(
+        seed,
+        num_threads=num_threads,
+        num_locks=num_locks,
+        num_variables=num_variables,
+        num_events=num_events,
+        sync_bias=sync_bias,
+        include_fork_join=fork_join,
+    )
