@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The bank scenario on *real* threads, captured live by ``repro.capture``.
+
+Where ``race_detection_bank.py`` builds a synthetic trace event by event,
+this version actually runs teller threads: deposits and withdrawals take
+the per-account :class:`TracedLock` correctly, but every teller also
+updates an unlocked audit total — the classic forgotten-lock bug.  Each
+teller touches the audit total as its very first action, before acquiring
+any lock, so no release/acquire chain can order two tellers' audit
+updates: the captured trace contains a guaranteed HB/SHB race on
+``audit_total`` in *every* interleaving the scheduler produces.
+
+Run standalone (captures, then analyzes post-hoc and prints a report)::
+
+    python examples/capture_bank_race.py [--tellers 4] [--deposits 25]
+
+or under the live-capture CLI, which detects the race online and exits
+nonzero::
+
+    repro capture examples/capture_bank_race.py
+"""
+
+import argparse
+
+from repro.capture import Shared, TracedLock, capture, current_recorder, spawn
+
+ACCOUNTS = 3
+
+
+def run_workload(tellers: int, deposits: int) -> None:
+    """Spawn teller threads against shared accounts; join them all."""
+    accounts = [Shared(0, name=f"balance{i}") for i in range(ACCOUNTS)]
+    locks = [TracedLock(name=f"account{i}") for i in range(ACCOUNTS)]
+    audit_total = Shared(0, name="audit_total")
+
+    def teller(seed: int) -> None:
+        # BUG under test: the audit total is read-modified-written without
+        # any lock.  Doing it first also makes the race deterministic: the
+        # only ordering into a teller's first event is the fork, so two
+        # tellers' audit updates are never HB-ordered.
+        audit_total.set(audit_total.get() + 1)
+        for step in range(deposits):
+            index = (seed + step) % ACCOUNTS
+            with locks[index]:
+                accounts[index].set(accounts[index].get() + 10)
+
+    workers = [spawn(teller, seed, name=f"teller-{seed}") for seed in range(tellers)]
+    for worker in workers:
+        worker.join()
+
+    # Properly ordered by the joins above: no race on the final audit.
+    total = sum(account.get() for account in accounts)
+    audit_total.set(total)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tellers", type=int, default=4, help="number of teller threads")
+    parser.add_argument("--deposits", type=int, default=25, help="deposits per teller")
+    args = parser.parse_args()
+
+    if current_recorder() is not None:
+        # Already being captured (e.g. via `repro capture`): just run the
+        # workload and let the driver do the analysis and reporting.
+        run_workload(args.tellers, args.deposits)
+        return
+
+    from repro import GraphOrder, HBAnalysis, SHBAnalysis, TreeClock, VectorClock
+    from repro.trace import assert_well_formed
+
+    with capture(name="bank-live", record_locations=True) as recorder:
+        run_workload(args.tellers, args.deposits)
+
+    trace = recorder.trace()
+    assert_well_formed(trace)
+    print(
+        f"Captured {len(trace)} events from {trace.num_threads} real threads "
+        f"({len(trace.locks)} locks, {len(trace.variables)} shared variables)"
+    )
+
+    for analysis_class in (HBAnalysis, SHBAnalysis):
+        tc = analysis_class(TreeClock, detect=True).run(trace)
+        vc = analysis_class(VectorClock, detect=True).run(trace)
+        assert tc.detection.race_count == vc.detection.race_count
+        print(
+            f"{tc.partial_order}: {tc.detection.race_count} racy access pairs "
+            f"(tree clocks and vector clocks agree)"
+        )
+        for race in tc.detection.races[:5]:
+            print(f"  {race.pair()}")
+
+    oracle_has_race = bool(GraphOrder(trace, "HB").racy_pairs())
+    detected = HBAnalysis(TreeClock, detect=True).run(trace).detection.race_count > 0
+    assert detected == oracle_has_race
+    print(f"graph oracle confirms the race exists: {oracle_has_race}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Online race detection on a live producer/consumer pipeline.
+
+A producer thread pushes items into a condition-guarded queue and a
+consumer drains it — fully synchronized, so the queue itself is
+race-free.  With ``--buggy``, both threads additionally bump an unlocked
+``processed`` counter, and the :class:`repro.capture.OnlineDetector`
+flags the race *while the pipeline is still running* (watch the ``RACE``
+lines interleave with the pipeline's own output).
+
+This demo drives the detector in-process to show the online API; the
+``repro capture`` CLI wires up the same machinery for unmodified scripts::
+
+    python examples/capture_producer_consumer.py           # race-free
+    python examples/capture_producer_consumer.py --buggy   # 1+ races, online
+    repro capture examples/capture_producer_consumer.py -- --buggy
+"""
+
+import argparse
+import sys
+
+from repro.capture import (
+    OnlineDetector,
+    Shared,
+    TracedCondition,
+    capture,
+    current_recorder,
+    spawn,
+)
+from repro.clocks import TreeClock, VectorClock
+
+STOP = object()
+
+
+def run_pipeline(items: int, buggy: bool) -> None:
+    """One producer, one consumer, a condition-guarded bounded queue."""
+    queue_cell = Shared((), name="queue")
+    processed = Shared(0, name="processed")
+    ready = TracedCondition()
+
+    def producer() -> None:
+        if buggy:
+            # First action, before any lock: nothing but the fork orders the
+            # two threads' opening writes, so this races deterministically
+            # with the consumer's opening write in every interleaving.
+            processed.set(0)
+        for item in range(items):
+            with ready:
+                queue_cell.set(queue_cell.get() + (item,))
+                ready.notify()
+            if buggy:
+                # BUG under test: unlocked read-modify-write, racing with
+                # the consumer's identical update.
+                processed.set(processed.get() + 0)
+        with ready:
+            queue_cell.set(queue_cell.get() + (STOP,))
+            ready.notify()
+
+    def consumer() -> None:
+        if buggy:
+            processed.set(0)  # races with the producer's opening write
+        while True:
+            with ready:
+                while not queue_cell.get():
+                    ready.wait(timeout=5.0)
+                pending = queue_cell.get()
+                queue_cell.set(())
+            for item in pending:
+                if item is STOP:
+                    return
+                if buggy:
+                    processed.set(processed.get() + 1)
+                else:
+                    with ready:
+                        processed.set(processed.get() + 1)
+
+    threads = [spawn(producer, name="producer"), spawn(consumer, name="consumer")]
+    for thread in threads:
+        thread.join(timeout=30.0)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--items", type=int, default=20, help="items to push through the pipeline")
+    parser.add_argument("--buggy", action="store_true", help="skip the lock on the counter")
+    args = parser.parse_args()
+
+    if current_recorder() is not None:
+        # Under `repro capture`: the CLI owns recording and detection.
+        run_pipeline(args.items, args.buggy)
+        return 0
+
+    with capture(name="producer-consumer", record_locations=True) as recorder:
+        detectors = {
+            "TC": OnlineDetector(
+                recorder,
+                order="SHB",
+                clock_class=TreeClock,
+                on_race=lambda race: print(f"RACE (online) {race.pair()}"),
+            ),
+            "VC": OnlineDetector(recorder, order="SHB", clock_class=VectorClock),
+        }
+        run_pipeline(args.items, args.buggy)
+
+    results = {label: detector.finish() for label, detector in detectors.items()}
+    trace = recorder.trace()
+    print(f"pipeline done: {len(trace)} events, {trace.num_threads} threads")
+    counts = {label: result.detection.race_count for label, result in results.items()}
+    assert counts["TC"] == counts["VC"], counts
+    print(f"SHB races (online, both clocks agree): {counts['TC']}")
+    if args.buggy and counts["TC"] == 0:
+        print("error: expected the buggy run to race")
+        return 1
+    if not args.buggy and counts["TC"] > 0:
+        print("error: expected the synchronized run to be race-free")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,11 @@ Orderings in Concurrent Executions" (ASPLOS 2022).  The package provides
 * :mod:`repro.gen` — synthetic trace generators (random workloads, the
   paper's scalability scenarios, and a benchmark-suite stand-in),
 * :mod:`repro.experiments` — runners that regenerate every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation,
+* :mod:`repro.capture` — live trace capture from *real* multithreaded
+  Python programs (instrumented locks/threads/shared cells, a
+  whole-script runner with ``threading`` patched in, and online race
+  detection driving the analyses incrementally while the program runs).
 
 Quickstart
 ----------
@@ -30,6 +34,24 @@ Quickstart
 >>> result = HBAnalysis(TreeClock, detect=True).run(trace)
 >>> result.detection.race_count
 0
+
+Online detection quickstart
+---------------------------
+Capture a real two-thread program and detect its races *while it runs*:
+
+>>> from repro.capture import OnlineDetector, Shared, capture, spawn
+>>> with capture(name="live") as recorder:
+...     detector = OnlineDetector(recorder, order="SHB")
+...     counter = Shared(0, name="counter")
+...     workers = [spawn(lambda: counter.set(counter.get() + 1)) for _ in range(2)]
+...     for worker in workers:
+...         worker.join()
+>>> detector.finish().detection.race_count > 0
+True
+
+The same machinery is available from the command line as
+``repro capture my_script.py`` (see :mod:`repro.capture.cli`), which
+also saves captured traces in STD/CSV (optionally gzipped) for replay.
 """
 
 from .analysis import (
@@ -63,7 +85,12 @@ from .trace import (
     save_trace,
 )
 
-__version__ = "1.0.0"
+# Bind the capture subsystem as an attribute so `from repro import capture`
+# works; its names stay namespaced (repro.capture.Shared, ...) because
+# several (e.g. `capture`, `spawn`) are too generic for the top level.
+from . import capture  # noqa: E402  (import order: capture needs the packages above)
+
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisResult",
@@ -82,6 +109,7 @@ __all__ = [
     "VectorClock",
     "WorkCounter",
     "__version__",
+    "capture",
     "compute_hb",
     "compute_maz",
     "compute_shb",

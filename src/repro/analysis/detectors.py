@@ -21,7 +21,7 @@ since the last write by a per-thread epoch map.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..clocks.base import Clock
 from ..clocks.epoch import Epoch
@@ -42,12 +42,33 @@ class _VariableAccessState:
 
 
 class _BaseDetector:
-    """Shared bookkeeping of the race / reversible-pair detectors."""
+    """Shared bookkeeping of the race / reversible-pair detectors.
 
-    def __init__(self, keep_races: bool = True) -> None:
+    Parameters
+    ----------
+    keep_races:
+        When true (default) every race is recorded in the summary; when
+        false only the count is maintained.
+    on_race:
+        Optional callback invoked with each :class:`Race` as it is found.
+        Used by the online (live-capture) detection mode to surface races
+        while the traced program is still running.
+    locate:
+        Optional callable mapping the racy (later) event to a source
+        location string; populated by the capture subsystem.
+    """
+
+    def __init__(
+        self,
+        keep_races: bool = True,
+        on_race: Optional[Callable[[Race], None]] = None,
+        locate: Optional[Callable[[Event], Optional[str]]] = None,
+    ) -> None:
         self.summary = DetectionSummary()
         self._states: Dict[object, _VariableAccessState] = {}
         self._keep_races = keep_races
+        self._on_race = on_race
+        self._locate = locate
 
     def _state(self, variable: object) -> _VariableAccessState:
         state = self._states.get(variable)
@@ -58,17 +79,22 @@ class _BaseDetector:
 
     def _record(self, variable: object, prior_tid: int, prior_clk: int, event: Event) -> None:
         self.summary.total_reported += 1
+        if not self._keep_races and self._on_race is None:
+            return
+        location = self._locate(event) if self._locate is not None else None
+        race = Race(
+            variable=variable,
+            prior_tid=prior_tid,
+            prior_local_time=prior_clk,
+            event_eid=event.eid,
+            event_tid=event.tid,
+            event_kind=event.kind.value,
+            location=location,
+        )
         if self._keep_races:
-            self.summary.races.append(
-                Race(
-                    variable=variable,
-                    prior_tid=prior_tid,
-                    prior_local_time=prior_clk,
-                    event_eid=event.eid,
-                    event_tid=event.tid,
-                    event_kind=event.kind.value,
-                )
-            )
+            self.summary.races.append(race)
+        if self._on_race is not None:
+            self._on_race(race)
 
 
 class RaceDetector(_BaseDetector):

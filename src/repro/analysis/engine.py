@@ -11,18 +11,29 @@ per-event rules, exactly like Algorithms 1, 3, 4 and 5 in the paper.
 The engine is parametric in the clock class, which is the key experiment
 of the paper: running the *same* algorithm with ``VectorClock`` and with
 ``TreeClock`` and comparing cost.
+
+The driver is exposed at two granularities:
+
+* :meth:`PartialOrderAnalysis.run` — the classic whole-trace entry point;
+* :meth:`begin` / :meth:`feed` / :meth:`finish` — an incremental API that
+  processes one event at a time.  ``run`` is a thin wrapper over it.  The
+  incremental form is what :class:`repro.capture.OnlineDetector` drives
+  while a live program is still executing: the thread universe does not
+  need to be known upfront (threads register dynamically via
+  :meth:`ClockContext.add_thread`) and detection results stream out
+  through the ``on_race`` callback.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Type
 
 from ..clocks.base import Clock, ClockContext, VectorTime, WorkCounter
 from ..clocks.tree_clock import TreeClock
 from ..trace.event import Event, OpKind
 from ..trace.trace import Trace
-from .result import AnalysisResult, DetectionSummary
+from .result import AnalysisResult, DetectionSummary, Race
 
 
 class PartialOrderAnalysis:
@@ -46,6 +57,15 @@ class PartialOrderAnalysis:
         "+Analysis" configuration of the evaluation.
     keep_races:
         Whether the detector should keep full race records or only count.
+    on_race:
+        Optional callback invoked with each :class:`Race` the moment the
+        detector reports it.  This is how the online (live-capture) mode
+        surfaces races while the traced program is still running.
+    locate:
+        Optional callable mapping an :class:`Event` to a source-location
+        string (or ``None``).  When given, reported races carry the
+        location of the racy access — populated by the capture subsystem,
+        which knows where in the traced program each event originated.
     """
 
     #: Name of the partial order; overridden by subclasses.
@@ -59,16 +79,24 @@ class PartialOrderAnalysis:
         count_work: bool = False,
         detect: bool = False,
         keep_races: bool = True,
+        on_race: Optional[Callable[[Race], None]] = None,
+        locate: Optional[Callable[[Event], Optional[str]]] = None,
     ) -> None:
         self.clock_class = clock_class
         self.capture_timestamps = capture_timestamps
         self.count_work = count_work
         self.detect = detect
         self.keep_races = keep_races
-        # Per-run state (populated by run()).
+        self.on_race = on_race
+        self.locate = locate
+        # Per-run state (populated by begin()).
         self.context: Optional[ClockContext] = None
         self.thread_clocks: Dict[int, Clock] = {}
         self.lock_clocks: Dict[object, Clock] = {}
+        self._trace_name = ""
+        self._events_fed = 0
+        self._timestamps: Optional[List[VectorTime]] = None
+        self._started = 0.0
 
     # -- clock management ----------------------------------------------------------
 
@@ -94,12 +122,8 @@ class PartialOrderAnalysis:
 
     # -- hooks implemented by subclasses ---------------------------------------------
 
-    def _reset_state(self, trace: Trace) -> None:
-        """Reset all per-run state; subclasses extend this for their own maps."""
-        counter = WorkCounter() if self.count_work else None
-        self.context = ClockContext(threads=list(trace.threads), counter=counter)
-        self.thread_clocks = {}
-        self.lock_clocks = {}
+    def _reset_state(self) -> None:
+        """Reset per-run state; subclasses extend this for their own maps."""
 
     def _handle_event(self, event: Event, clock: Clock) -> None:
         """Apply the per-event rules of the concrete analysis.
@@ -114,42 +138,99 @@ class PartialOrderAnalysis:
         """The detector's summary, if a detector is attached."""
         return None
 
-    # -- the single-pass driver --------------------------------------------------------
+    # -- the incremental driver --------------------------------------------------------
 
-    def run(self, trace: Trace) -> AnalysisResult:
-        """Process ``trace`` and return the analysis result."""
-        self._reset_state(trace)
-        assert self.context is not None
+    def begin(self, threads: Optional[object] = None, trace_name: str = "") -> None:
+        """Start an incremental run.
 
-        timestamps: Optional[List[VectorTime]] = [] if self.capture_timestamps else None
-        started = time.perf_counter()
-        for event in trace:
-            clock = self.clock_of_thread(event.tid)
-            # The implicit per-event increment: after processing its i-th
-            # event, a thread's own entry equals i (footnote 1 of the paper).
-            clock.increment(event.tid, 1)
-            if event.kind is OpKind.FORK:
-                child_clock = self.clock_of_thread(event.other_thread)
-                child_clock.join(clock)
-            elif event.kind is OpKind.JOIN:
-                child_clock = self.clock_of_thread(event.other_thread)
-                clock.join(child_clock)
-            elif event.kind in (OpKind.BEGIN, OpKind.END):
-                pass
-            else:
-                self._handle_event(event, clock)
-            if timestamps is not None:
-                timestamps.append(clock.as_dict())
-        elapsed = time.perf_counter() - started
+        Parameters
+        ----------
+        threads:
+            Optional iterable of thread identifiers known upfront.  May be
+            empty (the default): the thread universe then grows as events
+            carrying new thread ids are fed.
+        trace_name:
+            Name reported in the final :class:`AnalysisResult`.
+        """
+        counter = WorkCounter() if self.count_work else None
+        self.context = ClockContext(
+            threads=list(threads) if threads is not None else [], counter=counter
+        )
+        self.thread_clocks = {}
+        self.lock_clocks = {}
+        self._trace_name = trace_name
+        self._events_fed = 0
+        self._timestamps = [] if self.capture_timestamps else None
+        self._reset_state()
+        self._started = time.perf_counter()
 
+    def feed(self, event: Event) -> None:
+        """Process one event of the (possibly still growing) trace.
+
+        Events must be fed in trace order.  Thread ids not seen before —
+        including the child of a fork — are registered with the clock
+        context on the fly.
+        """
+        context = self.context
+        if context is None:
+            raise RuntimeError("feed() called before begin()")
+        index_of = context.index_of
+        if event.tid not in index_of:
+            context.add_thread(event.tid)
+        clock = self.clock_of_thread(event.tid)
+        # The implicit per-event increment: after processing its i-th
+        # event, a thread's own entry equals i (footnote 1 of the paper).
+        clock.increment(event.tid, 1)
+        kind = event.kind
+        if kind is OpKind.FORK:
+            child = event.other_thread
+            if child not in index_of:
+                context.add_thread(child)
+            self.clock_of_thread(child).join(clock)
+        elif kind is OpKind.JOIN:
+            child = event.other_thread
+            if child not in index_of:
+                context.add_thread(child)
+            clock.join(self.clock_of_thread(child))
+        elif kind is OpKind.BEGIN or kind is OpKind.END:
+            pass
+        else:
+            self._handle_event(event, clock)
+        self._events_fed += 1
+        if self._timestamps is not None:
+            self._timestamps.append(clock.as_dict())
+
+    def finish(self) -> AnalysisResult:
+        """Close the incremental run and assemble the result."""
+        context = self.context
+        if context is None:
+            raise RuntimeError("finish() called before begin()")
+        elapsed = time.perf_counter() - self._started
         return AnalysisResult(
             partial_order=self.PARTIAL_ORDER,
             clock_name=getattr(self.clock_class, "SHORT_NAME", self.clock_class.__name__),
-            trace_name=trace.name,
-            num_events=len(trace),
-            num_threads=trace.num_threads,
-            timestamps=timestamps,
-            work=self.context.counter,
+            trace_name=self._trace_name,
+            num_events=self._events_fed,
+            num_threads=context.num_threads,
+            timestamps=self._timestamps,
+            work=context.counter,
             detection=self._detection_summary(),
             elapsed_seconds=elapsed,
         )
+
+    # -- the single-pass whole-trace driver ---------------------------------------------
+
+    def run(self, trace: Trace) -> AnalysisResult:
+        """Process ``trace`` and return the analysis result.
+
+        A thin wrapper over :meth:`begin` / :meth:`feed` / :meth:`finish`
+        that pre-registers the trace's thread universe (so vector clocks
+        are allocated at full size immediately) and times only the event
+        loop, exactly like the paper's measurements.
+        """
+        self.begin(threads=trace.threads, trace_name=trace.name)
+        feed = self.feed
+        self._started = time.perf_counter()
+        for event in trace:
+            feed(event)
+        return self.finish()

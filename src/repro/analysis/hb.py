@@ -29,10 +29,12 @@ class HBAnalysis(PartialOrderAnalysis):
 
     PARTIAL_ORDER = "HB"
 
-    def _reset_state(self, trace: Trace) -> None:
-        super()._reset_state(trace)
+    def _reset_state(self) -> None:
+        super()._reset_state()
         self._detector: Optional[RaceDetector] = (
-            RaceDetector(keep_races=self.keep_races) if self.detect else None
+            RaceDetector(keep_races=self.keep_races, on_race=self.on_race, locate=self.locate)
+            if self.detect
+            else None
         )
 
     def _handle_event(self, event: Event, clock: Clock) -> None:

@@ -35,13 +35,17 @@ class MAZAnalysis(PartialOrderAnalysis):
 
     PARTIAL_ORDER = "MAZ"
 
-    def _reset_state(self, trace: Trace) -> None:
-        super()._reset_state(trace)
+    def _reset_state(self) -> None:
+        super()._reset_state()
         self._last_write_clocks: Dict[object, Clock] = {}
         self._last_read_clocks: Dict[Tuple[int, object], Clock] = {}
         self._readers_since_write: Dict[object, Set[int]] = {}
         self._detector: Optional[ReversiblePairDetector] = (
-            ReversiblePairDetector(keep_races=self.keep_races) if self.detect else None
+            ReversiblePairDetector(
+                keep_races=self.keep_races, on_race=self.on_race, locate=self.locate
+            )
+            if self.detect
+            else None
         )
 
     # -- auxiliary clock accessors -----------------------------------------------------

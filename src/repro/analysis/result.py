@@ -14,7 +14,9 @@ class Race:
 
     The earlier event is identified by ``(prior_tid, prior_local_time)``
     (the pair that uniquely identifies an event, Section 2.1); the later
-    event is the one being processed when the race was reported.
+    event is the one being processed when the race was reported.  When the
+    trace was captured from a live program, ``location`` holds the source
+    location (``file:line``) of the later access.
     """
 
     variable: object
@@ -23,12 +25,14 @@ class Race:
     event_eid: int
     event_tid: int
     event_kind: str
+    location: Optional[str] = None
 
     def pair(self) -> str:
         """Compact human-readable description of the racy pair."""
+        suffix = f" at {self.location}" if self.location else ""
         return (
             f"{self.variable}: (t{self.prior_tid}@{self.prior_local_time}) || "
-            f"(t{self.event_tid}, event {self.event_eid}, {self.event_kind})"
+            f"(t{self.event_tid}, event {self.event_eid}, {self.event_kind}){suffix}"
         )
 
 

@@ -33,11 +33,13 @@ class SHBAnalysis(PartialOrderAnalysis):
 
     PARTIAL_ORDER = "SHB"
 
-    def _reset_state(self, trace: Trace) -> None:
-        super()._reset_state(trace)
+    def _reset_state(self) -> None:
+        super()._reset_state()
         self._last_write_clocks: Dict[object, Clock] = {}
         self._detector: Optional[RaceDetector] = (
-            RaceDetector(keep_races=self.keep_races) if self.detect else None
+            RaceDetector(keep_races=self.keep_races, on_race=self.on_race, locate=self.locate)
+            if self.detect
+            else None
         )
 
     def last_write_clock(self, variable: object) -> Clock:

@@ -1,0 +1,67 @@
+"""Live trace capture from real multithreaded Python programs.
+
+This subsystem records :class:`~repro.trace.trace.Trace` objects from
+actually-running threads — turning any concurrent Python program into a
+workload for the TreeClock-vs-VectorClock experiment — and can drive the
+streaming analyses *online*, while the program is still executing.
+
+The pieces
+----------
+* :class:`TraceRecorder` — thread-safe event sink with dense thread ids,
+  per-thread buffers and an ordered live event stream
+  (:mod:`repro.capture.recorder`).
+* Instrumented primitives — :class:`TracedLock`, :class:`TracedRLock`,
+  :class:`TracedCondition`, :class:`TracedThread` / :func:`spawn`,
+  :class:`Shared` and the :class:`traced` descriptor
+  (:mod:`repro.capture.primitives`).
+* :func:`capture` / :func:`run_script` — record a code block, or execute
+  a whole script with ``threading`` patched
+  (:mod:`repro.capture.runner`, :mod:`repro.capture.patching`).
+* :class:`OnlineDetector` — incremental race detection subscribed to the
+  recorder (:mod:`repro.capture.online`).
+* The ``repro capture`` CLI (:mod:`repro.capture.cli`).
+
+Quickstart
+----------
+>>> from repro.capture import OnlineDetector, Shared, TraceRecorder, capture, spawn
+>>> with capture(name="demo") as recorder:
+...     detector = OnlineDetector(recorder, order="SHB")
+...     x = Shared(0, name="x")
+...     workers = [spawn(lambda: x.set(x.get() + 1)) for _ in range(2)]
+...     for worker in workers:
+...         worker.join()
+>>> detector.finish().detection.race_count > 0   # unsynchronized increments race
+True
+"""
+
+from .online import OnlineDetector
+from .patching import patched_threading
+from .primitives import (
+    Shared,
+    TracedCondition,
+    TracedLock,
+    TracedRLock,
+    TracedThread,
+    spawn,
+    traced,
+)
+from .recorder import TraceRecorder, activation, caller_location, current_recorder
+from .runner import capture, run_script
+
+__all__ = [
+    "OnlineDetector",
+    "Shared",
+    "TraceRecorder",
+    "TracedCondition",
+    "TracedLock",
+    "TracedRLock",
+    "TracedThread",
+    "activation",
+    "caller_location",
+    "capture",
+    "current_recorder",
+    "patched_threading",
+    "run_script",
+    "spawn",
+    "traced",
+]

@@ -1,0 +1,213 @@
+"""``repro capture`` — record a live script and detect races, online.
+
+Runs a target Python script with the instrumented primitives patched in,
+streams every recorded event through the incremental analyses (tree
+clocks and/or vector clocks), and reports races with source locations.
+The captured trace can be saved in STD or CSV (optionally gzipped) for
+later replay through ``repro-analyze`` or the experiment harness.
+
+Examples
+--------
+::
+
+    repro capture examples/capture_bank_race.py
+    repro capture --order HB --clock TC --save bank.std.gz examples/capture_bank_race.py
+    repro capture --post-hoc --check-oracle my_program.py -- --program-arg
+
+The exit code is 1 when at least one race (or MAZ-reversible pair) was
+reported, 0 when none were, and 2 on capture/script failure — so the
+command slots into CI jobs as a concurrency smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from ..analysis import analysis_class_by_name
+from ..analysis.graph import GraphOrder
+from ..analysis.result import AnalysisResult, Race
+from ..clocks import clock_class_by_name
+from ..trace.io import infer_format, save_trace
+from ..trace.trace import Trace
+from ..trace.validation import validate_trace
+from .online import OnlineDetector
+from .recorder import TraceRecorder
+from .runner import run_script
+
+#: Trace sizes above this skip --check-oracle (the bitmask oracle is quadratic).
+ORACLE_EVENT_LIMIT = 20000
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro capture`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro capture",
+        description="Capture a trace from a live Python script and detect races.",
+    )
+    parser.add_argument("script", help="path to the Python script to run under capture")
+    parser.add_argument(
+        "script_args", nargs=argparse.REMAINDER, help="arguments passed to the script"
+    )
+    parser.add_argument(
+        "--order", default="SHB", choices=["HB", "SHB", "MAZ"], help="partial order to compute"
+    )
+    parser.add_argument(
+        "--clock",
+        default="both",
+        choices=["TC", "VC", "both"],
+        help="clock data structure(s) to run (default: both, cross-checked)",
+    )
+    parser.add_argument(
+        "--post-hoc",
+        action="store_true",
+        help="analyze after the script finishes instead of online",
+    )
+    parser.add_argument("--save", metavar="PATH", help="save the captured trace (.std/.csv[.gz])")
+    parser.add_argument(
+        "--format", choices=["std", "csv"], default=None, help="trace format for --save (default: by suffix)"
+    )
+    parser.add_argument(
+        "--no-locations", action="store_true", help="skip per-event source-location capture"
+    )
+    parser.add_argument(
+        "--no-patch", action="store_true", help="do not monkey-patch the threading module"
+    )
+    parser.add_argument(
+        "--check-oracle",
+        action="store_true",
+        help="cross-check racy events against the graph oracle (small traces)",
+    )
+    parser.add_argument("--limit", type=int, default=20, help="limit printed races")
+    parser.add_argument("--quiet", action="store_true", help="suppress live race reports")
+    return parser
+
+
+def _clock_names(choice: str) -> List[str]:
+    return ["TC", "VC"] if choice == "both" else [choice]
+
+
+def _race_line(race: Race, trace: Optional[Trace], locations: Optional[List[Optional[str]]]) -> str:
+    """Render a race, adding the source location of the *earlier* access too."""
+    line = race.pair()
+    if trace is not None and locations is not None:
+        try:
+            prior = trace.event_at(race.prior_tid, race.prior_local_time)
+        except KeyError:
+            return line
+        prior_location = locations[prior.eid] if prior.eid < len(locations) else None
+        if prior_location:
+            line += f" (earlier access at {prior_location})"
+    return line
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    script_args = list(args.script_args)
+    if script_args and script_args[0] == "--":
+        script_args = script_args[1:]
+
+    recorder = TraceRecorder(name=args.script, record_locations=not args.no_locations)
+    label = "reversible pairs" if args.order == "MAZ" else "races"
+
+    detectors: List[OnlineDetector] = []
+    if not args.post_hoc:
+        def live_report(race: Race) -> None:
+            if not args.quiet:
+                print(f"RACE {race.pair()}")
+
+        for position, clock_name in enumerate(_clock_names(args.clock)):
+            detectors.append(
+                OnlineDetector(
+                    recorder,
+                    order=args.order,
+                    clock_class=clock_class_by_name(clock_name),
+                    # Only the first detector narrates; both count.
+                    on_race=live_report if position == 0 else None,
+                )
+            )
+
+    try:
+        run_script(args.script, script_args, recorder=recorder, patch=not args.no_patch)
+    except SystemExit as exit_request:  # scripts may sys.exit(); keep their code if nonzero
+        code = exit_request.code
+        if code not in (None, 0):
+            print(f"error: script exited with {code!r} during capture")
+            return 2
+    except Exception as error:  # noqa: BLE001 - report and fail the capture
+        print(f"error: script raised {type(error).__name__}: {error}")
+        return 2
+
+    trace, locations = recorder.snapshot()
+    print(
+        f"captured {len(trace)} events from {trace.num_threads} threads "
+        f"({len(trace.locks)} locks, {len(trace.variables)} variables)"
+    )
+
+    problems = validate_trace(trace)
+    if problems:
+        print(f"warning: captured trace is not well-formed ({len(problems)} problems):")
+        for problem in problems[:5]:
+            print(f"  - {problem}")
+
+    results: List[AnalysisResult] = []
+    if args.post_hoc:
+        for clock_name in _clock_names(args.clock):
+            analysis = analysis_class_by_name(args.order)(
+                clock_class_by_name(clock_name), detect=True
+            )
+            results.append(analysis.run(trace))
+    else:
+        results = [detector.finish() for detector in detectors]
+
+    race_counts = []
+    for result in results:
+        assert result.detection is not None
+        race_counts.append(result.detection.race_count)
+        mode = "post-hoc" if args.post_hoc else "online"
+        print(
+            f"{result.partial_order}/{result.clock_name} ({mode}): "
+            f"{result.detection.race_count} {label} "
+            f"on {len(result.detection.racy_variables)} variables"
+        )
+
+    if len(set(race_counts)) > 1:
+        print(f"error: clock implementations disagree on the {label} count: {race_counts}")
+        return 2
+
+    primary = results[0]
+    assert primary.detection is not None
+    for race in primary.detection.races[: args.limit]:
+        print(f"  {_race_line(race, trace, locations)}")
+    hidden = len(primary.detection.races) - args.limit
+    if hidden > 0:
+        print(f"  ... and {hidden} more")
+
+    if args.check_oracle:
+        # The well-defined cross-check is race *existence* against the HB
+        # oracle (the detectors check pairs before adding the ordering edge
+        # for the pair itself, so per-pair counts are not comparable; MAZ
+        # orders all conflicting pairs, so its oracle is trivially race-free).
+        if args.order == "MAZ":
+            print("oracle check skipped: not meaningful for MAZ reversible pairs")
+        elif len(trace) > ORACLE_EVENT_LIMIT:
+            print(f"oracle check skipped: trace has more than {ORACLE_EVENT_LIMIT} events")
+        else:
+            oracle_has_race = bool(GraphOrder(trace, "HB").racy_pairs())
+            streaming_has_race = race_counts[0] > 0
+            agrees = oracle_has_race == streaming_has_race
+            print(
+                f"oracle check (HB): trace {'has' if oracle_has_race else 'has no'} races, "
+                f"streaming {'reported' if streaming_has_race else 'reported none'} "
+                f"-> {'agree' if agrees else 'DISAGREE'}"
+            )
+            if not agrees:
+                return 2
+
+    if args.save:
+        fmt = args.format if args.format is not None else infer_format(args.save)
+        save_trace(trace, args.save, fmt=fmt)
+        print(f"trace saved to {args.save} ({fmt})")
+
+    return 1 if race_counts[0] > 0 else 0

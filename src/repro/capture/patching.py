@@ -1,0 +1,57 @@
+"""Monkey-patching of :mod:`threading` for whole-program capture.
+
+:func:`patched_threading` swaps the ``threading`` module's ``Thread``,
+``Lock``, ``RLock`` and ``Condition`` attributes for the instrumented
+versions from :mod:`repro.capture.primitives`, so that an *unmodified*
+target script — and any stdlib machinery that creates primitives at call
+time, like :class:`queue.Queue` — records synchronization events during
+the patched block.  Shared-variable accesses still require the
+:class:`~repro.capture.primitives.Shared` cell or :class:`traced`
+descriptor: plain attribute reads and writes cannot be intercepted
+without bytecode rewriting, which is out of scope here.
+
+Only module *attributes* are swapped; code holding direct references
+obtained before the patch (``from threading import Lock``) keeps the
+original objects.  :func:`repro.capture.run_script` applies the patch
+before executing the target script, so the script's own imports resolve
+to the traced primitives.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from .primitives import TracedCondition, TracedLock, TracedRLock, TracedThread
+
+#: The threading attributes replaced by the patch.
+PATCHED_NAMES = ("Thread", "Lock", "RLock", "Condition")
+
+_REPLACEMENTS = {
+    "Thread": TracedThread,
+    "Lock": TracedLock,
+    "RLock": TracedRLock,
+    "Condition": TracedCondition,
+}
+
+
+@contextmanager
+def patched_threading() -> Iterator[None]:
+    """Swap ``threading``'s primitives for traced ones within the block.
+
+    The traced classes resolve the active recorder dynamically, so the
+    patch composes with :func:`repro.capture.capture` /
+    :func:`~repro.capture.recorder.activation`: events only flow while a
+    recorder is active.  Not reentrancy-safe across *different* threads
+    patching concurrently (it mutates module globals), which matches its
+    intended use from a single capture driver.
+    """
+    originals = {name: getattr(threading, name) for name in PATCHED_NAMES}
+    for name, replacement in _REPLACEMENTS.items():
+        setattr(threading, name, replacement)
+    try:
+        yield
+    finally:
+        for name, original in originals.items():
+            setattr(threading, name, original)

@@ -1,0 +1,416 @@
+"""Instrumented threading primitives and shared-variable cells.
+
+These wrappers emit trace events into the active
+:class:`~repro.capture.recorder.TraceRecorder` while behaving exactly
+like their :mod:`threading` counterparts:
+
+* :class:`TracedLock` / :class:`TracedRLock` — ``ACQUIRE``/``RELEASE``
+  events.  The sequence stamp of an acquire is taken *after* the real
+  lock is acquired and the stamp of a release *before* it is released,
+  so the recorded critical sections of different threads never overlap
+  and the captured trace always satisfies the trace model's lock
+  semantics.  Re-entrant acquires of a :class:`TracedRLock` are
+  flattened: only the outermost acquire/release pair is recorded, as the
+  trace model requires.
+* :class:`TracedCondition` — a condition variable whose ``wait`` records
+  the release/re-acquire of the underlying traced lock, so cross-thread
+  orderings established by waiting are visible to the analyses.
+* :class:`TracedThread` / :func:`spawn` — ``FORK`` is recorded before the
+  OS thread starts and ``JOIN`` after it is joined, giving the child a
+  dense thread id whose events are totally ordered between the two.
+* :class:`Shared` and the :class:`traced` descriptor — ``READ``/``WRITE``
+  events on shared-variable access, which is what the race detectors
+  analyze.
+
+All primitives look up the active recorder dynamically (per operation)
+unless one is passed explicitly, so instrumented programs run unchanged
+— and record nothing — outside a capture.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Optional, Type, Union
+
+from ..trace.event import OpKind
+from .recorder import TraceRecorder, current_recorder
+
+_lock_names = itertools.count()
+_rlock_names = itertools.count()
+_var_names = itertools.count()
+
+# Bind the real primitives at import time: while patched_threading() is
+# active, `threading.Lock` & co. resolve to the traced classes below, and
+# using them here would recurse.
+_new_lock = threading.Lock
+_new_rlock = threading.RLock
+_new_condition = threading.Condition
+
+
+def _untrace_thread_internals(thread: threading.Thread) -> None:
+    """Rebuild a thread's internal startup event from real primitives.
+
+    ``Thread.__init__`` builds its ``_started`` event by looking
+    ``Condition``/``Lock`` up on the threading module at call time; under
+    :func:`~repro.capture.patching.patched_threading` those resolve to
+    the traced classes, which would pollute the trace with phantom thread
+    ids and startup lock events.  Swapping the event's condition for an
+    untraced one keeps the stdlib machinery invisible — without touching
+    the module globals, which other traced threads are reading
+    concurrently.
+    """
+    started = getattr(thread, "_started", None)
+    if started is not None and isinstance(getattr(started, "_cond", None), TracedCondition):
+        started._cond = _new_condition(_new_lock())
+
+
+class TracedLock:
+    """A non-reentrant mutex that records ``ACQUIRE``/``RELEASE`` events."""
+
+    def __init__(self, name: Optional[str] = None, recorder: Optional[TraceRecorder] = None) -> None:
+        self._inner = _new_lock()
+        self.name = name if name is not None else f"lock{next(_lock_names)}"
+        self._recorder = recorder
+
+    def _active(self) -> Optional[TraceRecorder]:
+        return self._recorder if self._recorder is not None else current_recorder()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            recorder = self._active()
+            if recorder is not None:
+                recorder.record(OpKind.ACQUIRE, self.name)
+        return acquired
+
+    def release(self) -> None:
+        if not self._inner.locked():
+            # Over-release: let the stdlib raise its usual RuntimeError
+            # *without* recording — a RELEASE event followed by a raise
+            # would leave an ill-formed trace behind the exception.
+            self._inner.release()
+            raise AssertionError("unreachable")  # pragma: no cover
+        recorder = self._active()
+        if recorder is not None:
+            recorder.record(OpKind.RELEASE, self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    # threading.Condition probes ownership through this hook when present;
+    # providing it avoids the stdlib fallback, which would inject a spurious
+    # try-acquire/release event pair into the trace.
+    def _is_owned(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TracedLock({self.name!r})"
+
+
+class TracedRLock:
+    """A reentrant lock whose nesting is flattened in the recorded trace.
+
+    The trace model forbids re-entrant acquires (a thread never acquires
+    a lock it holds), so only the outermost acquire and the matching
+    outermost release emit events; the validator's docstring explicitly
+    expects tracers to flatten re-entrant program locks this way.
+    """
+
+    def __init__(self, name: Optional[str] = None, recorder: Optional[TraceRecorder] = None) -> None:
+        self._inner = _new_rlock()
+        self.name = name if name is not None else f"rlock{next(_rlock_names)}"
+        self._recorder = recorder
+        self._depth = 0  # only touched while the inner lock is held
+
+    def _active(self) -> Optional[TraceRecorder]:
+        return self._recorder if self._recorder is not None else current_recorder()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._depth += 1
+            if self._depth == 1:
+                recorder = self._active()
+                if recorder is not None:
+                    recorder.record(OpKind.ACQUIRE, self.name)
+        return acquired
+
+    def release(self) -> None:
+        if not self._inner._is_owned():  # type: ignore[attr-defined]
+            # Wrong-thread or over-release: raise via the stdlib without
+            # recording or corrupting the depth bookkeeping.
+            self._inner.release()
+            raise AssertionError("unreachable")  # pragma: no cover
+        if self._depth == 1:
+            recorder = self._active()
+            if recorder is not None:
+                recorder.record(OpKind.RELEASE, self.name)
+        self._depth -= 1
+        self._inner.release()
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()  # type: ignore[attr-defined]
+
+    # threading.Condition uses these hooks (when present) to fully unwind
+    # a re-entrant lock around wait().  Falling back to a single release()
+    # — as Condition does for locks without the hooks — would leave the
+    # lock held at the remaining depth while blocked: a deadlock for any
+    # program that waits while nested.
+    def _release_save(self):
+        depth = self._depth
+        recorder = self._active()
+        if recorder is not None:
+            recorder.record(OpKind.RELEASE, self.name)
+        self._depth = 0
+        inner_state = self._inner._release_save()  # type: ignore[attr-defined]
+        return depth, inner_state
+
+    def _acquire_restore(self, saved) -> None:
+        depth, inner_state = saved
+        self._inner._acquire_restore(inner_state)  # type: ignore[attr-defined]
+        self._depth = depth
+        recorder = self._active()
+        if recorder is not None:
+            recorder.record(OpKind.ACQUIRE, self.name)
+
+    def __enter__(self) -> "TracedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TracedRLock({self.name!r}, depth={self._depth})"
+
+
+class TracedCondition:
+    """A condition variable over a :class:`TracedRLock` or :class:`TracedLock`.
+
+    ``wait`` releases and re-acquires the underlying traced lock through
+    the lock's own instrumented methods, so the recorded trace contains
+    the release/acquire pair and the analyses see the ordering a waiting
+    thread receives from its notifier's critical section.
+
+    Like :class:`threading.Condition`, the default lock is *re-entrant*
+    (a traced one), so programs that re-acquire the condition's lock
+    while holding it behave identically under capture.
+    """
+
+    def __init__(
+        self,
+        lock: Optional[Union[TracedLock, TracedRLock]] = None,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> None:
+        self._lock = lock if lock is not None else TracedRLock(recorder=recorder)
+        # threading.Condition drives any lock-like object through its
+        # acquire/release (and _is_owned, _release_save/_acquire_restore
+        # when present) methods — ours are instrumented.
+        self._inner = _new_condition(self._lock)
+
+    @property
+    def lock(self) -> Union[TracedLock, TracedRLock]:
+        return self._lock
+
+    @property
+    def name(self) -> str:
+        return self._lock.name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        return self._lock.acquire(blocking, timeout)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._inner.wait(timeout)
+
+    def wait_for(self, predicate: Callable[[], bool], timeout: Optional[float] = None) -> bool:
+        return self._inner.wait_for(predicate, timeout)
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+    def __enter__(self) -> "TracedCondition":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TracedCondition({self.name!r})"
+
+
+class TracedThread(threading.Thread):
+    """A thread whose lifetime is recorded as ``FORK``/``JOIN`` events.
+
+    The dense trace thread id is allocated — and the ``FORK`` event
+    stamped — in :meth:`start` *before* the OS thread runs, so every
+    event of the child carries a later sequence stamp than its fork;
+    ``JOIN`` is stamped after the underlying join observed termination,
+    so it follows all of the child's events.  Both properties are what
+    :mod:`repro.trace.validation` demands of fork/join.
+    """
+
+    def __init__(self, *args: Any, recorder: Optional[TraceRecorder] = None, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        _untrace_thread_internals(self)
+        self._capture_recorder = recorder
+        self._trace_tid: Optional[int] = None
+        self._join_recorded = False
+
+    @property
+    def trace_tid(self) -> Optional[int]:
+        """The dense trace thread id, available once :meth:`start` ran."""
+        return self._trace_tid
+
+    def start(self) -> None:
+        if self._capture_recorder is None:
+            self._capture_recorder = current_recorder()
+        recorder = self._capture_recorder
+        if recorder is not None:
+            tid = self._trace_tid = recorder.allocate_tid()
+            # Adoption is spliced in as an *instance* attribute wrapping
+            # whatever run() resolves to, so subclasses that override
+            # run() (the other standard Thread idiom) are adopted too —
+            # a class-level run() override would be shadowed by theirs,
+            # and their events would land on a fresh, unforked thread id.
+            original_run = self.run
+
+            def run_with_adoption() -> None:
+                recorder.adopt(tid)
+                original_run()
+
+            self.run = run_with_adoption  # type: ignore[method-assign]
+            recorder.record(OpKind.FORK, tid)
+        super().start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        super().join(timeout)
+        recorder = self._capture_recorder
+        if (
+            recorder is not None
+            and self._trace_tid is not None
+            and not self.is_alive()
+            and not self._join_recorded
+        ):
+            self._join_recorded = True
+            recorder.record(OpKind.JOIN, self._trace_tid)
+
+
+def spawn(
+    target: Callable[..., object],
+    *args: object,
+    name: Optional[str] = None,
+    recorder: Optional[TraceRecorder] = None,
+    **kwargs: object,
+) -> TracedThread:
+    """Create and start a :class:`TracedThread` running ``target(*args, **kwargs)``."""
+    thread = TracedThread(target=target, args=args, kwargs=kwargs, name=name, recorder=recorder)
+    thread.start()
+    return thread
+
+
+class Shared:
+    """A shared-variable cell whose accesses are recorded as ``READ``/``WRITE``.
+
+    >>> balance = Shared(0, name="balance")
+    >>> balance.set(balance.get() + 10)   # records r(balance), w(balance)
+
+    ``get``/``set`` (or the ``value`` property) record one event each.
+    Note that a read-modify-write like the one above is *not* atomic —
+    which is exactly the kind of bug the race detectors exist to find;
+    guard it with a :class:`TracedLock` to fix the race.
+    """
+
+    __slots__ = ("_value", "name", "_recorder")
+
+    def __init__(
+        self,
+        value: object = None,
+        name: Optional[str] = None,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> None:
+        self._value = value
+        self.name = name if name is not None else f"var{next(_var_names)}"
+        self._recorder = recorder
+
+    def _active(self) -> Optional[TraceRecorder]:
+        return self._recorder if self._recorder is not None else current_recorder()
+
+    def get(self) -> object:
+        """Read the cell (records a ``READ`` event)."""
+        recorder = self._active()
+        if recorder is not None:
+            recorder.record(OpKind.READ, self.name)
+        return self._value
+
+    def set(self, value: object) -> None:
+        """Write the cell (records a ``WRITE`` event)."""
+        recorder = self._active()
+        if recorder is not None:
+            recorder.record(OpKind.WRITE, self.name)
+        self._value = value
+
+    value = property(get, set, doc="The cell content; access records an event.")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Shared({self.name!r}={self._value!r})"
+
+
+class traced:
+    """Attribute descriptor that records ``READ``/``WRITE`` on instance access.
+
+    >>> class Account:
+    ...     balance = traced()
+    ...     def __init__(self): self.balance = 0
+
+    Every ``obj.balance`` read and ``obj.balance = ...`` write emits an
+    event on the variable ``"Account.balance"`` (override with
+    ``traced(name=...)``).  All instances of the class share one trace
+    variable — appropriate for singletons and for the common case where
+    any instance-level race is a bug.
+    """
+
+    def __init__(self, name: Optional[str] = None, recorder: Optional[TraceRecorder] = None) -> None:
+        self._name = name
+        self._recorder = recorder
+        self._slot = None  # set by __set_name__
+
+    def __set_name__(self, owner: Type[object], attribute: str) -> None:
+        self._slot = f"__traced_{attribute}"
+        if self._name is None:
+            self._name = f"{owner.__name__}.{attribute}"
+
+    def _active(self) -> Optional[TraceRecorder]:
+        return self._recorder if self._recorder is not None else current_recorder()
+
+    def __get__(self, instance: Optional[object], owner: Optional[type] = None) -> object:
+        if instance is None:
+            return self
+        recorder = self._active()
+        if recorder is not None:
+            recorder.record(OpKind.READ, self._name)
+        try:
+            return getattr(instance, self._slot)
+        except AttributeError:
+            raise AttributeError(self._name) from None
+
+    def __set__(self, instance: object, value: object) -> None:
+        recorder = self._active()
+        if recorder is not None:
+            recorder.record(OpKind.WRITE, self._name)
+        setattr(instance, self._slot, value)

@@ -1,0 +1,106 @@
+"""Capture entry points: the ``capture()`` context manager and ``run_script()``.
+
+Two ways to record a live program:
+
+* :func:`capture` — wrap a block of code that uses the instrumented
+  primitives (:class:`~repro.capture.primitives.Shared`,
+  :class:`TracedLock`, :func:`spawn`, ...) explicitly::
+
+      with capture(name="bank") as recorder:
+          workers = [spawn(transfer) for _ in range(4)]
+          for worker in workers:
+              worker.join()
+      trace = recorder.trace()
+
+* :func:`run_script` — execute an existing script with ``threading``'s
+  primitives monkey-patched to their traced versions, so unmodified
+  programs record their synchronization (and, if they use the capture
+  primitives, their shared accesses too).  This is what the
+  ``repro capture`` CLI drives.
+"""
+
+from __future__ import annotations
+
+import os
+import runpy
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+from .patching import patched_threading
+from .primitives import TracedThread
+from .recorder import TraceRecorder, activation
+
+
+@contextmanager
+def capture(
+    name: str = "capture",
+    record_locations: bool = False,
+    patch: bool = False,
+    recorder: Optional[TraceRecorder] = None,
+) -> Iterator[TraceRecorder]:
+    """Activate a recorder for the block and yield it.
+
+    The calling thread is pinned as trace thread ``t0``.  With
+    ``patch=True`` the ``threading`` module's primitives are swapped for
+    traced ones for the duration of the block (see
+    :func:`~repro.capture.patching.patched_threading`).  Passing an
+    existing ``recorder`` lets a caller (e.g. the CLI) attach online
+    detectors before the block runs.
+    """
+    if recorder is None:
+        recorder = TraceRecorder(name=name, record_locations=record_locations)
+    recorder.current_tid()  # deterministically make the driver thread t0
+    with activation(recorder):
+        if patch:
+            with patched_threading():
+                yield recorder
+        else:
+            yield recorder
+
+
+def run_script(
+    path: str,
+    argv: Sequence[str] = (),
+    *,
+    recorder: Optional[TraceRecorder] = None,
+    name: Optional[str] = None,
+    record_locations: bool = True,
+    patch: bool = True,
+) -> TraceRecorder:
+    """Execute ``path`` as ``__main__`` under capture and return the recorder.
+
+    The script runs with ``sys.argv`` set to ``[path, *argv]`` and — by
+    default — with ``threading`` patched so plain ``threading.Thread`` /
+    ``Lock`` / ``RLock`` / ``Condition`` usage is recorded.  Exceptions
+    from the script propagate to the caller after the patch and the
+    recorder activation are unwound; events recorded up to that point
+    remain available on the recorder.
+
+    Non-daemon traced threads the script started but never joined are
+    joined after it returns — exactly what the interpreter would do at
+    process exit.  Without this, their events (often the racy ones) would
+    be snapshotted mid-flight or lost, silently under-reporting races.
+    Daemon threads are left running, matching interpreter semantics.
+    """
+    if recorder is None:
+        recorder = TraceRecorder(
+            name=name if name is not None else os.path.basename(path),
+            record_locations=record_locations,
+        )
+    saved_argv = sys.argv
+    sys.argv = [str(path), *argv]
+    try:
+        with capture(patch=patch, recorder=recorder):
+            runpy.run_path(str(path), run_name="__main__")
+            for thread in threading.enumerate():
+                if (
+                    isinstance(thread, TracedThread)
+                    and thread._capture_recorder is recorder
+                    and not thread.daemon
+                ):
+                    thread.join()
+    finally:
+        sys.argv = saved_argv
+    return recorder

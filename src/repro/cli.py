@@ -1,18 +1,24 @@
-"""``repro-analyze`` — analyze a trace file from the command line.
+"""``repro`` / ``repro-analyze`` — the command-line front end.
 
 This is the user-facing counterpart of the library API: point it at a
-trace file (STD or CSV format, see :mod:`repro.trace.io`), pick a partial
-order and a clock data structure, and get timestamps, races and cost
-statistics without writing any Python.
+trace file (STD or CSV format, optionally gzipped, see
+:mod:`repro.trace.io`), pick a partial order and a clock data structure,
+and get timestamps, races and cost statistics without writing any Python.
+
+The ``capture`` subcommand records a trace from a *live* script instead
+of loading one from disk, running online race detection while the script
+executes (see :mod:`repro.capture.cli`).
 
 Examples
 --------
 ::
 
-    repro-analyze trace.std --order HB --races
-    repro-analyze trace.csv --format csv --order SHB --clock VC --work
-    repro-analyze trace.std --order MAZ --timestamps --limit 20
-    repro-analyze --demo --races --show-clocks
+    repro trace.std --order HB --races
+    repro trace.csv.gz --format csv --order SHB --clock VC --work
+    repro trace.std --order MAZ --timestamps --limit 20
+    repro --demo --races --show-clocks
+    repro capture examples/capture_bank_race.py
+    repro capture --order HB --save bank.std.gz examples/capture_bank_race.py
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from typing import Optional, Sequence
 from .analysis import ANALYSIS_CLASSES, analysis_class_by_name
 from .clocks import TreeClock, clock_class_by_name
 from .clocks.render import render_clock
-from .trace import TraceBuilder, load_trace
+from .trace import TraceBuilder, infer_format, load_trace
 from .trace.stats import compute_statistics
 from .trace.trace import Trace
 from .trace.validation import validate_trace
@@ -37,7 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Compute causal orderings (HB/SHB/MAZ) and races for a trace file.",
     )
     parser.add_argument("trace", nargs="?", help="path to the trace file")
-    parser.add_argument("--format", choices=["std", "csv"], default="std", help="trace file format")
+    parser.add_argument(
+        "--format",
+        choices=["std", "csv"],
+        default=None,
+        help="trace file format (default: inferred from the file suffix)",
+    )
     parser.add_argument(
         "--order", default="HB", choices=sorted(ANALYSIS_CLASSES), help="partial order to compute"
     )
@@ -68,12 +79,30 @@ def _load(args: argparse.Namespace) -> Trace:
         return demo_trace()
     if not args.trace:
         raise SystemExit("error: provide a trace file or use --demo")
-    return load_trace(args.trace, fmt=args.format, name=args.trace)
+    fmt = args.format if args.format is not None else infer_format(args.trace)
+    return load_trace(args.trace, fmt=fmt, name=args.trace)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    """CLI entry point; returns the process exit code.
+
+    ``repro capture ...`` dispatches to the live-capture subcommand; any
+    other invocation is the classic trace-file analyzer.
+    """
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "capture":
+        # Subcommand names win over file names (git-style), except in the
+        # one unambiguous case: a bare `repro capture` where a trace file
+        # named "capture" exists — the subcommand requires a script
+        # argument anyway, so this can only mean "analyze that file".
+        # Otherwise a file called `capture` is reachable as `repro ./capture`.
+        import os
+
+        if not (len(arguments) == 1 and os.path.isfile("capture")):
+            from .capture.cli import main as capture_main
+
+            return capture_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
     trace = _load(args)
 
     problems = validate_trace(trace)

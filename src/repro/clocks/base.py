@@ -127,7 +127,10 @@ class ClockContext:
     Parameters
     ----------
     threads:
-        The thread identifiers appearing in the trace.
+        The thread identifiers appearing in the trace.  The universe may
+        also grow *during* a run via :meth:`add_thread`, which is how the
+        incremental (online) analyses handle threads that are only
+        discovered as events stream in.
     counter:
         Optional work counter; when ``None`` the clocks skip work
         accounting entirely.
@@ -150,6 +153,21 @@ class ClockContext:
     def require_thread(self, tid: int) -> int:
         """The dense index of ``tid``; raises :class:`KeyError` for unknown threads."""
         return self.index_of[tid]
+
+    def add_thread(self, tid: int) -> int:
+        """Register ``tid`` in the universe (idempotent) and return its index.
+
+        Existing clocks keep working after a registration: vector clocks
+        grow their dense arrays lazily and tree clocks are sparse to begin
+        with, so dynamic registration costs nothing on the static
+        (whole-trace) path where the universe is known upfront.
+        """
+        index = self.index_of.get(tid)
+        if index is None:
+            index = len(self.threads)
+            self.threads.append(tid)  # type: ignore[attr-defined]
+            self.index_of[tid] = index
+        return index
 
 
 # -- the clock protocol ------------------------------------------------------------

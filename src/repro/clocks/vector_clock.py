@@ -39,16 +39,31 @@ class VectorClock:
 
     # -- basic accessors ---------------------------------------------------------
 
+    def _grow(self) -> None:
+        """Extend the entry array to the current size of the thread universe.
+
+        The universe can grow mid-run when the incremental analyses
+        discover new threads (:meth:`ClockContext.add_thread`); entries of
+        threads registered after this clock was created are implicitly 0
+        until touched.
+        """
+        universe = self.context.num_threads
+        values = self._values
+        if len(values) < universe:
+            values.extend([0] * (universe - len(values)))
+
     def get(self, tid: int) -> int:
         """The recorded local time of thread ``tid``."""
         index = self.context.index_of.get(tid)
-        if index is None:
+        if index is None or index >= len(self._values):
             return 0
         return self._values[index]
 
     def increment(self, tid: int, amount: int = 1) -> None:
         """Advance the entry of thread ``tid`` by ``amount``."""
         index = self.context.require_thread(tid)
+        if index >= len(self._values):
+            self._grow()
         self._values[index] += amount
         counter = self.context.counter
         if counter is not None:
@@ -58,6 +73,9 @@ class VectorClock:
 
     def join(self, other: "VectorClock") -> None:
         """Pointwise maximum with ``other`` — touches all ``k`` entries."""
+        if len(self._values) != len(other._values):
+            self._grow()
+            other._grow()
         values = self._values
         other_values = other._values
         updated = 0
@@ -72,6 +90,9 @@ class VectorClock:
 
     def copy_from(self, other: "VectorClock") -> None:
         """Plain copy of ``other`` into this clock — touches all ``k`` entries."""
+        if len(self._values) != len(other._values):
+            self._grow()
+            other._grow()
         values = self._values
         other_values = other._values
         updated = 0
@@ -94,6 +115,9 @@ class VectorClock:
 
     def leq(self, other: "VectorClock") -> bool:
         """Pointwise comparison ``self ⊑ other``."""
+        if len(self._values) != len(other._values):
+            self._grow()
+            other._grow()
         other_values = other._values
         return all(value <= other_values[index] for index, value in enumerate(self._values))
 
@@ -101,20 +125,23 @@ class VectorClock:
 
     def as_dict(self) -> VectorTime:
         """Snapshot of the vector time (only non-zero entries are included)."""
+        values = self._values
         return {
-            tid: self._values[index]
+            tid: values[index]
             for tid, index in self.context.index_of.items()
-            if self._values[index]
+            if index < len(values) and values[index]
         }
 
     def as_list(self) -> List[int]:
         """The raw entry list, ordered by the context's thread order."""
+        self._grow()
         return list(self._values)
 
     def items(self) -> Iterator[Tuple[int, int]]:
         """Iterate ``(tid, clock)`` pairs in thread order."""
+        values = self._values
         for tid, index in self.context.index_of.items():
-            yield tid, self._values[index]
+            yield tid, (values[index] if index < len(values) else 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         entries = ", ".join(f"t{tid}:{clk}" for tid, clk in self.items() if clk)

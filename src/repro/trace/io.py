@@ -9,11 +9,15 @@ Two plain-text formats are supported:
   external tools.
 
 Both formats round-trip exactly through :class:`~repro.trace.trace.Trace`.
+Files whose name ends in ``.gz`` are transparently (de)compressed with
+gzip — large captured traces are highly repetitive, so this typically
+shrinks them by an order of magnitude on disk.
 """
 
 from __future__ import annotations
 
 import csv
+import gzip
 import io
 import re
 from pathlib import Path
@@ -146,14 +150,35 @@ def loads_csv(text: str, name: str = "") -> Trace:
 # -- file helpers ----------------------------------------------------------------
 
 
+def _is_gzip_path(path: PathOrFile) -> bool:
+    return isinstance(path, (str, Path)) and str(path).endswith(".gz")
+
+
+def infer_format(path: PathOrFile) -> str:
+    """Guess the trace format (``"std"`` or ``"csv"``) from a file name.
+
+    A trailing ``.gz`` is stripped first, so ``trace.csv.gz`` is CSV and
+    anything else (``trace.std``, ``trace.std.gz``, unknown suffixes)
+    defaults to STD.
+    """
+    name = str(path)
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    return "csv" if name.endswith(".csv") else "std"
+
+
 def _open_for_read(source: PathOrFile):
     if isinstance(source, (str, Path)):
+        if _is_gzip_path(source):
+            return gzip.open(source, "rt", encoding="utf-8"), True
         return open(source, "r", encoding="utf-8"), True
     return source, False
 
 
 def _open_for_write(destination: PathOrFile):
     if isinstance(destination, (str, Path)):
+        if _is_gzip_path(destination):
+            return gzip.open(destination, "wt", encoding="utf-8"), True
         return open(destination, "w", encoding="utf-8"), True
     return destination, False
 

@@ -1,0 +1,206 @@
+"""Integration tests for live capture: the examples, the CLI, and replay.
+
+These run real multithreaded programs under capture.  Everything is
+bounded by explicit timeouts so a wedged capture fails fast instead of
+hanging the suite (the CI workflow adds an outer guard as well).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.capture import OnlineDetector, capture, run_script
+from repro.capture.cli import main as capture_cli_main
+from repro.cli import main as repro_main
+from repro.clocks import TreeClock, VectorClock
+from repro.analysis import GraphOrder
+from repro.trace import load_trace
+from repro.trace.validation import validate_trace
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+BANK = EXAMPLES_DIR / "capture_bank_race.py"
+PIPELINE = EXAMPLES_DIR / "capture_producer_consumer.py"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+class TestCaptureExamplesStandalone:
+    def test_bank_race_example_detects_and_cross_checks(self):
+        completed = run_example("capture_bank_race.py", "--tellers", "3", "--deposits", "10")
+        assert completed.returncode == 0, completed.stderr
+        assert "real threads" in completed.stdout
+        assert "racy access pairs" in completed.stdout
+        assert "graph oracle confirms the race exists: True" in completed.stdout
+
+    def test_producer_consumer_clean_run_is_race_free(self):
+        completed = run_example("capture_producer_consumer.py", "--items", "10")
+        assert completed.returncode == 0, completed.stderr
+        assert "both clocks agree): 0" in completed.stdout
+
+    def test_producer_consumer_buggy_run_races_online(self):
+        completed = run_example("capture_producer_consumer.py", "--items", "10", "--buggy")
+        assert completed.returncode == 0, completed.stderr
+        assert "RACE (online)" in completed.stdout
+
+
+class TestAcceptance:
+    """The PR's acceptance scenario, end to end, without the CLI."""
+
+    def test_real_two_thread_race_online_under_both_clocks_and_oracle(self):
+        with capture(name="acceptance") as recorder:
+            detectors = {
+                "TC": OnlineDetector(recorder, order="SHB", clock_class=TreeClock),
+                "VC": OnlineDetector(recorder, order="SHB", clock_class=VectorClock),
+            }
+            from repro.capture import Shared, spawn
+
+            cell = Shared(0, name="cell")
+
+            def bump():
+                cell.set(cell.get() + 1)
+
+            workers = [spawn(bump), spawn(bump)]
+            for worker in workers:
+                worker.join(timeout=30)
+                assert not worker.is_alive()
+
+        counts = {label: detector.finish().detection.race_count for label, detector in detectors.items()}
+        assert counts["TC"] >= 1
+        assert counts["TC"] == counts["VC"]
+        trace = recorder.trace()
+        assert validate_trace(trace) == []
+        assert bool(GraphOrder(trace, "HB").racy_pairs())
+
+
+class TestCaptureCli:
+    def test_bank_example_exits_nonzero_on_the_race(self, capsys):
+        exit_code = repro_main(["capture", "--quiet", str(BANK)])
+        output = capsys.readouterr().out
+        assert exit_code == 1, output
+        assert "audit_total" in output
+        assert "capture_bank_race.py:" in output  # race reported with location
+        assert "SHB/TC (online)" in output and "SHB/VC (online)" in output
+
+    def test_bank_example_exits_nonzero_from_a_subprocess(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "capture", "--quiet", str(BANK)],
+            capture_output=True,
+            text=True,
+            timeout=180,
+            cwd=REPO_ROOT,
+        )
+        assert completed.returncode == 1, completed.stdout + completed.stderr
+
+    def test_clean_pipeline_exits_zero(self, capsys):
+        exit_code = capture_cli_main(["--quiet", str(PIPELINE), "--", "--items", "5"])
+        output = capsys.readouterr().out
+        assert exit_code == 0, output
+        assert "0 races" in output
+
+    def test_save_and_replay_roundtrip(self, tmp_path, capsys):
+        saved = tmp_path / "captured.csv.gz"
+        exit_code = capture_cli_main(
+            ["--quiet", "--check-oracle", "--save", str(saved), str(BANK)]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 1, output
+        assert "-> agree" in output
+        trace = load_trace(saved, fmt="csv")
+        assert len(trace) > 0
+        assert validate_trace(trace) == []
+        # Replay the saved capture through the analyzer CLI.
+        exit_code = repro_main([str(saved), "--format", "csv", "--races"])
+        replay_output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "races:" in replay_output
+
+    def test_post_hoc_mode_agrees_with_online(self, capsys):
+        assert capture_cli_main(["--quiet", "--post-hoc", str(BANK)]) == 1
+        output = capsys.readouterr().out
+        assert "(post-hoc)" in output
+
+    def test_script_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "boom.py"
+        bad.write_text("raise RuntimeError('boom')\n", encoding="utf-8")
+        assert capture_cli_main([str(bad)]) == 2
+        assert "RuntimeError" in capsys.readouterr().out
+
+
+class TestRunScript:
+    def test_run_script_records_unmodified_threading_code(self, tmp_path):
+        script = tmp_path / "plain.py"
+        script.write_text(
+            "import threading\n"
+            "lock = threading.Lock()\n"
+            "def work():\n"
+            "    with lock:\n"
+            "        pass\n"
+            "threads = [threading.Thread(target=work) for _ in range(2)]\n"
+            "for t in threads: t.start()\n"
+            "for t in threads: t.join()\n",
+            encoding="utf-8",
+        )
+        recorder = run_script(str(script))
+        trace = recorder.trace()
+        assert validate_trace(trace) == []
+        kinds = {event.kind.value for event in trace}
+        assert {"fork", "join", "acq", "rel"} <= kinds
+        assert trace.num_threads == 3  # main + 2 workers
+
+    def test_run_script_joins_unjoined_threads(self, tmp_path):
+        """Events of threads the script forgot to join must still be captured."""
+        script = tmp_path / "nojoin.py"
+        script.write_text(
+            "import threading, time\n"
+            "from repro.capture import Shared\n"
+            "cell = Shared(0, name='cell')\n"
+            "def bump():\n"
+            "    time.sleep(0.3)  # still running when the script falls off the end\n"
+            "    cell.set(cell.get() + 1)\n"
+            "for _ in range(2):\n"
+            "    threading.Thread(target=bump).start()\n"
+            "# falls off the end without joining\n",
+            encoding="utf-8",
+        )
+        recorder = run_script(str(script))
+        trace = recorder.trace()
+        assert validate_trace(trace) == []
+        accesses = [event for event in trace if event.is_access]
+        assert len(accesses) == 4  # both workers' read+write made it in
+        assert sum(1 for event in trace if event.is_join) == 2  # synthetic joins
+        # And the unsynchronized increments are reported as a race.
+        from repro import has_race
+
+        assert has_race(trace)
+
+    def test_trace_file_named_capture_is_still_analyzable(self, tmp_path, capsys, monkeypatch):
+        from repro.trace import TraceBuilder, save_trace
+
+        trace = TraceBuilder().write(1, "x").build()
+        monkeypatch.chdir(tmp_path)
+        save_trace(trace, tmp_path / "capture")
+        assert repro_main(["capture"]) == 0  # bare name + existing file → analyze
+        assert "1 events" in capsys.readouterr().out
+        # With further arguments the subcommand still wins (and its parser
+        # rejects the bogus flag).
+        with pytest.raises(SystemExit):
+            repro_main(["capture", "--this-is-not-a-capture-flag"])
+
+    def test_run_script_passes_argv(self, tmp_path):
+        script = tmp_path / "argv.py"
+        script.write_text(
+            "import sys\n"
+            "assert sys.argv[1:] == ['--flag', 'value'], sys.argv\n",
+            encoding="utf-8",
+        )
+        run_script(str(script), ["--flag", "value"])

@@ -9,7 +9,8 @@ from repro.trace import save_trace
 class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["trace.std"])
-        assert args.order == "HB" and args.clock == "TC" and args.format == "std"
+        assert args.order == "HB" and args.clock == "TC"
+        assert args.format is None  # inferred from the file suffix at load time
 
     def test_demo_needs_no_trace_argument(self):
         args = build_parser().parse_args(["--demo"])
@@ -73,6 +74,12 @@ class TestMain:
         save_trace(race_free_trace, path, fmt="csv")
         assert main([str(path), "--format", "csv", "--races"]) == 0
         assert "races: 0" in capsys.readouterr().out
+
+    def test_format_inferred_from_suffix(self, tmp_path, capsys, racy_trace):
+        path = tmp_path / "trace.csv.gz"
+        save_trace(racy_trace, path, fmt="csv")
+        assert main([str(path), "--races"]) == 0  # no --format needed
+        assert "races: 1" in capsys.readouterr().out
 
     def test_ill_formed_trace_produces_warning(self, tmp_path, capsys):
         path = tmp_path / "bad.std"

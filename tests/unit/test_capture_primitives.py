@@ -1,0 +1,346 @@
+"""Unit tests for the instrumented primitives and the patching layer.
+
+Interleavings that matter are forced (via barriers/turn-taking on plain
+``threading`` objects, which are invisible to the recorder), so the
+recorded event sequences asserted here are deterministic.
+"""
+
+import threading
+
+import pytest
+
+from repro.capture import (
+    OnlineDetector,
+    Shared,
+    TracedCondition,
+    TracedLock,
+    TracedRLock,
+    TracedThread,
+    capture,
+    patched_threading,
+    spawn,
+    traced,
+)
+from repro.trace import OpKind
+from repro.trace.validation import validate_trace
+
+
+def kinds_and_targets(trace):
+    return [(event.kind, event.target) for event in trace]
+
+
+class TestTracedLock:
+    def test_with_block_records_acquire_release(self):
+        with capture() as recorder:
+            lock = TracedLock(name="l")
+            with lock:
+                pass
+        assert kinds_and_targets(recorder.trace()) == [
+            (OpKind.ACQUIRE, "l"),
+            (OpKind.RELEASE, "l"),
+        ]
+
+    def test_failed_nonblocking_acquire_records_nothing(self):
+        with capture() as recorder:
+            lock = TracedLock(name="l")
+            lock.acquire()
+            blocked = []
+            worker = threading.Thread(target=lambda: blocked.append(lock.acquire(blocking=False)))
+            worker.start()
+            worker.join(timeout=10)
+            lock.release()
+        assert blocked == [False]
+        assert len(recorder.trace()) == 2  # just the main thread's acq/rel
+
+    def test_no_events_outside_capture(self):
+        lock = TracedLock(name="l")
+        with lock:
+            pass  # must not raise, must not record anywhere
+
+    def test_auto_names_are_unique(self):
+        assert TracedLock().name != TracedLock().name
+
+    def test_over_release_raises_without_recording(self):
+        with capture() as recorder:
+            lock = TracedLock(name="l")
+            with pytest.raises(RuntimeError):
+                lock.release()
+        assert len(recorder.trace()) == 0  # no phantom RELEASE in the trace
+
+
+class TestTracedRLock:
+    def test_reentrant_acquires_are_flattened(self):
+        with capture() as recorder:
+            lock = TracedRLock(name="r")
+            with lock:
+                with lock:
+                    pass
+                # Inner release must not emit: the thread still holds the lock.
+            trace = recorder.trace()
+        assert kinds_and_targets(trace) == [(OpKind.ACQUIRE, "r"), (OpKind.RELEASE, "r")]
+        assert validate_trace(trace) == []
+
+    def test_wrong_thread_release_raises_without_recording(self):
+        with capture() as recorder:
+            lock = TracedRLock(name="r")
+            lock.acquire()
+            errors = []
+
+            def rogue():
+                try:
+                    lock.release()
+                except RuntimeError as error:
+                    errors.append(error)
+
+            worker = threading.Thread(target=rogue)
+            worker.start()
+            worker.join(timeout=10)
+            lock.release()
+            trace = recorder.trace()
+        assert len(errors) == 1
+        # Only the owner's balanced pair is in the trace.
+        assert kinds_and_targets(trace) == [(OpKind.ACQUIRE, "r"), (OpKind.RELEASE, "r")]
+
+
+class TestTracedCondition:
+    def test_wait_records_release_and_reacquire(self):
+        with capture() as recorder:
+            ready = TracedCondition(TracedLock(name="c"))
+            woke = threading.Event()
+
+            def waiter():
+                with ready:
+                    ready.wait(timeout=10)
+                woke.set()
+
+            worker = TracedThread(target=waiter)
+            worker.start()
+            # Wait until the waiter is inside wait() (its release is recorded).
+            while not any(event[2] is OpKind.RELEASE for event in recorder.raw_events()):
+                pass
+            with ready:
+                ready.notify()
+            worker.join(timeout=10)
+            assert woke.is_set()
+            trace = recorder.trace()
+
+        assert validate_trace(trace) == []
+        # waiter: acq, rel (enter wait) ... notifier: acq, rel ... waiter: acq, rel.
+        lock_events = [event.kind for event in trace if event.is_lock_op]
+        assert lock_events.count(OpKind.ACQUIRE) == 3
+        assert lock_events.count(OpKind.RELEASE) == 3
+
+    def test_wait_orders_waiter_after_notifier(self):
+        """The ordering a wait() receives makes the handoff race-free."""
+        with capture() as recorder:
+            detector = OnlineDetector(recorder, order="HB")
+            cell = Shared(0, name="cell")
+            ready = TracedCondition()
+            handed_off = threading.Event()
+
+            def consumer():
+                with ready:
+                    while not handed_off.is_set():
+                        ready.wait(timeout=10)
+                cell.set(cell.get() + 1)  # after the handoff: ordered
+
+            worker = TracedThread(target=consumer)
+            worker.start()
+            with ready:
+                cell.set(1)
+                handed_off.set()
+                ready.notify()
+            worker.join(timeout=10)
+
+        # The consumer's access is ordered after the producer's via the
+        # condition lock, so there is no race despite no common data lock.
+        assert detector.finish().detection.race_count == 0
+
+
+class TestTracedRLockCondition:
+    def test_default_condition_lock_is_reentrant_like_stdlib(self):
+        """`with cv:` + a helper that re-enters `with cv:` must not deadlock."""
+        done = threading.Event()
+
+        def reenter():
+            with capture() as recorder:
+                cv = TracedCondition()
+
+                def helper():
+                    with cv:  # legal on the stdlib default RLock
+                        pass
+
+                with cv:
+                    helper()
+                done.set()
+                return recorder
+
+        worker = threading.Thread(target=reenter, daemon=True)
+        worker.start()
+        worker.join(timeout=10)
+        assert done.is_set(), "re-entrant condition acquire deadlocked"
+
+    def test_condition_wait_fully_unwinds_a_nested_rlock(self):
+        """Condition(RLock()).wait() at depth 2 must release both levels."""
+        with capture() as recorder:
+            rlock = TracedRLock(name="r")
+            cv = TracedCondition(rlock)
+            notified = threading.Event()
+
+            def waiter():
+                with cv:
+                    with cv:  # nested: wait() must still free the lock
+                        cv.wait(timeout=10)
+                notified.set()
+
+            worker = TracedThread(target=waiter)
+            worker.start()
+            # The notifier can only get the lock if wait() fully unwound it.
+            acquired = False
+            for _ in range(1000):
+                if cv.acquire(blocking=False):
+                    acquired = True
+                    break
+                threading.Event().wait(0.01)
+            assert acquired, "wait() left the re-entrant lock held"
+            cv.notify()
+            cv.release()
+            worker.join(timeout=10)
+            assert notified.is_set()
+            trace = recorder.trace()
+        assert validate_trace(trace) == []
+
+
+class TestTracedThread:
+    def test_subclass_overriding_run_is_adopted(self):
+        """The other standard Thread idiom: subclass with a run() override."""
+        with capture(patch=True) as recorder:
+            cell = Shared(0, name="x")
+
+            class Worker(threading.Thread):  # threading.Thread is TracedThread here
+                def run(self):
+                    cell.set(1)
+
+            worker = Worker()
+            worker.start()
+            worker.join()
+            trace = recorder.trace()
+        assert validate_trace(trace) == []
+        # The write must land on the forked tid, not a fresh unforked one.
+        (fork,) = [event for event in trace if event.is_fork]
+        (write,) = [event for event in trace if event.is_write]
+        assert write.tid == fork.other_thread
+        assert trace.num_threads == 2
+
+    def test_fork_join_bracket_child_events(self):
+        with capture() as recorder:
+            x = Shared(0, name="x")
+            worker = spawn(lambda: x.set(1))
+            worker.join()
+            trace = recorder.trace()
+        child = worker.trace_tid
+        assert child == 1
+        kinds = kinds_and_targets(trace)
+        assert kinds[0] == (OpKind.FORK, child)
+        assert kinds[-1] == (OpKind.JOIN, child)
+        assert (OpKind.WRITE, "x") in kinds
+        assert validate_trace(trace) == []
+
+    def test_join_recorded_once_even_if_called_twice(self):
+        with capture() as recorder:
+            worker = spawn(lambda: None)
+            worker.join()
+            worker.join()
+        joins = [event for event in recorder.trace() if event.is_join]
+        assert len(joins) == 1
+
+    def test_timed_out_join_records_nothing(self):
+        release = threading.Event()
+        with capture() as recorder:
+            worker = spawn(release.wait, 10)
+            worker.join(timeout=0.01)
+            assert not any(event[2] is OpKind.JOIN for event in recorder.raw_events())
+            release.set()
+            worker.join()
+        assert sum(1 for event in recorder.trace() if event.is_join) == 1
+
+
+class TestSharedAndTraced:
+    def test_shared_records_reads_and_writes(self):
+        with capture() as recorder:
+            cell = Shared(10, name="v")
+            assert cell.get() == 10
+            cell.set(11)
+            assert cell.value == 11
+            cell.value = 12
+        assert kinds_and_targets(recorder.trace()) == [
+            (OpKind.READ, "v"),
+            (OpKind.WRITE, "v"),
+            (OpKind.READ, "v"),
+            (OpKind.WRITE, "v"),
+        ]
+
+    def test_traced_descriptor_uses_class_qualified_name(self):
+        class Account:
+            balance = traced()
+
+            def __init__(self):
+                self.balance = 0
+
+        with capture() as recorder:
+            account = Account()
+            account.balance = account.balance + 5
+        assert account.balance == 5  # outside capture: plain access, no events
+        assert kinds_and_targets(recorder.trace()) == [
+            (OpKind.WRITE, "Account.balance"),
+            (OpKind.READ, "Account.balance"),
+            (OpKind.WRITE, "Account.balance"),
+        ]
+
+    def test_traced_descriptor_unset_attribute_raises(self):
+        class Holder:
+            slot = traced()
+
+        with pytest.raises(AttributeError):
+            Holder().slot
+
+
+class TestPatching:
+    def test_patched_threading_swaps_and_restores(self):
+        original = threading.Lock
+        with patched_threading():
+            assert threading.Lock is TracedLock
+            assert threading.Thread is TracedThread
+            assert threading.RLock is TracedRLock
+            assert threading.Condition is TracedCondition
+        assert threading.Lock is original
+
+    def test_unmodified_code_is_recorded_under_patch(self):
+        with capture(patch=True) as recorder:
+            lock = threading.Lock()  # resolves to TracedLock
+
+            def locked_section():
+                with lock:
+                    pass
+
+            worker = threading.Thread(target=locked_section)
+            worker.start()
+            worker.join()
+            trace = recorder.trace()
+        assert validate_trace(trace) == []
+        kinds = [event.kind for event in trace]
+        assert OpKind.FORK in kinds and OpKind.JOIN in kinds
+        assert OpKind.ACQUIRE in kinds and OpKind.RELEASE in kinds
+
+    def test_thread_startup_machinery_is_not_traced(self):
+        """Thread.__init__'s internal Event must not pollute the trace."""
+        with capture(patch=True) as recorder:
+            cell = Shared(0, name="only-var")
+            worker = threading.Thread(target=lambda: cell.set(1))
+            worker.start()
+            worker.join()
+            trace = recorder.trace()
+        assert trace.num_threads == 2  # main + child, no phantom startup ids
+        assert recorder.num_threads == 2
+        assert len(trace.locks) == 0  # no traced locks leaked from Thread internals
+        assert list(trace.variables) == ["only-var"]

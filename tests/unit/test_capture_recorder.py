@@ -1,0 +1,165 @@
+"""Unit tests for :mod:`repro.capture.recorder`.
+
+The multithreaded tests force interleavings with a turnstile (threads
+take strictly alternating turns), so every assertion is deterministic.
+"""
+
+import threading
+
+import pytest
+
+from repro.capture import TraceRecorder, activation, current_recorder
+from repro.trace import OpKind
+
+
+class Turnstile:
+    """Serialize threads into an explicit global order of turns."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._turn = 0
+
+    def run(self, index, action):
+        with self._cond:
+            self._cond.wait_for(lambda: self._turn == index, timeout=30)
+            assert self._turn == index, "turnstile timed out"
+            action()
+            self._turn += 1
+            self._cond.notify_all()
+
+
+def run_threads(*targets):
+    threads = [threading.Thread(target=target) for target in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+
+class TestThreadIds:
+    def test_creating_thread_registers_lazily_as_t0(self):
+        recorder = TraceRecorder()
+        assert recorder.current_tid() == 0
+        assert recorder.current_tid() == 0  # stable
+        assert recorder.num_threads == 1
+
+    def test_allocate_and_adopt(self):
+        recorder = TraceRecorder()
+        recorder.current_tid()
+        child_tid = recorder.allocate_tid()
+        assert child_tid == 1
+
+        seen = []
+
+        def child():
+            recorder.adopt(child_tid)
+            seen.append(recorder.current_tid())
+
+        run_threads(child)
+        assert seen == [child_tid]
+
+    def test_unadopted_threads_get_fresh_dense_ids(self):
+        recorder = TraceRecorder()
+        recorder.current_tid()
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            with lock:
+                seen.append(recorder.current_tid())
+
+        run_threads(worker, worker, worker)
+        assert sorted(seen) == [1, 2, 3]
+
+
+class TestRecordingAndMerge:
+    def test_events_merge_in_stamp_order_across_buffers(self):
+        recorder = TraceRecorder(name="merge")
+        turnstile = Turnstile()
+
+        def writer(index_pairs, variable):
+            for index in index_pairs:
+                turnstile.run(index, lambda: recorder.record(OpKind.WRITE, variable))
+
+        # Interleave t-even and t-odd turns: a, b, a, b, a, b.
+        run_threads(lambda: writer((0, 2, 4), "a"), lambda: writer((1, 3, 5), "b"))
+
+        trace = recorder.trace()
+        assert [event.target for event in trace] == ["a", "b", "a", "b", "a", "b"]
+        assert trace.name == "merge"
+        assert len(recorder) == 6
+        # Two distinct recording threads, dense ids.
+        assert sorted(trace.threads) in ([0, 1], [1, 2])
+
+    def test_trace_eids_are_positions(self):
+        recorder = TraceRecorder()
+        for _ in range(5):
+            recorder.record(OpKind.WRITE, "x")
+        trace = recorder.trace()
+        assert [event.eid for event in trace] == [0, 1, 2, 3, 4]
+
+    def test_locations_align_with_events(self):
+        recorder = TraceRecorder(record_locations=True)
+        recorder.record(OpKind.WRITE, "x")
+        recorder.record(OpKind.READ, "x", location="explicit.py:1")
+        locations = recorder.locations()
+        assert len(locations) == 2
+        assert locations[0] is not None
+        assert "test_capture_recorder.py" in locations[0]
+        assert locations[1] == "explicit.py:1"
+
+    def test_locations_off_by_default(self):
+        recorder = TraceRecorder()
+        recorder.record(OpKind.WRITE, "x")
+        assert recorder.locations() == [None]
+
+
+class TestSubscribers:
+    def test_subscriber_sees_the_exact_merged_order(self):
+        recorder = TraceRecorder()
+        delivered = []
+        recorder.subscribe(lambda seq, tid, kind, target, loc: delivered.append((seq, target)))
+        turnstile = Turnstile()
+
+        def worker(indices, variable):
+            for index in indices:
+                turnstile.run(index, lambda: recorder.record(OpKind.WRITE, variable))
+
+        run_threads(lambda: worker((0, 3), "a"), lambda: worker((1, 2), "b"))
+
+        merged = [(entry[0], entry[3]) for entry in recorder.raw_events()]
+        assert delivered == merged
+        assert [target for _, target in delivered] == ["a", "b", "b", "a"]
+
+    def test_unsubscribe_stops_delivery(self):
+        recorder = TraceRecorder()
+        delivered = []
+
+        def subscriber(seq, tid, kind, target, loc):
+            delivered.append(seq)
+
+        recorder.subscribe(subscriber)
+        recorder.record(OpKind.WRITE, "x")
+        recorder.unsubscribe(subscriber)
+        recorder.record(OpKind.WRITE, "x")
+        assert delivered == [0]
+
+
+class TestActivation:
+    def test_activation_stack(self):
+        assert current_recorder() is None
+        outer, inner = TraceRecorder("outer"), TraceRecorder("inner")
+        with activation(outer):
+            assert current_recorder() is outer
+            with activation(inner):
+                assert current_recorder() is inner
+            assert current_recorder() is outer
+        assert current_recorder() is None
+
+    def test_activation_is_visible_across_threads(self):
+        recorder = TraceRecorder()
+        seen = []
+        with activation(recorder):
+            run_threads(lambda: seen.append(current_recorder()))
+        assert seen == [recorder]

@@ -1,5 +1,6 @@
 """Unit tests for trace serialization (:mod:`repro.trace.io`)."""
 
+import gzip
 import io
 
 import pytest
@@ -10,6 +11,7 @@ from repro.trace.io import (
     TraceFormatError,
     dumps_csv,
     dumps_std,
+    infer_format,
     load_trace,
     loads_csv,
     loads_std,
@@ -130,3 +132,51 @@ class TestFileHelpers:
         path = tmp_path / "trace.std"
         save_trace(sample_trace, path)
         assert load_trace(path, name="renamed").name == "renamed"
+
+
+class TestGzipSupport:
+    @pytest.mark.parametrize("fmt", ["std", "csv"])
+    def test_gz_suffix_roundtrips(self, tmp_path, sample_trace, fmt):
+        path = tmp_path / f"trace.{fmt}.gz"
+        save_trace(sample_trace, path, fmt=fmt)
+        assert load_trace(path, fmt=fmt) == sample_trace
+
+    def test_gz_file_is_actually_compressed(self, tmp_path, sample_trace):
+        path = tmp_path / "trace.std.gz"
+        save_trace(sample_trace, path, fmt="std")
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert loads_std(handle.read()) == sample_trace
+        # A gzip member always starts with the magic bytes 1f 8b.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_gz_compression_shrinks_repetitive_traces(self, tmp_path):
+        builder = TraceBuilder(name="big")
+        for index in range(2000):
+            builder.write(1 + index % 4, f"x{index % 8}")
+        trace = builder.build()
+        plain, packed = tmp_path / "t.std", tmp_path / "t.std.gz"
+        save_trace(trace, plain)
+        save_trace(trace, packed)
+        assert packed.stat().st_size < plain.stat().st_size / 5
+        assert load_trace(packed) == trace
+
+    def test_plain_paths_are_untouched_by_gzip_handling(self, tmp_path, sample_trace):
+        path = tmp_path / "trace.std"
+        save_trace(sample_trace, path)
+        assert path.read_bytes()[:2] != b"\x1f\x8b"
+
+
+class TestInferFormat:
+    @pytest.mark.parametrize(
+        ("name", "expected"),
+        [
+            ("trace.std", "std"),
+            ("trace.std.gz", "std"),
+            ("trace.csv", "csv"),
+            ("trace.csv.gz", "csv"),
+            ("trace.gz", "std"),
+            ("mystery.bin", "std"),
+        ],
+    )
+    def test_inference_by_suffix(self, name, expected):
+        assert infer_format(name) == expected
