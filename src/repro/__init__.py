@@ -20,7 +20,26 @@ Orderings in Concurrent Executions" (ASPLOS 2022).  The package provides
 * :mod:`repro.capture` — live trace capture from *real* multithreaded
   Python programs (instrumented locks/threads/shared cells, a
   whole-script runner with ``threading`` patched in, and online race
-  detection driving the analyses incrementally while the program runs).
+  detection driving the analyses incrementally while the program runs),
+* :mod:`repro.api` — the unified streaming session API: one
+  :class:`~repro.api.Session` drives many analysis specs
+  (``parse_spec("hb+tc+detect")``) through a single pass over any
+  :class:`~repro.api.EventSource` (in-memory trace, lazily streamed
+  trace file, live capture, synthetic generator).
+
+Session quickstart
+------------------
+Run several evaluation-matrix cells over one event walk:
+
+>>> from repro import Session, TraceBuilder
+>>> trace = (
+...     TraceBuilder()
+...     .write(1, "x").write(2, "x")
+...     .build()
+... )
+>>> result = Session(["shb+tc+detect", "shb+vc+detect"]).run(trace)
+>>> [r.detection.race_count for _, r in result]
+[1, 1]
 
 Quickstart
 ----------
@@ -81,9 +100,26 @@ from .trace import (
     Trace,
     TraceBuilder,
     compute_statistics,
+    iter_trace_file,
     load_trace,
     save_trace,
 )
+from .api import (
+    AnalysisSpec,
+    CaptureSource,
+    EventSource,
+    FileSource,
+    GeneratorSource,
+    Session,
+    SessionResult,
+    TraceSource,
+    as_event_source,
+    parse_spec,
+    register_clock,
+    register_order,
+    run_specs,
+)
+from . import api  # noqa: E402  (bound as an attribute, like `capture` below)
 
 # Bind the capture subsystem as an attribute so `from repro import capture`
 # works; its names stay namespaced (repro.capture.Shared, ...) because
@@ -94,21 +130,31 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AnalysisResult",
+    "AnalysisSpec",
+    "CaptureSource",
     "ClockContext",
     "Epoch",
     "Event",
+    "EventSource",
+    "FileSource",
+    "GeneratorSource",
     "GraphOrder",
     "HBAnalysis",
     "MAZAnalysis",
     "OpKind",
     "Race",
     "SHBAnalysis",
+    "Session",
+    "SessionResult",
     "Trace",
     "TraceBuilder",
+    "TraceSource",
     "TreeClock",
     "VectorClock",
     "WorkCounter",
     "__version__",
+    "api",
+    "as_event_source",
     "capture",
     "compute_hb",
     "compute_maz",
@@ -117,6 +163,11 @@ __all__ = [
     "detect_races",
     "find_races",
     "has_race",
+    "iter_trace_file",
     "load_trace",
+    "parse_spec",
+    "register_clock",
+    "register_order",
+    "run_specs",
     "save_trace",
 ]

@@ -96,7 +96,7 @@ class PartialOrderAnalysis:
         self._trace_name = ""
         self._events_fed = 0
         self._timestamps: Optional[List[VectorTime]] = None
-        self._started = 0.0
+        self._started_ns = 0
 
     # -- clock management ----------------------------------------------------------
 
@@ -162,7 +162,7 @@ class PartialOrderAnalysis:
         self._events_fed = 0
         self._timestamps = [] if self.capture_timestamps else None
         self._reset_state()
-        self._started = time.perf_counter()
+        self._started_ns = time.perf_counter_ns()
 
     def feed(self, event: Event) -> None:
         """Process one event of the (possibly still growing) trace.
@@ -205,7 +205,7 @@ class PartialOrderAnalysis:
         context = self.context
         if context is None:
             raise RuntimeError("finish() called before begin()")
-        elapsed = time.perf_counter() - self._started
+        elapsed_ns = time.perf_counter_ns() - self._started_ns
         return AnalysisResult(
             partial_order=self.PARTIAL_ORDER,
             clock_name=getattr(self.clock_class, "SHORT_NAME", self.clock_class.__name__),
@@ -215,7 +215,7 @@ class PartialOrderAnalysis:
             timestamps=self._timestamps,
             work=context.counter,
             detection=self._detection_summary(),
-            elapsed_seconds=elapsed,
+            elapsed_ns=elapsed_ns,
         )
 
     # -- the single-pass whole-trace driver ---------------------------------------------
@@ -230,7 +230,7 @@ class PartialOrderAnalysis:
         """
         self.begin(threads=trace.threads, trace_name=trace.name)
         feed = self.feed
-        self._started = time.perf_counter()
+        self._started_ns = time.perf_counter_ns()
         for event in trace:
             feed(event)
         return self.finish()

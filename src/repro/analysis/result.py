@@ -35,6 +35,18 @@ class Race:
             f"(t{self.event_tid}, event {self.event_eid}, {self.event_kind}){suffix}"
         )
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation of the racy pair."""
+        return {
+            "variable": str(self.variable),
+            "prior_tid": self.prior_tid,
+            "prior_local_time": self.prior_local_time,
+            "event_eid": self.event_eid,
+            "event_tid": self.event_tid,
+            "event_kind": self.event_kind,
+            "location": self.location,
+        }
+
 
 @dataclass
 class DetectionSummary:
@@ -81,8 +93,11 @@ class AnalysisResult:
         Work counter populated when work counting was requested.
     detection:
         Result of the analysis component, when a detector was attached.
-    elapsed_seconds:
-        Wall-clock time of the run (always measured).
+    elapsed_ns:
+        Wall-clock time of the run in nanoseconds (always measured, via
+        :func:`time.perf_counter_ns`).  When the analysis ran inside a
+        :class:`repro.api.Session` this is the time spent in *this*
+        analysis only, excluding its siblings sharing the walk.
     """
 
     partial_order: str
@@ -93,7 +108,12 @@ class AnalysisResult:
     timestamps: Optional[List[VectorTime]] = None
     work: Optional[WorkCounter] = None
     detection: Optional[DetectionSummary] = None
-    elapsed_seconds: float = 0.0
+    elapsed_ns: int = 0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """The elapsed time in seconds (derived from :attr:`elapsed_ns`)."""
+        return self.elapsed_ns / 1e9
 
     def timestamp_of(self, eid: int) -> VectorTime:
         """The captured timestamp of event ``eid``.
@@ -121,3 +141,40 @@ class AnalysisResult:
         if self.detection is not None:
             row["races"] = self.detection.race_count
         return row
+
+    def as_dict(self) -> Dict[str, object]:
+        """Full JSON-serializable representation (races, work, timing).
+
+        Unlike :meth:`summary`, which flattens to one table row, this
+        includes the complete detection and work payloads — the shape
+        emitted by ``repro analyze --json`` / ``repro capture --json``.
+        """
+        payload: Dict[str, object] = {
+            "partial_order": self.partial_order,
+            "clock": self.clock_name,
+            "trace": self.trace_name,
+            "events": self.num_events,
+            "threads": self.num_threads,
+            "elapsed_ns": self.elapsed_ns,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.timestamps is not None:
+            payload["timestamps"] = [
+                {str(tid): value for tid, value in timestamp.items()}
+                for timestamp in self.timestamps
+            ]
+        if self.work is not None:
+            payload["work"] = {
+                "entries_processed": self.work.entries_processed,
+                "entries_updated": self.work.entries_updated,
+                "joins": self.work.joins,
+                "copies": self.work.copies,
+            }
+        if self.detection is not None:
+            payload["detection"] = {
+                "race_count": self.detection.race_count,
+                "checks": self.detection.checks,
+                "racy_variables": [str(v) for v in self.detection.racy_variables],
+                "races": [race.as_dict() for race in self.detection.races],
+            }
+        return payload

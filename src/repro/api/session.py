@@ -1,0 +1,256 @@
+"""The streaming :class:`Session`: one event walk, fanned out to many analyses.
+
+The paper's evaluation is a matrix sweep — every trace × {MAZ, SHB, HB}
+× {TreeClock, VectorClock} × {±analysis}.  Running each cell as its own
+whole-trace pass repeats the event decoding, iteration and dispatch cost
+once per cell; a :class:`Session` instead drives *k* specs through a
+single pass over one :class:`~repro.api.sources.EventSource`, using the
+incremental ``begin()/feed()/finish()`` engine API underneath.
+
+Each spec's share of every ``feed()`` call is timed separately (with
+:func:`time.perf_counter_ns`), so the per-spec
+:class:`~repro.analysis.result.AnalysisResult` still carries a
+meaningful ``elapsed_ns`` even though the walk is shared — and because
+the specs are interleaved at event granularity, cross-spec comparisons
+(VC vs TC) are insulated from machine-load drift between runs.
+
+Quickstart
+----------
+>>> from repro.api import Session
+>>> result = Session(["hb+tc+detect", "hb+vc+detect"]).run(trace)
+>>> result["hb+tc+detect"].detection.race_count
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..analysis.engine import PartialOrderAnalysis
+from ..analysis.result import AnalysisResult, Race
+from ..trace.event import Event
+from .sources import SourceLike, as_event_source
+from .spec import AnalysisSpec, SpecLike, coerce_spec
+
+
+@dataclass
+class SessionResult:
+    """The results of one session walk, keyed by spec.
+
+    ``results`` maps each spec's canonical key (``spec.key``) to its
+    :class:`AnalysisResult`; indexing accepts a spec object or any
+    spelling of its string form.  ``elapsed_ns`` is the wall-clock time
+    of the whole walk (source iteration included).  In a multi-spec walk
+    the per-spec results carry their own attributed feed times, which sum
+    to less than the total; a single-spec walk keeps the engine's
+    begin-to-finish timing (which may slightly exceed the walk time, as
+    the engine starts its clock first).
+    """
+
+    name: str
+    num_events: int
+    results: Dict[str, AnalysisResult]
+    elapsed_ns: int
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total walk time in seconds (derived from :attr:`elapsed_ns`)."""
+        return self.elapsed_ns / 1e9
+
+    @property
+    def specs(self) -> List[str]:
+        """The spec keys, in the order the session ran them."""
+        return list(self.results)
+
+    @property
+    def primary(self) -> AnalysisResult:
+        """The first spec's result (the session's primary configuration)."""
+        return next(iter(self.results.values()))
+
+    def __getitem__(self, spec: SpecLike) -> AnalysisResult:
+        return self.results[coerce_spec(spec).key]
+
+    def __contains__(self, spec: SpecLike) -> bool:
+        try:
+            return coerce_spec(spec).key in self.results
+        except (ValueError, TypeError):
+            return False
+
+    def __iter__(self) -> Iterator[Tuple[str, AnalysisResult]]:
+        return iter(self.results.items())
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation of the whole session."""
+        return {
+            "trace": self.name,
+            "events": self.num_events,
+            "elapsed_ns": self.elapsed_ns,
+            "elapsed_seconds": self.elapsed_seconds,
+            "specs": {key: result.as_dict() for key, result in self.results.items()},
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The :meth:`as_dict` payload rendered as a JSON document."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+
+class Session:
+    """Drive N analysis specs through one pass over an event source.
+
+    Parameters
+    ----------
+    specs:
+        The configurations to run — :class:`AnalysisSpec` objects or
+        spec strings (``"hb+tc+detect"``), in any mix.  Duplicates (by
+        canonical key) are collapsed, preserving first-seen order.
+    on_race:
+        Optional live-race callback.  It is attached to the *first*
+        detecting spec only, so each race is narrated once even when
+        several specs detect the same stream (the remaining specs still
+        record/count their races independently).
+    locate:
+        Optional event → source-location callable, forwarded to every
+        detecting spec (typically ``CaptureSource.locate``).
+
+    A session is reusable: each :meth:`begin` (or :meth:`run`) builds
+    fresh analysis instances, so the same session can be run repeatedly
+    — e.g. once per timing repetition.
+
+    Like the engine it drives, the session is exposed at two
+    granularities: :meth:`run` pulls a whole source through, while
+    :meth:`begin` / :meth:`feed` / :meth:`finish` accept one event at a
+    time (this is what a live :class:`~repro.api.sources.CaptureSource`
+    pushes into while the traced program is still executing).
+    """
+
+    def __init__(
+        self,
+        specs: Iterable[SpecLike],
+        *,
+        on_race: Optional[Callable[[Race], None]] = None,
+        locate: Optional[Callable[[Event], Optional[str]]] = None,
+    ) -> None:
+        deduped: Dict[str, AnalysisSpec] = {}
+        for spec in specs:
+            parsed = coerce_spec(spec)
+            deduped.setdefault(parsed.key, parsed)
+        if not deduped:
+            raise ValueError("a session needs at least one analysis spec")
+        self.specs: Tuple[AnalysisSpec, ...] = tuple(deduped.values())
+        self._on_race = on_race
+        self._locate = locate
+        self._runners: List[PartialOrderAnalysis] = []
+        self._elapsed_ns: List[int] = []
+        self._events_fed = 0
+        self._name = ""
+        self._walk_started_ns = 0
+
+    # -- the incremental driver --------------------------------------------------------
+
+    def begin(self, threads: Optional[Sequence[int]] = None, name: str = "") -> None:
+        """Start a walk: build one analysis per spec and begin them all."""
+        self._runners = []
+        narrator_assigned = False
+        for spec in self.specs:
+            on_race = None
+            if spec.detect and not narrator_assigned:
+                on_race = self._on_race
+                narrator_assigned = True
+            analysis = spec.build(on_race=on_race, locate=self._locate)
+            analysis.begin(threads=threads, trace_name=name)
+            self._runners.append(analysis)
+        self._elapsed_ns = [0] * len(self._runners)
+        self._events_fed = 0
+        self._name = name
+        self._walk_started_ns = time.perf_counter_ns()
+
+    def feed(self, event: Event) -> None:
+        """Fan one event out to every spec, timing each spec's share.
+
+        A single-spec session skips the per-feed attribution entirely —
+        the engine's own begin-to-finish timing is exact there, and the
+        hot loop stays free of timer calls, matching the cost of a
+        direct ``analysis.run(trace)``.
+        """
+        runners = self._runners
+        if not runners:
+            raise RuntimeError("feed() called before begin()")
+        if len(runners) == 1:
+            runners[0].feed(event)
+        else:
+            elapsed = self._elapsed_ns
+            perf = time.perf_counter_ns
+            for index, analysis in enumerate(runners):
+                started = perf()
+                analysis.feed(event)
+                elapsed[index] += perf() - started
+        self._events_fed += 1
+
+    def finish(self) -> SessionResult:
+        """Close the walk and collect every spec's result."""
+        if not self._runners:
+            raise RuntimeError("finish() called before begin()")
+        walk_elapsed_ns = time.perf_counter_ns() - self._walk_started_ns
+        shared_walk = len(self._runners) > 1
+        results: Dict[str, AnalysisResult] = {}
+        for spec, analysis, elapsed_ns in zip(self.specs, self._runners, self._elapsed_ns):
+            result = analysis.finish()
+            if shared_walk:
+                # The engine measured begin()-to-finish() wall time, which
+                # in a shared walk includes the sibling specs; replace it
+                # with the time attributed to this spec's feed() calls
+                # alone.  (A single-spec walk keeps the engine's timing.)
+                result.elapsed_ns = elapsed_ns
+            results[spec.key] = result
+        return SessionResult(
+            name=self._name,
+            num_events=self._events_fed,
+            results=results,
+            elapsed_ns=walk_elapsed_ns,
+        )
+
+    # -- the one-call driver -----------------------------------------------------------
+
+    def run(self, source: SourceLike) -> SessionResult:
+        """One pass over ``source``, every spec riding the same walk.
+
+        ``source`` may be anything :func:`~repro.api.sources.as_event_source`
+        accepts: an :class:`EventSource`, a :class:`Trace`, a file path,
+        a recorder, a benchmark profile, or a generator callable.
+        """
+        event_source = as_event_source(source)
+        self.begin(threads=event_source.threads(), name=event_source.name)
+        feed = self.feed
+        for event in event_source.events():
+            feed(event)
+        return self.finish()
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def events_fed(self) -> int:
+        """Events fed into the current walk so far."""
+        return self._events_fed
+
+    @property
+    def analyses(self) -> Dict[str, PartialOrderAnalysis]:
+        """The live analysis instances of the current walk, keyed by spec.
+
+        Empty before the first :meth:`begin`.  Useful for inspecting
+        in-flight state (e.g. per-thread clocks) mid-walk.
+        """
+        return {spec.key: analysis for spec, analysis in zip(self.specs, self._runners)}
+
+
+def run_specs(
+    source: SourceLike,
+    *specs: SpecLike,
+    on_race: Optional[Callable[[Race], None]] = None,
+) -> SessionResult:
+    """Convenience one-liner: ``run_specs(trace, "hb+tc", "hb+vc+detect")``."""
+    return Session(specs, on_race=on_race).run(source)

@@ -1,0 +1,245 @@
+"""The :class:`EventSource` protocol: one interface for every way events arrive.
+
+Events reach the analyses from four places today — an in-memory
+:class:`~repro.trace.trace.Trace`, a trace file on disk, a live
+:class:`~repro.capture.recorder.TraceRecorder`, and the synthetic
+generators of :mod:`repro.gen`.  Each gets a small adapter here exposing
+the same three-method surface:
+
+* ``name`` — what to call the trace in results,
+* ``threads()`` — the thread universe if known upfront (lets clocks be
+  allocated at full size), ``None`` when it grows dynamically,
+* ``events()`` — an iterator over events in trace order.
+
+Every source counts the events it hands out in ``events_emitted``; a
+:class:`~repro.api.session.Session` with *k* specs leaves that counter at
+*n*, not *k·n* — the tests assert exactly this to pin down the
+one-walk-many-analyses contract.
+
+:func:`as_event_source` coerces the common raw objects (``Trace``, a
+path, a recorder, a benchmark profile, a generator config, a callable)
+so ``Session.run`` accepts any of them directly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from ..gen.random_trace import RandomTraceConfig, generate_trace
+from ..gen.suite import BenchmarkProfile
+from ..trace.event import Event, OpKind
+from ..trace.io import infer_format, iter_trace_file
+from ..trace.trace import Trace
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..capture.recorder import TraceRecorder
+    from .session import Session, SessionResult
+
+
+@runtime_checkable
+class EventSource(Protocol):
+    """Anything that can hand a session an ordered stream of events."""
+
+    name: str
+    events_emitted: int
+
+    def threads(self) -> Optional[Sequence[int]]:
+        """Thread universe known upfront, or ``None`` if it grows dynamically."""
+        ...
+
+    def events(self) -> Iterator[Event]:
+        """The events, in trace order.  May be consumable only once."""
+        ...
+
+
+class TraceSource:
+    """Source over an in-memory :class:`Trace` (threads known upfront)."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.name = trace.name
+        self.events_emitted = 0
+
+    def threads(self) -> Sequence[int]:
+        return self.trace.threads
+
+    def events(self) -> Iterator[Event]:
+        for event in self.trace:
+            self.events_emitted += 1
+            yield event
+
+
+class FileSource:
+    """Source streaming a CSV/STD[.gz] trace file lazily from disk.
+
+    Nothing is materialized: events are parsed one line at a time via
+    :func:`~repro.trace.io.iter_trace_file`, so a session over a
+    multi-gigabyte trace file runs in O(1) memory.  The thread universe
+    is not known upfront (that would require a full pass), so clocks
+    grow dynamically.  ``events()`` can be called repeatedly; each call
+    re-reads the file.
+    """
+
+    def __init__(self, path: Union[str, Path], fmt: Optional[str] = None, name: str = "") -> None:
+        self.path = path
+        self.fmt = fmt if fmt is not None else infer_format(path)
+        self.name = name or str(path)
+        self.events_emitted = 0
+
+    def threads(self) -> None:
+        return None
+
+    def events(self) -> Iterator[Event]:
+        for event in iter_trace_file(self.path, fmt=self.fmt):
+            self.events_emitted += 1
+            yield event
+
+
+class GeneratorSource:
+    """Source over a synthetic-trace generator (profile, config or callable).
+
+    The trace is generated on first use and cached, so a session's
+    ``threads()`` + ``events()`` calls cost one generation.
+    """
+
+    def __init__(
+        self,
+        factory: Union[BenchmarkProfile, RandomTraceConfig, Callable[[], Trace]],
+        name: str = "",
+    ) -> None:
+        if isinstance(factory, BenchmarkProfile):
+            self._generate: Callable[[], Trace] = factory.generate
+            default_name = factory.name
+        elif isinstance(factory, RandomTraceConfig):
+            self._generate = lambda: generate_trace(factory)
+            default_name = factory.name
+        elif callable(factory):
+            self._generate = factory
+            default_name = getattr(factory, "__name__", "generated")
+        else:
+            raise TypeError(
+                "expected a BenchmarkProfile, RandomTraceConfig or zero-argument "
+                f"callable returning a Trace, got {type(factory).__name__}"
+            )
+        self.name = name or default_name
+        self.events_emitted = 0
+        self._trace: Optional[Trace] = None
+
+    def materialize(self) -> Trace:
+        """The generated trace (created once, then cached)."""
+        if self._trace is None:
+            self._trace = self._generate()
+        return self._trace
+
+    def threads(self) -> Sequence[int]:
+        return self.materialize().threads
+
+    def events(self) -> Iterator[Event]:
+        for event in self.materialize():
+            self.events_emitted += 1
+            yield event
+
+
+class CaptureSource:
+    """Source backed by a live :class:`~repro.capture.recorder.TraceRecorder`.
+
+    Two modes:
+
+    * **Live** — :meth:`attach` subscribes a session to the recorder so
+      every recorded event is fed the moment it is stamped (this is what
+      :class:`repro.capture.OnlineDetector` and the online path of
+      ``repro capture`` do); :meth:`finish` detaches and closes the
+      session.
+    * **Post-hoc** — :meth:`events` replays whatever the recorder has
+      buffered, in stamp order, after the traced program finished.
+
+    In both modes the source collects per-event source locations, so its
+    :meth:`locate` can be handed to the session as the ``locate``
+    callback and races come out annotated with ``file:line``.
+    """
+
+    def __init__(self, recorder: "TraceRecorder") -> None:
+        self.recorder = recorder
+        self.name = recorder.name
+        self.events_emitted = 0
+        self._locations: Dict[int, Optional[str]] = {}
+        self._session: Optional["Session"] = None
+
+    def locate(self, event: Event) -> Optional[str]:
+        """Source location of ``event``, when the recorder captured one."""
+        return self._locations.get(event.eid)
+
+    def threads(self) -> None:
+        return None
+
+    # -- post-hoc replay ---------------------------------------------------------------
+
+    def events(self) -> Iterator[Event]:
+        for seq, tid, kind, target, location in self.recorder.raw_events():
+            if location is not None:
+                self._locations[seq] = location
+            self.events_emitted += 1
+            yield Event(eid=seq, tid=tid, kind=kind, target=target)
+
+    # -- live subscription -------------------------------------------------------------
+
+    def attach(self, session: "Session") -> None:
+        """Begin ``session`` and feed it every event the recorder stamps.
+
+        Call *before* starting the traced threads so no event is missed;
+        the recorder serializes stamping and delivery, so feeds arrive in
+        trace order without extra locking.
+        """
+        if self._session is not None:
+            raise RuntimeError("a session is already attached to this source")
+        session.begin(name=self.name)
+        self._session = session
+        self.recorder.subscribe(self._deliver)
+
+    def _deliver(
+        self, seq: int, tid: int, kind: OpKind, target: object, location: Optional[str]
+    ) -> None:
+        if location is not None:
+            self._locations[seq] = location
+        self.events_emitted += 1
+        assert self._session is not None
+        self._session.feed(Event(eid=seq, tid=tid, kind=kind, target=target))
+
+    def finish(self) -> "SessionResult":
+        """Detach the live session and return its final result."""
+        if self._session is None:
+            raise RuntimeError("no session attached; call attach() first")
+        self.recorder.unsubscribe(self._deliver)
+        session, self._session = self._session, None
+        return session.finish()
+
+
+SourceLike = Union[
+    "EventSource", Trace, str, Path, BenchmarkProfile, RandomTraceConfig, Callable[[], Trace]
+]
+
+
+def as_event_source(source: SourceLike) -> EventSource:
+    """Coerce a raw object into an :class:`EventSource`.
+
+    Accepts an existing source (returned unchanged), a :class:`Trace`, a
+    file path, a :class:`~repro.capture.recorder.TraceRecorder`, a
+    :class:`BenchmarkProfile` / :class:`RandomTraceConfig`, or a
+    zero-argument callable returning a ``Trace``.
+    """
+    if isinstance(source, (TraceSource, FileSource, GeneratorSource, CaptureSource)):
+        return source
+    if isinstance(source, Trace):
+        return TraceSource(source)
+    if isinstance(source, (str, Path)):
+        return FileSource(source)
+    from ..capture.recorder import TraceRecorder  # local import: capture imports api
+
+    if isinstance(source, TraceRecorder):
+        return CaptureSource(source)
+    if isinstance(source, (BenchmarkProfile, RandomTraceConfig)) or callable(source):
+        return GeneratorSource(source)
+    if isinstance(source, EventSource):  # structural check for third-party sources
+        return source
+    raise TypeError(f"cannot build an event source from {type(source).__name__}")

@@ -1,0 +1,184 @@
+"""Analysis configuration as a value: :class:`AnalysisSpec` and :func:`parse_spec`.
+
+A spec names one cell of the paper's evaluation matrix — a partial
+order, a clock data structure, and the optional detection / timestamp /
+work-counting components — as an immutable, hashable value with a
+canonical string form::
+
+    >>> parse_spec("shb+vc+detect")
+    AnalysisSpec(order='SHB', clock='VC', detect=True, ...)
+    >>> AnalysisSpec(order="SHB", clock="VC", detect=True).key
+    'shb+vc+detect'
+
+``parse_spec(spec.key) == spec`` holds for every spec (the round-trip
+the unit tests pin down), so specs can travel through CLIs, JSON
+reports and multiprocessing boundaries as plain strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Union
+
+from ..analysis.engine import PartialOrderAnalysis
+from ..analysis.result import Race
+from ..trace.event import Event
+from .registry import CLOCKS, ORDERS
+
+#: Flag tokens accepted by :func:`parse_spec`, mapped to the spec field they set.
+_FLAG_TOKENS = {
+    "detect": "detect",
+    "races": "detect",
+    "analysis": "detect",
+    "ts": "timestamps",
+    "timestamps": "timestamps",
+    "work": "work",
+    "countonly": "countonly",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AnalysisSpec:
+    """One analysis configuration: order × clock × optional components.
+
+    Attributes
+    ----------
+    order:
+        Partial-order name, resolved through the order registry
+        (``"HB"``, ``"SHB"``, ``"MAZ"``, or anything registered via
+        :func:`repro.api.register_order`).  Stored canonically.
+    clock:
+        Clock name, resolved through the clock registry (``"TC"``,
+        ``"VC"``, ...).  Stored canonically.
+    detect:
+        Run the detection component ("+Analysis" in the paper): race
+        detection for HB/SHB, reversible pairs for MAZ.
+    timestamps:
+        Capture the per-event vector timestamps (O(n·k) memory).
+    work:
+        Attach a work counter to all clocks (Figures 8/9).
+    keep_races:
+        Whether the detector records full race objects or only counts
+        (``False`` is what the timing harness uses).
+    """
+
+    order: str = "HB"
+    clock: str = "TC"
+    detect: bool = False
+    timestamps: bool = False
+    work: bool = False
+    keep_races: bool = True
+
+    def __post_init__(self) -> None:
+        # Normalize to canonical registry names so equal configurations
+        # compare (and hash) equal regardless of the spelling used.
+        object.__setattr__(self, "order", ORDERS.canonical(self.order))
+        object.__setattr__(self, "clock", CLOCKS.canonical(self.clock))
+
+    @property
+    def key(self) -> str:
+        """Canonical string form; ``parse_spec(spec.key) == spec``."""
+        parts = [self.order.lower(), self.clock.lower()]
+        if self.detect:
+            parts.append("detect")
+        if self.timestamps:
+            parts.append("ts")
+        if self.work:
+            parts.append("work")
+        if not self.keep_races:
+            parts.append("countonly")
+        return "+".join(parts)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable form, e.g. ``"SHB/VC"``."""
+        return f"{self.order}/{self.clock}"
+
+    def with_updates(self, **changes: object) -> "AnalysisSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **changes)
+
+    def build(
+        self,
+        *,
+        on_race: Optional[Callable[[Race], None]] = None,
+        locate: Optional[Callable[[Event], Optional[str]]] = None,
+    ) -> PartialOrderAnalysis:
+        """Instantiate the analysis this spec describes.
+
+        ``on_race`` and ``locate`` are forwarded to the analysis; they
+        are runtime wiring (callbacks into a live capture), not part of
+        the spec value itself.
+        """
+        order_cls = ORDERS.get(self.order)
+        clock_cls = CLOCKS.get(self.clock)
+        return order_cls(
+            clock_cls,
+            capture_timestamps=self.timestamps,
+            count_work=self.work,
+            detect=self.detect,
+            keep_races=self.keep_races,
+            on_race=on_race,
+            locate=locate,
+        )
+
+    def __str__(self) -> str:
+        return self.key
+
+
+def parse_spec(text: str) -> AnalysisSpec:
+    """Parse a ``+``-separated spec string into an :class:`AnalysisSpec`.
+
+    Tokens (case-insensitive, any order): a partial-order name (``hb``,
+    ``shb``, ``maz``, ...), a clock name (``tc``, ``vc``, ...), and the
+    flags ``detect`` (aliases ``races``, ``analysis``), ``ts`` (alias
+    ``timestamps``), ``work`` and ``countonly``.  Omitted parts default
+    to ``AnalysisSpec()``'s defaults (HB, TC, everything off)::
+
+        >>> parse_spec("shb")              # SHB with tree clocks
+        >>> parse_spec("hb+vc+detect+work")
+    """
+    order: Optional[str] = None
+    clock: Optional[str] = None
+    flags = {"detect": False, "timestamps": False, "work": False, "countonly": False}
+    for raw_token in text.split("+"):
+        token = raw_token.strip()
+        if not token:
+            raise ValueError(f"empty token in spec {text!r}")
+        if token.lower() in _FLAG_TOKENS:
+            flags[_FLAG_TOKENS[token.lower()]] = True
+        elif token in ORDERS:
+            if order is not None:
+                raise ValueError(f"spec {text!r} names two partial orders")
+            order = token
+        elif token in CLOCKS:
+            if clock is not None:
+                raise ValueError(f"spec {text!r} names two clocks")
+            clock = token
+        else:
+            valid = (
+                [name.lower() for name in ORDERS.names()]
+                + [name.lower() for name in CLOCKS.names()]
+                + sorted(set(_FLAG_TOKENS))
+            )
+            raise ValueError(f"unknown spec token {token!r} in {text!r}; expected one of {valid}")
+    return AnalysisSpec(
+        order=order if order is not None else "HB",
+        clock=clock if clock is not None else "TC",
+        detect=flags["detect"],
+        timestamps=flags["timestamps"],
+        work=flags["work"],
+        keep_races=not flags["countonly"],
+    )
+
+
+SpecLike = Union[AnalysisSpec, str]
+
+
+def coerce_spec(spec: SpecLike) -> AnalysisSpec:
+    """Accept an :class:`AnalysisSpec` or its string form interchangeably."""
+    if isinstance(spec, AnalysisSpec):
+        return spec
+    if isinstance(spec, str):
+        return parse_spec(spec)
+    raise TypeError(f"expected AnalysisSpec or spec string, got {type(spec).__name__}")

@@ -1,10 +1,11 @@
 """``repro capture`` — record a live script and detect races, online.
 
 Runs a target Python script with the instrumented primitives patched in,
-streams every recorded event through the incremental analyses (tree
-clocks and/or vector clocks), and reports races with source locations.
-The captured trace can be saved in STD or CSV (optionally gzipped) for
-later replay through ``repro-analyze`` or the experiment harness.
+streams every recorded event through a multi-spec
+:class:`repro.api.Session` (tree clocks and/or vector clocks riding
+**one** event walk), and reports races with source locations.  The
+captured trace can be saved in STD or CSV (optionally gzipped) for later
+replay through ``repro-analyze`` or the experiment harness.
 
 Examples
 --------
@@ -13,25 +14,28 @@ Examples
     repro capture examples/capture_bank_race.py
     repro capture --order HB --clock TC --save bank.std.gz examples/capture_bank_race.py
     repro capture --post-hoc --check-oracle my_program.py -- --program-arg
+    repro capture --json examples/capture_bank_race.py > report.json
 
 The exit code is 1 when at least one race (or MAZ-reversible pair) was
 reported, 0 when none were, and 2 on capture/script failure — so the
-command slots into CI jobs as a concurrency smoke test.
+command slots into CI jobs as a concurrency smoke test.  With ``--json``
+the race report is emitted as a machine-readable document on stdout
+(diagnostics go to stderr), for scripting and CI artifact collection.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional, Sequence
 
-from ..analysis import analysis_class_by_name
 from ..analysis.graph import GraphOrder
 from ..analysis.result import AnalysisResult, Race
-from ..clocks import clock_class_by_name
+from ..api import ORDERS, AnalysisSpec, CaptureSource, Session, SessionResult
+from ..cli_util import make_say
 from ..trace.io import infer_format, save_trace
 from ..trace.trace import Trace
 from ..trace.validation import validate_trace
-from .online import OnlineDetector
 from .recorder import TraceRecorder
 from .runner import run_script
 
@@ -50,7 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
         "script_args", nargs=argparse.REMAINDER, help="arguments passed to the script"
     )
     parser.add_argument(
-        "--order", default="SHB", choices=["HB", "SHB", "MAZ"], help="partial order to compute"
+        "--order", default="SHB", choices=ORDERS.names(), help="partial order to compute"
     )
     parser.add_argument(
         "--clock",
@@ -80,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--limit", type=int, default=20, help="limit printed races")
     parser.add_argument("--quiet", action="store_true", help="suppress live race reports")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report on stdout (diagnostics on stderr)",
+    )
     return parser
 
 
@@ -108,106 +117,129 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if script_args and script_args[0] == "--":
         script_args = script_args[1:]
 
+    say = make_say(args.json)
+
     recorder = TraceRecorder(name=args.script, record_locations=not args.no_locations)
     label = "reversible pairs" if args.order == "MAZ" else "races"
+    specs = [
+        AnalysisSpec(order=args.order, clock=clock, detect=True)
+        for clock in _clock_names(args.clock)
+    ]
 
-    detectors: List[OnlineDetector] = []
+    def live_report(race: Race) -> None:
+        if not args.quiet:
+            say(f"RACE {race.pair()}")
+
+    # Online mode: one session with all clock specs rides the single
+    # recorded event stream; the first spec narrates, all specs count.
+    source = CaptureSource(recorder)
+    session = Session(
+        specs,
+        on_race=None if (args.post_hoc or args.json) else live_report,
+        locate=source.locate,
+    )
     if not args.post_hoc:
-        def live_report(race: Race) -> None:
-            if not args.quiet:
-                print(f"RACE {race.pair()}")
-
-        for position, clock_name in enumerate(_clock_names(args.clock)):
-            detectors.append(
-                OnlineDetector(
-                    recorder,
-                    order=args.order,
-                    clock_class=clock_class_by_name(clock_name),
-                    # Only the first detector narrates; both count.
-                    on_race=live_report if position == 0 else None,
-                )
-            )
+        source.attach(session)
 
     try:
         run_script(args.script, script_args, recorder=recorder, patch=not args.no_patch)
     except SystemExit as exit_request:  # scripts may sys.exit(); keep their code if nonzero
         code = exit_request.code
         if code not in (None, 0):
-            print(f"error: script exited with {code!r} during capture")
+            say(f"error: script exited with {code!r} during capture")
             return 2
     except Exception as error:  # noqa: BLE001 - report and fail the capture
-        print(f"error: script raised {type(error).__name__}: {error}")
+        say(f"error: script raised {type(error).__name__}: {error}")
         return 2
 
     trace, locations = recorder.snapshot()
-    print(
+    say(
         f"captured {len(trace)} events from {trace.num_threads} threads "
         f"({len(trace.locks)} locks, {len(trace.variables)} variables)"
     )
 
     problems = validate_trace(trace)
     if problems:
-        print(f"warning: captured trace is not well-formed ({len(problems)} problems):")
+        say(f"warning: captured trace is not well-formed ({len(problems)} problems):")
         for problem in problems[:5]:
-            print(f"  - {problem}")
+            say(f"  - {problem}")
 
-    results: List[AnalysisResult] = []
     if args.post_hoc:
-        for clock_name in _clock_names(args.clock):
-            analysis = analysis_class_by_name(args.order)(
-                clock_class_by_name(clock_name), detect=True
-            )
-            results.append(analysis.run(trace))
+        # Replay the recorder's buffered stream through the same session —
+        # still one walk for all clock configurations.
+        session_result: SessionResult = session.run(source)
     else:
-        results = [detector.finish() for detector in detectors]
+        session_result = source.finish()
+    results: List[AnalysisResult] = [session_result[spec] for spec in specs]
 
+    mode = "post-hoc" if args.post_hoc else "online"
     race_counts = []
     for result in results:
         assert result.detection is not None
         race_counts.append(result.detection.race_count)
-        mode = "post-hoc" if args.post_hoc else "online"
-        print(
+        say(
             f"{result.partial_order}/{result.clock_name} ({mode}): "
             f"{result.detection.race_count} {label} "
             f"on {len(result.detection.racy_variables)} variables"
         )
 
-    if len(set(race_counts)) > 1:
-        print(f"error: clock implementations disagree on the {label} count: {race_counts}")
-        return 2
+    clocks_agree = len(set(race_counts)) == 1
+    if not clocks_agree:
+        say(f"error: clock implementations disagree on the {label} count: {race_counts}")
 
     primary = results[0]
     assert primary.detection is not None
-    for race in primary.detection.races[: args.limit]:
-        print(f"  {_race_line(race, trace, locations)}")
-    hidden = len(primary.detection.races) - args.limit
-    if hidden > 0:
-        print(f"  ... and {hidden} more")
+    if not args.json and clocks_agree:
+        for race in primary.detection.races[: args.limit]:
+            print(f"  {_race_line(race, trace, locations)}")
+        hidden = len(primary.detection.races) - args.limit
+        if hidden > 0:
+            print(f"  ... and {hidden} more")
 
+    oracle_agrees: Optional[bool] = None
     if args.check_oracle:
         # The well-defined cross-check is race *existence* against the HB
         # oracle (the detectors check pairs before adding the ordering edge
         # for the pair itself, so per-pair counts are not comparable; MAZ
         # orders all conflicting pairs, so its oracle is trivially race-free).
         if args.order == "MAZ":
-            print("oracle check skipped: not meaningful for MAZ reversible pairs")
+            say("oracle check skipped: not meaningful for MAZ reversible pairs")
         elif len(trace) > ORACLE_EVENT_LIMIT:
-            print(f"oracle check skipped: trace has more than {ORACLE_EVENT_LIMIT} events")
+            say(f"oracle check skipped: trace has more than {ORACLE_EVENT_LIMIT} events")
         else:
             oracle_has_race = bool(GraphOrder(trace, "HB").racy_pairs())
             streaming_has_race = race_counts[0] > 0
-            agrees = oracle_has_race == streaming_has_race
-            print(
+            oracle_agrees = oracle_has_race == streaming_has_race
+            say(
                 f"oracle check (HB): trace {'has' if oracle_has_race else 'has no'} races, "
                 f"streaming {'reported' if streaming_has_race else 'reported none'} "
-                f"-> {'agree' if agrees else 'DISAGREE'}"
+                f"-> {'agree' if oracle_agrees else 'DISAGREE'}"
             )
-            if not agrees:
-                return 2
 
     if args.save:
         fmt = args.format if args.format is not None else infer_format(args.save)
         save_trace(trace, args.save, fmt=fmt)
-        print(f"trace saved to {args.save} ({fmt})")
+        say(f"trace saved to {args.save} ({fmt})")
 
+    # The JSON report is emitted even on disagreement — exactly the case
+    # the clocks_agree / oracle_agrees fields exist to record.
+    if args.json:
+        payload = session_result.as_dict()
+        payload.update(
+            {
+                "script": args.script,
+                "mode": mode,
+                "threads": trace.num_threads,
+                "locks": len(trace.locks),
+                "variables": len(trace.variables),
+                "validation_problems": len(problems),
+                "clocks_agree": clocks_agree,
+                "oracle_agrees": oracle_agrees,
+                "saved": args.save,
+            }
+        )
+        print(json.dumps(payload, indent=2))
+
+    if not clocks_agree or oracle_agrees is False:
+        return 2
     return 1 if race_counts[0] > 0 else 0

@@ -1,31 +1,64 @@
 """Online race detection: drive an analysis while the program still runs.
 
-An :class:`OnlineDetector` subscribes to a
-:class:`~repro.capture.recorder.TraceRecorder` and feeds every recorded
-event straight into the incremental ``begin()/feed()/finish()`` API of
-:class:`~repro.analysis.engine.PartialOrderAnalysis` — the streaming
-analyses are single-pass by design, so "online" is literally the same
-algorithm with events arriving from live threads instead of a list.  The
-thread universe grows as threads are forked (no need to know ``k``
-upfront), and races surface through the ``on_race`` callback the moment
-the second access of the pair is recorded — while the traced program is
-still executing.
+An :class:`OnlineDetector` is a thin adapter over the unified session
+API: a single-spec :class:`repro.api.Session` attached to a
+:class:`repro.api.CaptureSource` over the recorder.  Every recorded
+event is fed straight into the incremental ``begin()/feed()/finish()``
+engine underneath — the streaming analyses are single-pass by design, so
+"online" is literally the same algorithm with events arriving from live
+threads instead of a list.  The thread universe grows as threads are
+forked (no need to know ``k`` upfront), and races surface through the
+``on_race`` callback the moment the second access of the pair is
+recorded — while the traced program is still executing.
 
 Because the recorder serializes stamping and delivery, ``feed`` runs in
 trace order under the recorder's delivery lock; the analysis itself
 needs no extra synchronization.
+
+Migration note
+--------------
+This class predates :mod:`repro.api` and is kept as a convenience for
+the common one-spec case.  New code that wants several configurations
+over one capture (e.g. TC *and* VC cross-checking the same stream, as
+``repro capture`` does) should build a multi-spec
+:class:`~repro.api.Session` and ``CaptureSource.attach`` it directly —
+one walk, k analyses — instead of stacking one detector per
+configuration.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Type
+from typing import Callable, List, Optional, Type
 
-from ..analysis import analysis_class_by_name
 from ..analysis.result import AnalysisResult, Race
+from ..api import AnalysisSpec, CaptureSource, Session
+from ..api.registry import CLOCKS
 from ..clocks.base import Clock
-from ..clocks.tree_clock import TreeClock
-from ..trace.event import Event, OpKind
 from .recorder import TraceRecorder
+
+
+def _clock_name(clock_class: Optional[Type[Clock]]) -> str:
+    """Resolve a clock class to its registry name (registering it if new).
+
+    A class whose ``SHORT_NAME`` collides with a *different* registered
+    class — e.g. a ``TreeClock`` subclass inheriting ``SHORT_NAME="TC"``
+    — is registered under its own class name instead (suffixed with a
+    counter if that collides too), so no existing entry is ever
+    retargeted: every name a consumer already resolves keeps resolving
+    to the same class.
+    """
+    if clock_class is None:
+        return "TC"
+    candidates = [getattr(clock_class, "SHORT_NAME", clock_class.__name__), clock_class.__name__]
+    candidates.extend(f"{clock_class.__name__}{counter}" for counter in range(2, 100))
+    for name in candidates:
+        if name in CLOCKS:
+            if CLOCKS.get(name) is clock_class:
+                return name
+            continue  # taken by a different class; try the next candidate
+        CLOCKS.register(name, clock_class)
+        return name
+    raise ValueError(f"cannot find a free registry name for clock class {clock_class!r}")
 
 
 class OnlineDetector:
@@ -38,14 +71,14 @@ class OnlineDetector:
         starting the traced threads so no event is missed.
     order:
         Partial order to compute: ``"HB"``, ``"SHB"`` (race detection) or
-        ``"MAZ"`` (reversible pairs).
+        ``"MAZ"`` (reversible pairs) — any name in the order registry.
     clock_class:
         Clock data structure; defaults to the tree clock.
     on_race:
         Optional callback invoked with each :class:`Race` as it is found,
         concurrently with the traced program's execution.
     keep_races / count_work / capture_timestamps:
-        Forwarded to the underlying analysis.
+        Forwarded to the underlying analysis (via the spec).
 
     Example
     -------
@@ -67,46 +100,33 @@ class OnlineDetector:
         capture_timestamps: bool = False,
     ) -> None:
         self.recorder = recorder
-        self._locations: Dict[int, Optional[str]] = {}
-        analysis_class = analysis_class_by_name(order)
-        self.analysis = analysis_class(
-            clock_class if clock_class is not None else TreeClock,
+        self.spec = AnalysisSpec(
+            order=order,
+            clock=_clock_name(clock_class),
             detect=True,
+            timestamps=capture_timestamps,
+            work=count_work,
             keep_races=keep_races,
-            count_work=count_work,
-            capture_timestamps=capture_timestamps,
-            on_race=on_race,
-            locate=self._locate,
         )
-        self.analysis.begin(trace_name=recorder.name)
+        self._source = CaptureSource(recorder)
+        self._session = Session([self.spec], on_race=on_race, locate=self._source.locate)
+        self._source.attach(self._session)
+        #: The live analysis instance (exposed for inspection/tests).
+        self.analysis = self._session.analyses[self.spec.key]
         self._result: Optional[AnalysisResult] = None
-        recorder.subscribe(self._on_event)
-
-    # -- recorder callback ------------------------------------------------------------
-
-    def _locate(self, event: Event) -> Optional[str]:
-        return self._locations.get(event.eid)
-
-    def _on_event(
-        self, seq: int, tid: int, kind: OpKind, target: object, location: Optional[str]
-    ) -> None:
-        if location is not None:
-            self._locations[seq] = location
-        self.analysis.feed(Event(eid=seq, tid=tid, kind=kind, target=target))
 
     # -- results ------------------------------------------------------------------------
 
     def finish(self) -> AnalysisResult:
         """Unsubscribe and return the final result (idempotent)."""
         if self._result is None:
-            self.recorder.unsubscribe(self._on_event)
-            self._result = self.analysis.finish()
+            self._result = self._source.finish()[self.spec]
         return self._result
 
     @property
     def events_fed(self) -> int:
         """Number of events the analysis has consumed so far."""
-        return self.analysis._events_fed
+        return self._session.events_fed if self._result is None else self._result.num_events
 
     @property
     def races(self) -> List[Race]:

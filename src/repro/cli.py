@@ -2,8 +2,17 @@
 
 This is the user-facing counterpart of the library API: point it at a
 trace file (STD or CSV format, optionally gzipped, see
-:mod:`repro.trace.io`), pick a partial order and a clock data structure,
-and get timestamps, races and cost statistics without writing any Python.
+:mod:`repro.trace.io`), pick one or more analysis configurations, and
+get timestamps, races and cost statistics without writing any Python.
+
+Configurations are selected either with the classic
+``--order/--clock/--races/--work/--timestamps`` flags (one
+configuration) or with one or more ``--spec`` strings
+(``--spec hb+tc+detect --spec hb+vc+detect``); either way all requested
+combinations ride **one** pass over the trace through a
+:class:`repro.api.Session`.  ``--json`` emits the full machine-readable
+report; ``--stream`` reads the file lazily (O(1) memory) instead of
+loading it.
 
 The ``capture`` subcommand records a trace from a *live* script instead
 of loading one from disk, running online race detection while the script
@@ -15,7 +24,8 @@ Examples
 
     repro trace.std --order HB --races
     repro trace.csv.gz --format csv --order SHB --clock VC --work
-    repro trace.std --order MAZ --timestamps --limit 20
+    repro trace.std --spec hb+tc+detect --spec hb+vc+detect --json
+    repro trace.std.gz --stream --spec shb+tc+detect
     repro --demo --races --show-clocks
     repro capture examples/capture_bank_race.py
     repro capture --order HB --save bank.std.gz examples/capture_bank_race.py
@@ -24,11 +34,14 @@ Examples
 from __future__ import annotations
 
 import argparse
+import itertools
+import json
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from .analysis import ANALYSIS_CLASSES, analysis_class_by_name
-from .clocks import TreeClock, clock_class_by_name
+from .api import CLOCKS, ORDERS, AnalysisSpec, FileSource, Session, TraceSource, parse_spec
+from .api.sources import EventSource
+from .cli_util import make_say
 from .clocks.render import render_clock
 from .trace import TraceBuilder, infer_format, load_trace
 from .trace.stats import compute_statistics
@@ -50,9 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace file format (default: inferred from the file suffix)",
     )
     parser.add_argument(
-        "--order", default="HB", choices=sorted(ANALYSIS_CLASSES), help="partial order to compute"
+        "--order", default="HB", choices=ORDERS.names(), help="partial order to compute"
     )
-    parser.add_argument("--clock", default="TC", choices=["TC", "VC"], help="clock data structure")
+    parser.add_argument(
+        "--clock", default="TC", choices=CLOCKS.names(), help="clock data structure"
+    )
+    parser.add_argument(
+        "--spec",
+        action="append",
+        metavar="SPEC",
+        help="analysis spec like 'hb+tc+detect' (repeatable; all specs share one "
+        "trace walk and override --order/--clock/--races/--work/--timestamps)",
+    )
     parser.add_argument("--races", action="store_true", help="run the race/concurrency detector")
     parser.add_argument("--timestamps", action="store_true", help="print per-event vector timestamps")
     parser.add_argument("--work", action="store_true", help="report data-structure work counters")
@@ -60,6 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--show-clocks", action="store_true", help="print the final per-thread clocks")
     parser.add_argument("--limit", type=int, default=None, help="limit printed events/races")
     parser.add_argument("--demo", action="store_true", help="analyze a small built-in demo trace")
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the trace file lazily instead of loading it (O(1) memory; "
+        "skips trace validation and statistics)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report on stdout (diagnostics on stderr)",
+    )
     return parser
 
 
@@ -83,6 +116,28 @@ def _load(args: argparse.Namespace) -> Trace:
     return load_trace(args.trace, fmt=fmt, name=args.trace)
 
 
+def _specs(args: argparse.Namespace) -> List[AnalysisSpec]:
+    """The analysis specs selected by the command line.
+
+    ``--spec`` (repeatable) wins; otherwise the classic flags are folded
+    into a single spec, preserving the pre-session CLI behavior.
+    """
+    if args.spec:
+        try:
+            return [parse_spec(text) for text in args.spec]
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from error
+    return [
+        AnalysisSpec(
+            order=args.order,
+            clock=args.clock,
+            detect=args.races,
+            timestamps=args.timestamps,
+            work=args.work,
+        )
+    ]
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -103,62 +158,96 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             return capture_main(arguments[1:])
     args = build_parser().parse_args(arguments)
-    trace = _load(args)
 
-    problems = validate_trace(trace)
-    if problems:
-        print(f"warning: trace is not well-formed ({len(problems)} problems); results may be off:")
-        for problem in problems[:5]:
-            print(f"  - {problem}")
+    say = make_say(args.json)
 
-    stats = compute_statistics(trace)
-    print(
-        f"trace {trace.name!r}: {stats.num_events} events, {stats.num_threads} threads, "
-        f"{stats.num_locks} locks, {stats.num_variables} variables, "
-        f"{100 * stats.sync_fraction:.1f}% sync events"
-    )
-    if args.stats:
-        for key, value in stats.as_row().items():
-            print(f"  {key}: {value}")
+    specs = _specs(args)
+    trace: Optional[Trace] = None
+    problems: List[object] = []
+    stats = None
+    source: EventSource
+    if args.stream and not args.demo:
+        if not args.trace:
+            raise SystemExit("error: provide a trace file or use --demo")
+        source = FileSource(args.trace, fmt=args.format)
+    else:
+        trace = _load(args)
+        problems = validate_trace(trace)
+        if problems:
+            say(f"warning: trace is not well-formed ({len(problems)} problems); results may be off:")
+            for problem in problems[:5]:
+                say(f"  - {problem}")
+        stats = compute_statistics(trace)
+        say(
+            f"trace {trace.name!r}: {stats.num_events} events, {stats.num_threads} threads, "
+            f"{stats.num_locks} locks, {stats.num_variables} variables, "
+            f"{100 * stats.sync_fraction:.1f}% sync events"
+        )
+        if args.stats:
+            for key, value in stats.as_row().items():
+                say(f"  {key}: {value}")
+        source = TraceSource(trace)
 
-    analysis_class = analysis_class_by_name(args.order)
-    clock_class = clock_class_by_name(args.clock)
-    analysis = analysis_class(
-        clock_class,
-        capture_timestamps=args.timestamps,
-        count_work=args.work,
-        detect=args.races,
-    )
-    result = analysis.run(trace)
-    print(
-        f"{result.partial_order} computed with {result.clock_name} in "
-        f"{result.elapsed_seconds * 1e3:.1f} ms"
-    )
-
-    if args.timestamps and result.timestamps is not None:
-        limit = args.limit if args.limit is not None else len(trace)
-        for event in list(trace)[:limit]:
-            print(f"  [{event.eid}] {event.pretty():30s} {result.timestamps[event.eid]}")
-
-    if args.work and result.work is not None:
-        work = result.work
-        print(
-            f"work: {work.entries_processed} entries processed, "
-            f"{work.entries_updated} updated, {work.joins} joins, {work.copies} copies"
+    session = Session(specs)
+    session_result = session.run(source)
+    if args.stream and trace is None:
+        say(
+            f"streamed {session_result.num_events} events from {source.name!r} "
+            f"(lazy; validation and statistics skipped)"
         )
 
-    if args.races and result.detection is not None:
-        detection = result.detection
-        label = "reversible pairs" if result.partial_order == "MAZ" else "races"
-        print(f"{label}: {detection.race_count} (on {len(detection.racy_variables)} variables)")
-        limit = args.limit if args.limit is not None else len(detection.races)
-        for race in detection.races[:limit]:
-            print(f"  {race.pair()}")
+    if args.json:
+        if args.show_clocks:
+            say("warning: --show-clocks has no JSON form and is ignored with --json")
+        payload = session_result.as_dict()
+        # None (not 0) when --stream skipped validation: "not checked"
+        # must stay distinguishable from "checked and clean".
+        payload["validation_problems"] = len(problems) if trace is not None else None
+        if stats is not None:
+            payload["statistics"] = {
+                str(key): value for key, value in stats.as_row().items()
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    timestamps_shown = False
+    for spec in specs:
+        result = session_result[spec]
+        print(
+            f"{result.partial_order} computed with {result.clock_name} in "
+            f"{result.elapsed_seconds * 1e3:.1f} ms"
+        )
+
+        if spec.timestamps and result.timestamps is not None and not timestamps_shown:
+            timestamps_shown = True
+            # In --stream mode this is a second lazy pass over the file,
+            # cut off at the display limit (and at the analyzed prefix,
+            # in case the file grew between the walks).
+            limit = args.limit if args.limit is not None else len(result.timestamps)
+            events = iter(trace) if trace is not None else source.events()
+            for event in itertools.islice(events, min(limit, len(result.timestamps))):
+                print(f"  [{event.eid}] {event.pretty():30s} {result.timestamps[event.eid]}")
+
+        if spec.work and result.work is not None:
+            work = result.work
+            print(
+                f"work: {work.entries_processed} entries processed, "
+                f"{work.entries_updated} updated, {work.joins} joins, {work.copies} copies"
+            )
+
+        if spec.detect and result.detection is not None:
+            detection = result.detection
+            label = "reversible pairs" if result.partial_order == "MAZ" else "races"
+            print(f"{label}: {detection.race_count} (on {len(detection.racy_variables)} variables)")
+            limit = args.limit if args.limit is not None else len(detection.races)
+            for race in detection.races[:limit]:
+                print(f"  {race.pair()}")
 
     if args.show_clocks:
-        for tid in sorted(analysis.thread_clocks):
+        primary = session.analyses[specs[0].key]
+        for tid in sorted(primary.thread_clocks):
             print(f"clock of thread t{tid}:")
-            for line in render_clock(analysis.thread_clocks[tid]).splitlines():
+            for line in render_clock(primary.thread_clocks[tid]).splitlines():
                 print(f"  {line}")
 
     return 0

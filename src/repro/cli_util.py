@@ -1,0 +1,21 @@
+"""Small helpers shared by the ``repro`` command-line front ends."""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+
+def make_say(json_mode: bool) -> Callable[..., None]:
+    """A ``print``-alike for human diagnostics.
+
+    In ``--json`` mode stdout must carry only the JSON document, so all
+    diagnostics are routed to stderr; otherwise this is plain ``print``.
+    """
+    if not json_mode:
+        return print
+
+    def say(*args: object, **kwargs: object) -> None:
+        print(*args, file=sys.stderr, **kwargs)
+
+    return say

@@ -16,7 +16,8 @@ from .render import render_clock, render_tree_clock, render_vector_time
 from .tree_clock import TreeClock, TreeClockNode
 from .vector_clock import VectorClock
 
-#: Clock classes selectable by short name (used by the CLI and experiments).
+#: Clock classes selectable by short name (legacy surface; the extensible
+#: registry lives in :mod:`repro.api.registry`).
 CLOCK_CLASSES = {
     "VC": VectorClock,
     "TC": TreeClock,
@@ -24,11 +25,14 @@ CLOCK_CLASSES = {
 
 
 def clock_class_by_name(name: str) -> type:
-    """Resolve ``"VC"`` / ``"TC"`` (case-insensitive) to a clock class."""
-    try:
-        return CLOCK_CLASSES[name.upper()]
-    except KeyError as exc:
-        raise ValueError(f"unknown clock class {name!r}; expected one of {sorted(CLOCK_CLASSES)}") from exc
+    """Resolve ``"VC"`` / ``"TC"`` (case-insensitive) to a clock class.
+
+    Delegates to the :mod:`repro.api` clock registry, so clocks added via
+    :func:`repro.api.register_clock` resolve here as well.
+    """
+    from ..api.registry import CLOCKS  # local import: repro.api sits above this package
+
+    return CLOCKS.get(name)
 
 
 __all__ = [

@@ -5,15 +5,22 @@ Usage (after ``pip install -e .``)::
     repro-experiments list
     repro-experiments table2 --scale 0.5 --repetitions 1
     repro-experiments all --scale 0.25 --max-profiles 8
+    repro-experiments sweep --scale 0.05 --repetitions 1 --json sweep.json
     python -m repro.experiments figure10 --events 5000 --threads 10 20 40
 
 Each experiment prints a plain-text report whose rows correspond to the
-table or figure of the paper it reproduces.
+table or figure of the paper it reproduces.  ``sweep`` instead runs the
+whole session sweep (every trace × order × clock × ±analysis cell, one
+shared walk per (trace, order) pair) and emits a machine-readable JSON
+document — the CI benchmark smoke job uploads it as an artifact so perf
+regressions leave a trail.  ``--workers N`` fans the per-trace
+measurements out across processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -43,8 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which experiment to run ('all' runs every one, 'list' only lists them)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "sweep"],
+        help="which experiment to run ('all' runs every one, 'list' only lists "
+        "them, 'sweep' runs the full session sweep and emits JSON)",
     )
     parser.add_argument("--scale", type=float, default=1.0, help="suite event-count multiplier")
     parser.add_argument(
@@ -69,6 +77,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="thread counts for the scalability sweep (figure10)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the per-trace sweep (default: 1, in process)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the sweep's JSON payload to PATH ('-' for stdout; sweep only)",
+    )
     return parser
 
 
@@ -78,6 +98,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> ExperimentReport:
         repetitions=args.repetitions,
         orders=tuple(args.orders),
         max_profiles=args.max_profiles,
+        workers=args.workers,
     )
     if name == "figure10":
         scalability = ScalabilityConfig(
@@ -98,6 +119,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, module in sorted(EXPERIMENTS.items()):
             first_line = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:10s} {first_line}")
+        return 0
+    if args.experiment == "sweep":
+        config = ExperimentConfig(
+            scale=args.scale,
+            repetitions=args.repetitions,
+            orders=tuple(args.orders),
+            max_profiles=args.max_profiles,
+            workers=args.workers,
+        )
+        payload = SuiteRunner(config).sweep()
+        document = json.dumps(payload, indent=2)
+        if args.json is None or args.json == "-":
+            print(document)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
+            print(f"sweep written to {args.json} ({len(payload['speedups'])} timing cells)")
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -26,7 +26,7 @@ from typing import Optional, Sequence
 
 from ..analysis import HBAnalysis
 from ..gen.scenarios import DEFAULT_THREAD_COUNTS, SCENARIOS
-from ..metrics.timing import compare_clocks
+from ..metrics.timing import compare_clocks_session
 from ..metrics.work import measure_work
 from .reporting import ExperimentReport
 from .runner import ExperimentConfig
@@ -56,7 +56,9 @@ def run(
         last_speedup = None
         for num_threads in scalability.thread_counts:
             trace = make_trace(num_threads, scalability.num_events, scalability.seed)
-            timing = compare_clocks(
+            # Session-shared comparison, same methodology as SuiteRunner's
+            # sweep cells, so Figure 10 speedups are comparable to Table 2's.
+            timing = compare_clocks_session(
                 trace, HBAnalysis, with_analysis=False, repetitions=scalability.repetitions
             )
             work = measure_work(trace, HBAnalysis)

@@ -8,17 +8,27 @@ measures data-structure work (Figures 8 and 9) and scalability
 of these (suite scale, repetitions, which partial orders to include) and
 :class:`SuiteRunner` caches the generated traces and the per-trace
 measurements so that several experiment runners can share one sweep.
+
+The sweep itself goes through :mod:`repro.api` sessions: for every
+(trace, order) pair the VC and TC cells share **one** event walk per
+repetition (:func:`~repro.metrics.timing.compare_clocks_session`), and
+the work cells likewise (:func:`~repro.metrics.work.measure_work`).
+With ``ExperimentConfig(workers=N)`` the per-trace measurements
+additionally fan out across ``N`` worker processes — each worker
+regenerates its profile's trace from the (picklable) config and runs the
+full order sweep for it, so the parent never materializes those traces.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from ..analysis import ANALYSIS_CLASSES
 from ..analysis.engine import PartialOrderAnalysis
 from ..gen.suite import BenchmarkProfile, default_suite
-from ..metrics.timing import SpeedupSample, compare_clocks
+from ..metrics.timing import SpeedupSample, compare_clocks_session
 from ..metrics.work import WorkMeasurement, measure_work
 from ..trace.stats import TraceStatistics, compute_statistics
 from ..trace.trace import Trace
@@ -46,6 +56,11 @@ class ExperimentConfig:
         Optional cap on the number of suite profiles (for quick runs).
     families:
         Optional family filter for the suite.
+    workers:
+        Number of worker processes for the per-trace sweep (1 = in
+        process, the default).  Opt-in: timing numbers from parallel
+        workers share cores, so use >1 for functional sweeps and work
+        counting rather than publication-grade timings.
     """
 
     scale: float = 1.0
@@ -53,6 +68,7 @@ class ExperimentConfig:
     orders: Sequence[str] = DEFAULT_ORDERS
     max_profiles: Optional[int] = None
     families: Optional[Sequence[str]] = None
+    workers: int = 1
 
     def analysis_classes(self) -> List[Type[PartialOrderAnalysis]]:
         """The analysis classes selected by :attr:`orders`."""
@@ -63,6 +79,35 @@ class ExperimentConfig:
                 raise ValueError(f"unknown partial order {order!r}")
             classes.append(ANALYSIS_CLASSES[normalized])
         return classes
+
+
+def _profile_speedups(
+    profile: BenchmarkProfile,
+    orders: Sequence[str],
+    with_analysis: bool,
+    repetitions: int,
+) -> List[SpeedupSample]:
+    """One worker's share of the timing sweep: regenerate a trace, run its cells.
+
+    Module-level so it pickles for :mod:`multiprocessing`; only builtin
+    and frozen-dataclass values cross the process boundary.
+    """
+    trace = profile.generate()
+    return [
+        compare_clocks_session(
+            trace,
+            ANALYSIS_CLASSES[order.upper()],
+            with_analysis=with_analysis,
+            repetitions=repetitions,
+        )
+        for order in orders
+    ]
+
+
+def _profile_work(profile: BenchmarkProfile, orders: Sequence[str]) -> List[WorkMeasurement]:
+    """One worker's share of the work sweep (same pickling contract)."""
+    trace = profile.generate()
+    return [measure_work(trace, ANALYSIS_CLASSES[order.upper()]) for order in orders]
 
 
 class SuiteRunner:
@@ -112,11 +157,14 @@ class SuiteRunner:
         analysis_class: Type[PartialOrderAnalysis],
         with_analysis: bool,
     ) -> SpeedupSample:
-        """The (cached) VC-vs-TC timing comparison for one configuration."""
+        """The (cached) VC-vs-TC timing comparison for one configuration.
+
+        Both clock cells share one session walk per repetition.
+        """
         key = (trace.name, analysis_class.PARTIAL_ORDER, with_analysis)
         cached = self._speedups.get(key)
         if cached is None:
-            cached = compare_clocks(
+            cached = compare_clocks_session(
                 trace,
                 analysis_class,
                 with_analysis=with_analysis,
@@ -126,12 +174,44 @@ class SuiteRunner:
         return cached
 
     def speedups(self, with_analysis: bool) -> List[SpeedupSample]:
-        """Timing comparisons for every (trace, partial order) pair."""
-        samples: List[SpeedupSample] = []
-        for trace in self.traces():
-            for analysis_class in self.config.analysis_classes():
-                samples.append(self.speedup(trace, analysis_class, with_analysis))
-        return samples
+        """Timing comparisons for every (trace, partial order) pair.
+
+        With ``config.workers > 1`` the uncached profiles fan out across
+        worker processes, one full order sweep per profile per task; the
+        results land in the same cache the sequential path uses.
+        """
+        orders = [cls.PARTIAL_ORDER for cls in self.config.analysis_classes()]
+        if self.config.workers > 1:
+            # Ship only the missing (profile, order) cells to the workers,
+            # so partially-cached profiles are not re-timed (or their
+            # traces regenerated) for cells the cache already holds.
+            tasks = []
+            for profile in self.profiles:
+                missing = [
+                    order
+                    for order in orders
+                    if (profile.name, order, with_analysis) not in self._speedups
+                ]
+                if missing:
+                    tasks.append((profile, missing, with_analysis, self.config.repetitions))
+            if tasks:
+                with multiprocessing.Pool(self.config.workers) as pool:
+                    per_profile = pool.starmap(_profile_speedups, tasks)
+                for samples in per_profile:
+                    for sample in samples:
+                        key = (sample.trace_name, sample.partial_order, with_analysis)
+                        self._speedups[key] = sample
+        samples_out: List[SpeedupSample] = []
+        for profile in self.profiles:
+            for order in orders:
+                key = (profile.name, order, with_analysis)
+                cached = self._speedups.get(key)
+                if cached is None:
+                    cached = self.speedup(
+                        self.trace(profile), ANALYSIS_CLASSES[order], with_analysis
+                    )
+                samples_out.append(cached)
+        return samples_out
 
     def work_measurement(
         self, trace: Trace, analysis_class: Type[PartialOrderAnalysis]
@@ -147,11 +227,65 @@ class SuiteRunner:
     def work_measurements(
         self, orders: Optional[Sequence[str]] = None
     ) -> List[WorkMeasurement]:
-        """Work metrics for every trace and the selected partial orders."""
+        """Work metrics for every trace and the selected partial orders.
+
+        Fans out across ``config.workers`` processes like
+        :meth:`speedups`, regenerating traces in the workers and filling
+        the same per-(trace, order) cache.
+        """
         selected = list(orders) if orders is not None else list(self.config.orders)
+        if self.config.workers > 1:
+            tasks = []
+            for profile in self.profiles:
+                missing = [
+                    order
+                    for order in selected
+                    if (profile.name, order.upper()) not in self._work
+                ]
+                if missing:
+                    tasks.append((profile, missing))
+            if tasks:
+                with multiprocessing.Pool(self.config.workers) as pool:
+                    per_profile = pool.starmap(_profile_work, tasks)
+                for measurements in per_profile:
+                    for measurement in measurements:
+                        key = (measurement.trace_name, measurement.partial_order)
+                        self._work[key] = measurement
         classes = [ANALYSIS_CLASSES[name.upper()] for name in selected]
-        measurements: List[WorkMeasurement] = []
-        for trace in self.traces():
+        measurements_out: List[WorkMeasurement] = []
+        for profile in self.profiles:
             for analysis_class in classes:
-                measurements.append(self.work_measurement(trace, analysis_class))
-        return measurements
+                key = (profile.name, analysis_class.PARTIAL_ORDER)
+                cached = self._work.get(key)
+                if cached is None:
+                    cached = self.work_measurement(self.trace(profile), analysis_class)
+                measurements_out.append(cached)
+        return measurements_out
+
+    # -- the whole sweep, machine-readable ----------------------------------------------
+
+    def sweep(self) -> Dict[str, object]:
+        """Run the full session sweep and return a JSON-serializable payload.
+
+        Covers every (trace, order) pair with and without the analysis
+        component (timing) plus the work metrics — the matrix behind
+        Table 2 and Figures 6–9 — in one document.  This is what
+        ``repro-experiments sweep --json`` emits and what the CI
+        benchmark smoke job uploads as an artifact.
+        """
+        return {
+            "config": {
+                "scale": self.config.scale,
+                "repetitions": self.config.repetitions,
+                "orders": list(self.config.orders),
+                "max_profiles": self.config.max_profiles,
+                "workers": self.config.workers,
+            },
+            "profiles": [profile.name for profile in self.profiles],
+            "speedups": [
+                sample.as_row()
+                for with_analysis in (False, True)
+                for sample in self.speedups(with_analysis)
+            ],
+            "work": [measurement.as_row() for measurement in self.work_measurements()],
+        }

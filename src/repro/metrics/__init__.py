@@ -6,6 +6,7 @@ from .timing import (
     TimingSample,
     average_speedup,
     compare_clocks,
+    compare_clocks_session,
     geometric_mean,
     time_analysis,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "WorkMeasurement",
     "average_speedup",
     "compare_clocks",
+    "compare_clocks_session",
     "geometric_mean",
     "is_vt_optimal",
     "measure_work",

@@ -5,6 +5,20 @@ each partial order with vector clocks and with tree clocks (Figure 6) and
 the speedup averaged over benchmarks (Table 2), repeating each
 measurement three times and reporting the mean.  This module provides a
 small timing harness that mirrors that methodology.
+
+All measurements are taken with :func:`time.perf_counter_ns` (through the
+engine's own event-loop timing), so the nanosecond numbers here and in
+:class:`~repro.analysis.result.AnalysisResult` are directly comparable.
+
+Two comparison strategies are provided:
+
+* :func:`compare_clocks` — the classic one: two independent whole-trace
+  runs per repetition, one per clock class;
+* :func:`compare_clocks_session` — one :class:`repro.api.Session` walk
+  per repetition feeding *both* clock configurations, timing each
+  configuration's share of every ``feed()`` call.  The interleaving
+  controls for machine drift between the two runs and halves the event
+  decoding overhead; :class:`repro.experiments.SuiteRunner` uses it.
 """
 
 from __future__ import annotations
@@ -85,12 +99,10 @@ def time_analysis(
     """Time one analysis configuration, averaged over ``repetitions`` runs."""
     if repetitions < 1:
         raise ValueError("repetitions must be at least 1")
-    total = 0.0
+    total_ns = 0
     for _ in range(repetitions):
         analysis = analysis_class(clock_class, detect=with_analysis, keep_races=False)
-        started = time.perf_counter()
-        analysis.run(trace)
-        total += time.perf_counter() - started
+        total_ns += analysis.run(trace).elapsed_ns
     return TimingSample(
         trace_name=trace.name,
         partial_order=analysis_class.PARTIAL_ORDER,
@@ -98,7 +110,7 @@ def time_analysis(
         with_analysis=with_analysis,
         num_events=len(trace),
         num_threads=trace.num_threads,
-        seconds=total / repetitions,
+        seconds=total_ns / repetitions / 1e9,
         repetitions=repetitions,
     )
 
@@ -125,6 +137,53 @@ def compare_clocks(
         num_threads=trace.num_threads,
         vc_seconds=vc.seconds,
         tc_seconds=tc.seconds,
+    )
+
+
+def compare_clocks_session(
+    trace: Trace,
+    analysis_class: Type[PartialOrderAnalysis],
+    *,
+    with_analysis: bool = False,
+    repetitions: int = DEFAULT_REPETITIONS,
+) -> SpeedupSample:
+    """Clock comparison sharing **one** event walk per repetition.
+
+    Builds a two-spec :class:`repro.api.Session` (``<order>+vc`` and
+    ``<order>+tc``) and runs it ``repetitions`` times; each spec's
+    elapsed time is the per-``feed`` time attributed to it by the
+    session, so both clocks see the identical event stream, interleaved
+    at event granularity.
+    """
+    from ..api import ORDERS, AnalysisSpec, Session
+
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    order = analysis_class.PARTIAL_ORDER
+    if order not in ORDERS or ORDERS.get(order) is not analysis_class:
+        # Classes that shadow a registered order name (e.g. the deep-copy
+        # ablations) cannot ride a spec-keyed session; time them the
+        # classic way.
+        return compare_clocks(
+            trace, analysis_class, with_analysis=with_analysis, repetitions=repetitions
+        )
+    session = Session(
+        AnalysisSpec(order=order, clock=clock, detect=with_analysis, keep_races=False)
+        for clock in ("VC", "TC")
+    )
+    totals = {"VC": 0, "TC": 0}
+    for _ in range(repetitions):
+        result = session.run(trace)
+        for spec_result in result.results.values():
+            totals[spec_result.clock_name] += spec_result.elapsed_ns
+    return SpeedupSample(
+        trace_name=trace.name,
+        partial_order=order,
+        with_analysis=with_analysis,
+        num_events=len(trace),
+        num_threads=trace.num_threads,
+        vc_seconds=totals["VC"] / repetitions / 1e9,
+        tc_seconds=totals["TC"] / repetitions / 1e9,
     )
 
 

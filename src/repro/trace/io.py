@@ -12,6 +12,13 @@ Both formats round-trip exactly through :class:`~repro.trace.trace.Trace`.
 Files whose name ends in ``.gz`` are transparently (de)compressed with
 gzip — large captured traces are highly repetitive, so this typically
 shrinks them by an order of magnitude on disk.
+
+Both formats can also be read *lazily*: :func:`iter_trace_file` (and the
+lower-level :func:`iter_std` / :func:`iter_csv`) yield events one at a
+time without ever materializing a full :class:`Trace`, which is what the
+file-backed :class:`repro.api.FileSource` streams from.  The eager
+:func:`load_trace` / :func:`loads_std` / :func:`loads_csv` entry points
+are thin wrappers that collect the same iterators into a ``Trace``.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ import gzip
 import io
 import re
 from pathlib import Path
-from typing import Iterable, List, Optional, TextIO, Union
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
 
 from .event import Event, OpKind
 from .trace import Trace
@@ -89,10 +96,16 @@ def dumps_std(trace: Trace) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def loads_std(text: str, name: str = "") -> Trace:
-    """Parse a trace from the STD text format."""
-    events: List[Event] = []
-    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+def iter_std(lines: Iterable[str]) -> Iterator[Event]:
+    """Lazily parse STD-format lines into events (streaming counterpart of
+    :func:`loads_std`).
+
+    ``lines`` may be any iterable of text lines — an open file handle, a
+    ``str.splitlines()`` result, a generator.  Events are yielded one at
+    a time with consecutive ``eid`` values; nothing is buffered.
+    """
+    eid = 0
+    for line_number, raw_line in enumerate(lines, start=1):
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
@@ -105,8 +118,13 @@ def loads_std(text: str, name: str = "") -> Trace:
         kind = _STD_KIND_BY_NAME[op_name]
         tid = int(match.group("tid"))
         target = _parse_target(kind, match.group("target"), line_number)
-        events.append(Event(eid=len(events), tid=tid, kind=kind, target=target))
-    return Trace(events, name=name)
+        yield Event(eid=eid, tid=tid, kind=kind, target=target)
+        eid += 1
+
+
+def loads_std(text: str, name: str = "") -> Trace:
+    """Parse a trace from the STD text format."""
+    return Trace(iter_std(text.splitlines()), name=name)
 
 
 # -- CSV format -----------------------------------------------------------------
@@ -122,18 +140,24 @@ def dumps_csv(trace: Trace) -> str:
     return buffer.getvalue()
 
 
-def loads_csv(text: str, name: str = "") -> Trace:
-    """Parse a trace from the CSV format produced by :func:`dumps_csv`."""
-    reader = csv.reader(io.StringIO(text))
-    rows = list(reader)
-    if not rows:
-        return Trace([], name=name)
-    header = [column.strip().lower() for column in rows[0]]
+def iter_csv(lines: Iterable[str]) -> Iterator[Event]:
+    """Lazily parse CSV-format lines into events (streaming counterpart of
+    :func:`loads_csv`).
+
+    Accepts any iterable of text lines (``csv.reader`` consumes it
+    incrementally).  An empty input yields no events; otherwise the first
+    row must be the ``eid,tid,kind,target`` header.
+    """
+    reader = csv.reader(iter(lines))
+    header_row = next(reader, None)
+    if header_row is None:
+        return
+    header = [column.strip().lower() for column in header_row]
     expected = ["eid", "tid", "kind", "target"]
     if header != expected:
         raise TraceFormatError(f"unexpected CSV header {header!r}, expected {expected!r}")
-    events: List[Event] = []
-    for line_number, row in enumerate(rows[1:], start=2):
+    eid = 0
+    for line_number, row in enumerate(reader, start=2):
         if not row or all(not cell.strip() for cell in row):
             continue
         if len(row) != 4:
@@ -143,8 +167,13 @@ def loads_csv(text: str, name: str = "") -> Trace:
             raise TraceFormatError(f"line {line_number}: unknown operation {kind_name!r}")
         kind = _STD_KIND_BY_NAME[kind_name]
         target = _parse_target(kind, target_text or None, line_number)
-        events.append(Event(eid=len(events), tid=int(tid_text), kind=kind, target=target))
-    return Trace(events, name=name)
+        yield Event(eid=eid, tid=int(tid_text), kind=kind, target=target)
+        eid += 1
+
+
+def loads_csv(text: str, name: str = "") -> Trace:
+    """Parse a trace from the CSV format produced by :func:`dumps_csv`."""
+    return Trace(iter_csv(io.StringIO(text)), name=name)
 
 
 # -- file helpers ----------------------------------------------------------------
@@ -196,16 +225,38 @@ def save_trace(trace: Trace, destination: PathOrFile, fmt: str = "std") -> None:
             handle.close()
 
 
-def load_trace(source: PathOrFile, fmt: str = "std", name: str = "") -> Trace:
-    """Read a trace from a file or file-like object in the given format."""
+def iter_trace_file(source: PathOrFile, fmt: Optional[str] = None) -> Iterator[Event]:
+    """Stream events from a trace file without materializing a :class:`Trace`.
+
+    The file (or file-like object) is opened lazily when iteration
+    starts, decompressed on the fly for ``.gz`` paths, parsed line by
+    line, and closed when the iterator is exhausted or discarded.  With
+    ``fmt=None`` the format is inferred from the file name
+    (:func:`infer_format`).  This is the reader behind the file-backed
+    :class:`repro.api.FileSource`; memory use is O(1) in the trace
+    length.
+    """
+    if fmt is None:
+        fmt = infer_format(source)
+    if fmt == "std":
+        parse = iter_std
+    elif fmt == "csv":
+        parse = iter_csv
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}")
     handle, should_close = _open_for_read(source)
     try:
-        text = handle.read()
+        yield from parse(handle)
     finally:
         if should_close:
             handle.close()
-    if fmt == "std":
-        return loads_std(text, name=name)
-    if fmt == "csv":
-        return loads_csv(text, name=name)
-    raise ValueError(f"unknown trace format {fmt!r}")
+
+
+def load_trace(source: PathOrFile, fmt: str = "std", name: str = "") -> Trace:
+    """Read a trace from a file or file-like object in the given format.
+
+    A thin eager wrapper over :func:`iter_trace_file` — use that directly
+    (or :class:`repro.api.FileSource`) to stream large traces without
+    holding all events in memory.
+    """
+    return Trace(iter_trace_file(source, fmt=fmt), name=name)

@@ -107,6 +107,21 @@ class TestCaptureCli:
         assert exit_code == 0, output
         assert "0 races" in output
 
+    def test_json_report_is_machine_readable(self, capsys):
+        import json
+
+        exit_code = capture_cli_main(["--json", "--quiet", str(BANK)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        payload = json.loads(captured.out)  # stdout is pure JSON
+        assert payload["mode"] == "online"
+        assert payload["clocks_agree"] is True
+        assert sorted(payload["specs"]) == ["shb+tc+detect", "shb+vc+detect"]
+        for spec_payload in payload["specs"].values():
+            assert spec_payload["detection"]["race_count"] >= 1
+            assert spec_payload["elapsed_ns"] > 0
+        assert "captured" in captured.err  # diagnostics on stderr
+
     def test_save_and_replay_roundtrip(self, tmp_path, capsys):
         saved = tmp_path / "captured.csv.gz"
         exit_code = capture_cli_main(

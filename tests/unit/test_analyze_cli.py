@@ -86,3 +86,57 @@ class TestMain:
         path.write_text("T1|rel(l)|0\n", encoding="utf-8")
         assert main([str(path)]) == 0
         assert "not well-formed" in capsys.readouterr().out
+
+
+class TestSpecsAndJson:
+    """The session-API surface of the CLI: --spec, --json, --stream."""
+
+    def test_multiple_specs_share_one_walk(self, tmp_path, capsys, racy_trace):
+        path = tmp_path / "trace.std"
+        save_trace(racy_trace, path)
+        assert main([str(path), "--spec", "hb+tc+detect", "--spec", "hb+vc+detect"]) == 0
+        output = capsys.readouterr().out
+        assert "HB computed with TC" in output
+        assert "HB computed with VC" in output
+        assert output.count("races: 1") == 2
+
+    def test_spec_json_end_to_end(self, tmp_path, capsys, racy_trace):
+        import json
+
+        path = tmp_path / "trace.std"
+        save_trace(racy_trace, path)
+        assert main([str(path), "--spec", "hb+tc", "--spec", "hb+vc", "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout is pure JSON
+        assert sorted(payload["specs"]) == ["hb+tc", "hb+vc"]
+        assert payload["events"] == len(racy_trace)
+        for spec_payload in payload["specs"].values():
+            assert spec_payload["elapsed_ns"] > 0
+        assert "trace" in captured.err  # diagnostics moved to stderr
+
+    def test_json_includes_races_and_work(self, capsys):
+        import json
+
+        assert main(["--demo", "--spec", "shb+tc+detect+work", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        spec_payload = payload["specs"]["shb+tc+detect+work"]
+        assert spec_payload["detection"]["race_count"] >= 1
+        assert spec_payload["detection"]["races"][0]["variable"]
+        assert spec_payload["work"]["entries_processed"] > 0
+
+    def test_stream_mode_skips_stats_but_analyzes(self, tmp_path, capsys, racy_trace):
+        path = tmp_path / "trace.std.gz"
+        save_trace(racy_trace, path)
+        assert main([str(path), "--stream", "--spec", "hb+tc+detect"]) == 0
+        output = capsys.readouterr().out
+        assert "streamed" in output and "lazy" in output
+        assert "races: 1" in output
+        assert "sync events" not in output  # no eager stats line
+
+    def test_stream_requires_a_trace_file(self):
+        with pytest.raises(SystemExit):
+            main(["--stream"])
+
+    def test_bad_spec_is_rejected(self):
+        with pytest.raises(SystemExit, match="unknown spec token"):
+            main(["--demo", "--spec", "hb+warp"])
