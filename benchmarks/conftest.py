@@ -13,6 +13,25 @@ from typing import Dict, List
 
 import pytest
 
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every test in this directory ``bench``.
+
+    The benchmark harness regenerates the paper's tables and figures —
+    minutes of work that should not ride along with the fast tier-1
+    suite.  The default ``addopts`` deselect the marker; CI runs the
+    dedicated lane with ``pytest -m bench benchmarks``.
+
+    The hook receives the *whole session's* items (pytest calls it for
+    every conftest), so it must filter to this directory.
+    """
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parent
+    for item in items:
+        if bench_dir in Path(str(item.path)).parents:
+            item.add_marker(pytest.mark.bench)
+
 from repro.gen import default_suite
 from repro.gen.scenarios import SCENARIOS
 from repro.trace.trace import Trace

@@ -25,7 +25,13 @@ Orderings in Concurrent Executions" (ASPLOS 2022).  The package provides
   :class:`~repro.api.Session` drives many analysis specs
   (``parse_spec("hb+tc+detect")``) through a single pass over any
   :class:`~repro.api.EventSource` (in-memory trace, lazily streamed
-  trace file, live capture, synthetic generator).
+  trace file, live capture, synthetic generator),
+* :mod:`repro.bench` — reproducible performance measurement: the
+  ``repro-bench`` CLI runs declarative micro/macro benchmark suites
+  (clock join/copy kernels, full session walks) under a
+  warmup/repeat/min-of-N discipline, emits schema-versioned
+  ``BENCH_<suite>.json`` artifacts, and diffs two artifacts with a
+  regression threshold for CI gating.
 
 Session quickstart
 ------------------

@@ -15,7 +15,16 @@ the partial-order-only speedups.
 
 For HB the detector applies the FastTrack-style epoch optimization
 (Remark 1): the last write is summarized by a single epoch and the reads
-since the last write by a per-thread epoch map.
+since the last write by a per-thread epoch map.  Both epochs are stored
+*flat* — a ``(tid, clk)`` pair of plain ints on the per-variable state —
+so the hot path allocates nothing, and the read side adds an epoch fast
+path: as long as only one thread has read since the last write (the
+overwhelmingly common case), the reads are a single epoch compared in
+O(1); the full per-thread read map is materialized only when a second
+reading thread shows up.  The epoch check runs *before* any full
+clock-entry scan, and the fast path is exact: it reports the same races,
+in the same order, with the same check counts as the plain map — the
+differential tests pin this equivalence down.
 """
 
 from __future__ import annotations
@@ -24,18 +33,36 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..clocks.base import Clock
-from ..clocks.epoch import Epoch
 from ..trace.event import Event
 from .result import DetectionSummary, Race
 
 
 @dataclass
 class _VariableAccessState:
-    """Per-variable access summary used by the detectors."""
+    """Per-variable access summary used by the detectors.
 
-    last_write: Optional[Epoch] = None
-    #: Local time of the last read of each thread since the last write.
-    reads: Dict[int, int] = field(default_factory=dict)
+    The last write and the single-reader fast path are flat epochs; an
+    epoch is *absent* while its ``*_clk`` is 0 (a recorded access always
+    carries a positive local time, because the engine increments a
+    thread's clock before handling its event — and a zero-time epoch
+    could never win a ``clk > Get(tid)`` race check anyway, so treating
+    it as absent is exact).  Keying absence on the clock rather than a
+    sentinel thread id keeps the detectors correct even for exotic
+    negative thread ids that hand-written trace files can contain.
+    ``reads`` is inflated from the read epoch only once a second
+    concurrent reading thread appears, and dropped at the next write.
+    """
+
+    #: Epoch of the last write (``clk @ tid``), flattened to two ints.
+    write_tid: int = 0
+    write_clk: int = 0
+    #: Epoch of the single reading thread since the last write; unused
+    #: (and reset) while ``reads`` is inflated.
+    read_tid: int = 0
+    read_clk: int = 0
+    #: Local time of the last read of each thread since the last write;
+    #: ``None`` while the single-reader epoch suffices.
+    reads: Optional[Dict[int, int]] = None
     #: Local time of the last access (read or write) of each thread; used
     #: by the MAZ reversible-pair detector.
     last_access: Dict[int, int] = field(default_factory=dict)
@@ -111,35 +138,49 @@ class RaceDetector(_BaseDetector):
     def on_read(self, event: Event, clock: Clock) -> None:
         """Check a read against the last write, then record the read."""
         state = self._state(event.variable)
-        last_write = state.last_write
+        tid = event.tid
+        write_tid = state.write_tid
         self.summary.checks += 1
-        if (
-            last_write is not None
-            and last_write.tid != event.tid
-            and not last_write.happens_before(clock)
-        ):
-            self._record(event.variable, last_write.tid, last_write.clk, event)
-        state.reads[event.tid] = clock.get(event.tid)
+        if state.write_clk > 0 and write_tid != tid and state.write_clk > clock.get(write_tid):
+            self._record(event.variable, write_tid, state.write_clk, event)
+        reads = state.reads
+        if reads is not None:
+            reads[tid] = clock.get(tid)
+        elif state.read_clk == 0 or state.read_tid == tid:
+            # Epoch fast path: still a single reading thread since the
+            # last write — no map, no iteration, O(1) state.
+            state.read_tid = tid
+            state.read_clk = clock.get(tid)
+        else:
+            # Second concurrent reader: inflate the epoch into the map.
+            state.reads = {state.read_tid: state.read_clk, tid: clock.get(tid)}
+            state.read_clk = 0
 
     def on_write(self, event: Event, clock: Clock) -> None:
         """Check a write against the last write and all unordered reads."""
         state = self._state(event.variable)
-        last_write = state.last_write
+        tid = event.tid
+        write_tid = state.write_tid
         self.summary.checks += 1
-        if (
-            last_write is not None
-            and last_write.tid != event.tid
-            and not last_write.happens_before(clock)
-        ):
-            self._record(event.variable, last_write.tid, last_write.clk, event)
-        for reader_tid, reader_clk in state.reads.items():
-            if reader_tid == event.tid:
-                continue
+        if state.write_clk > 0 and write_tid != tid and state.write_clk > clock.get(write_tid):
+            self._record(event.variable, write_tid, state.write_clk, event)
+        reads = state.reads
+        if reads is not None:
+            for reader_tid, reader_clk in reads.items():
+                if reader_tid == tid:
+                    continue
+                self.summary.checks += 1
+                if reader_clk > clock.get(reader_tid):
+                    self._record(event.variable, reader_tid, reader_clk, event)
+            state.reads = None
+        elif state.read_clk > 0 and state.read_tid != tid:
+            # Epoch fast path: one O(1) comparison instead of a map scan.
             self.summary.checks += 1
-            if reader_clk > clock.get(reader_tid):
-                self._record(event.variable, reader_tid, reader_clk, event)
-        state.reads.clear()
-        state.last_write = Epoch(tid=event.tid, clk=clock.get(event.tid))
+            if state.read_clk > clock.get(state.read_tid):
+                self._record(event.variable, state.read_tid, state.read_clk, event)
+        state.read_clk = 0
+        state.write_tid = tid
+        state.write_clk = clock.get(tid)
 
 
 class ReversiblePairDetector(_BaseDetector):
@@ -172,18 +213,19 @@ class ReversiblePairDetector(_BaseDetector):
                 if other_clk > clock.get(other_tid):
                     self._record(event.variable, other_tid, other_clk, event)
         else:
-            last_write = state.last_write
+            write_tid = state.write_tid
             self.summary.checks += 1
             if (
-                last_write is not None
-                and last_write.tid != event.tid
-                and not last_write.happens_before(clock)
+                state.write_clk > 0
+                and write_tid != event.tid
+                and state.write_clk > clock.get(write_tid)
             ):
-                self._record(event.variable, last_write.tid, last_write.clk, event)
+                self._record(event.variable, write_tid, state.write_clk, event)
 
     def after_access(self, event: Event, clock: Clock) -> None:
         """Record the access once the analysis has processed the event."""
         state = self._state(event.variable)
         state.last_access[event.tid] = clock.get(event.tid)
         if event.is_write:
-            state.last_write = Epoch(tid=event.tid, clk=clock.get(event.tid))
+            state.write_tid = event.tid
+            state.write_clk = clock.get(event.tid)

@@ -1,0 +1,189 @@
+"""Artifact diffing: ``repro-bench compare`` and its regression policy.
+
+Comparison is by case name, on the ``best_ns`` headline numbers.  A case
+*regresses* when::
+
+    current.best_ns > baseline.best_ns * (1 + threshold_pct / 100)
+
+and the baseline time is above ``min_ns`` (sub-microsecond cases are all
+noise; gate them out instead of flagging them).  Missing and new cases
+are reported separately: a missing case usually means a renamed
+benchmark (update the baseline!), not a performance change, so it only
+fails the comparison in strict mode.
+
+Thresholds are a policy knob: on the machine that produced the baseline
+10–20% is meaningful; across different machines (e.g. a committed
+baseline checked on CI runners) only a *generous* threshold — several
+hundred percent — separates "catastrophic slowdown" from hardware
+variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CaseDiff:
+    """One case present in both artifacts, with its speed ratio."""
+
+    name: str
+    baseline_ns: float
+    current_ns: float
+
+    @property
+    def ratio(self) -> float:
+        """``current / baseline``; > 1 means the current run is slower."""
+        if self.baseline_ns <= 0:
+            return float("inf") if self.current_ns > 0 else 1.0
+        return self.current_ns / self.baseline_ns
+
+    @property
+    def percent_change(self) -> float:
+        """Signed percentage change (+ = slower, − = faster)."""
+        return (self.ratio - 1.0) * 100.0
+
+
+@dataclass
+class ComparisonReport:
+    """The outcome of one artifact comparison."""
+
+    suite: str
+    threshold_pct: float
+    diffs: List[CaseDiff] = field(default_factory=list)
+    regressions: List[CaseDiff] = field(default_factory=list)
+    improvements: List[CaseDiff] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    new_cases: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no case regressed beyond the threshold."""
+        return not self.regressions
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (for ``repro-bench compare --json``)."""
+        return {
+            "suite": self.suite,
+            "threshold_pct": self.threshold_pct,
+            "ok": self.ok,
+            "cases": [
+                {
+                    "name": diff.name,
+                    "baseline_ns": diff.baseline_ns,
+                    "current_ns": diff.current_ns,
+                    "ratio": diff.ratio,
+                    "percent_change": diff.percent_change,
+                    "regressed": diff in self.regressions,
+                }
+                for diff in self.diffs
+            ],
+            "regressions": [diff.name for diff in self.regressions],
+            "improvements": [diff.name for diff in self.improvements],
+            "missing": list(self.missing),
+            "new_cases": list(self.new_cases),
+            "notes": list(self.notes),
+        }
+
+
+def _best_by_name(artifact: Dict[str, object]) -> Dict[str, float]:
+    results = artifact.get("results", [])
+    table: Dict[str, float] = {}
+    for entry in results:  # type: ignore[union-attr]
+        table[str(entry["name"])] = float(entry["best_ns"])
+    return table
+
+
+def compare_artifacts(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold_pct: float = 10.0,
+    min_ns: float = 50_000.0,
+    improvement_pct: Optional[float] = None,
+) -> ComparisonReport:
+    """Compare two loaded artifacts; returns a :class:`ComparisonReport`.
+
+    ``improvement_pct`` (default: same as ``threshold_pct``) controls
+    when a speedup is worth calling out in the report.
+    """
+    if threshold_pct < 0:
+        raise ValueError("threshold_pct must be >= 0")
+    gain_threshold = improvement_pct if improvement_pct is not None else threshold_pct
+    report = ComparisonReport(
+        suite=str(current.get("suite", baseline.get("suite", "?"))),
+        threshold_pct=threshold_pct,
+    )
+    if baseline.get("suite") != current.get("suite"):
+        report.notes.append(
+            f"comparing different suites: baseline {baseline.get('suite')!r} "
+            f"vs current {current.get('suite')!r}"
+        )
+    if baseline.get("config") != current.get("config"):
+        report.notes.append(
+            f"measurement configs differ: baseline {baseline.get('config')} "
+            f"vs current {current.get('config')}"
+        )
+    if baseline.get("machine") != current.get("machine"):
+        report.notes.append("artifacts were measured on different machines; absolute times are not comparable")
+
+    baseline_table = _best_by_name(baseline)
+    current_table = _best_by_name(current)
+    for name in baseline_table:
+        if name not in current_table:
+            report.missing.append(name)
+    for name in current_table:
+        if name not in baseline_table:
+            report.new_cases.append(name)
+    for name, baseline_ns in baseline_table.items():
+        current_ns = current_table.get(name)
+        if current_ns is None:
+            continue
+        diff = CaseDiff(name=name, baseline_ns=baseline_ns, current_ns=current_ns)
+        report.diffs.append(diff)
+        if baseline_ns < min_ns:
+            continue  # baseline too fast to measure reliably; never flag
+        if diff.ratio > 1.0 + threshold_pct / 100.0:
+            report.regressions.append(diff)
+        elif diff.ratio < 1.0 - gain_threshold / 100.0:
+            report.improvements.append(diff)
+    return report
+
+
+def format_report(report: ComparisonReport, verbose: bool = False) -> str:
+    """Render a report as the human-readable table ``repro-bench compare`` prints.
+
+    Reading the diff: one line per case, ``baseline -> current`` in
+    milliseconds with the signed percentage change; lines marked
+    ``REGRESSION`` breach the threshold, ``improved`` beat it in the
+    other direction, and unmarked lines are within noise.
+    """
+    lines: List[str] = []
+    lines.append(
+        f"suite {report.suite!r}: {len(report.diffs)} compared, "
+        f"{len(report.regressions)} regressed, {len(report.improvements)} improved "
+        f"(threshold {report.threshold_pct:g}%)"
+    )
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    flagged = {diff.name for diff in report.regressions} | {diff.name for diff in report.improvements}
+    for diff in report.diffs:
+        if not verbose and diff.name not in flagged:
+            continue
+        if diff.name in {d.name for d in report.regressions}:
+            marker = "REGRESSION"
+        elif diff.name in {d.name for d in report.improvements}:
+            marker = "improved"
+        else:
+            marker = "ok"
+        lines.append(
+            f"  {marker:10s} {diff.name}: {diff.baseline_ns / 1e6:.3f} ms -> "
+            f"{diff.current_ns / 1e6:.3f} ms ({diff.percent_change:+.1f}%)"
+        )
+    for name in report.missing:
+        lines.append(f"  missing    {name}: present in baseline only")
+    for name in report.new_cases:
+        lines.append(f"  new        {name}: present in current only")
+    lines.append("comparison " + ("OK" if report.ok else "FAILED"))
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Micro-benchmark kernels: recorded clock-operation logs, replayed in a loop.
+
+Timing a whole analysis run mixes the cost of the clock data structure
+with event decoding, enum dispatch and detector bookkeeping.  For the
+paper's central comparison — TreeClock vs VectorClock on the join /
+monotone-copy hot path — we want the clock operations *alone*.  The
+kernel therefore works in two phases:
+
+1. :func:`record_clock_ops` walks a trace once and records the sequence
+   of clock operations the streaming HB (or SHB) algorithm would
+   perform: the implicit per-event increment, the acquire join, the
+   release monotone-copy, fork/join propagation and (for SHB) the
+   last-write join / copy-check-monotone per access.  The result is a
+   flat list of ``(opcode, tid, target)`` tuples — a *clock op log*.
+2. :func:`replay_clock_ops` executes a log against a chosen clock class
+   in a tight loop, touching nothing but the clocks.
+
+Because the log is recorded once and replayed many times, repeats are
+cheap and the replay is deterministic: the same log drives TC and VC, so
+the two measurements cover the exact same update pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Type
+
+from ..clocks.base import Clock, ClockContext, WorkCounter
+from ..trace.event import OpKind
+from ..trace.trace import Trace
+
+# Opcodes of the clock op log (small ints: tuple dispatch in the replay
+# loop compares against these).
+OP_INC = 0
+#: ``C_t.Join(L_target)`` — the acquire rule.
+OP_JOIN_AUX = 1
+#: ``L_target.MonotoneCopy(C_t)`` — the release rule.
+OP_COPY_AUX = 2
+#: ``C_target.Join(C_t)`` — the fork rule (child learns the parent's time).
+OP_FORK = 3
+#: ``C_t.Join(C_target)`` — the join rule (parent learns the child's time).
+OP_JOIN_THREAD = 4
+#: ``C_t.Join(W_target)`` — the SHB read rule (join the last-write clock).
+OP_JOIN_VAR = 5
+#: ``W_target.CopyCheckMonotone(C_t)`` — the SHB write rule.
+OP_COPY_VAR = 6
+
+#: One op: ``(opcode, tid, target)``; ``target`` is a dense aux-clock
+#: index for lock/variable ops, a thread id for fork/join, else -1.
+ClockOp = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ClockOpLog:
+    """A recorded sequence of clock operations, ready for replay.
+
+    ``threads`` is the thread universe of the originating trace;
+    ``num_aux`` the number of auxiliary (lock / last-write) clocks the
+    log references, as a dense ``0..num_aux-1`` index space.
+    """
+
+    name: str
+    threads: Tuple[int, ...]
+    num_aux: int
+    ops: Tuple[ClockOp, ...]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def num_joins(self) -> int:
+        """Number of join-flavored ops in the log."""
+        return sum(1 for op in self.ops if op[0] in (OP_JOIN_AUX, OP_FORK, OP_JOIN_THREAD, OP_JOIN_VAR))
+
+    @property
+    def num_copies(self) -> int:
+        """Number of copy-flavored ops in the log."""
+        return sum(1 for op in self.ops if op[0] in (OP_COPY_AUX, OP_COPY_VAR))
+
+
+def record_clock_ops(trace: Trace, order: str = "hb", name: Optional[str] = None) -> ClockOpLog:
+    """Record the clock-operation log the streaming ``order`` analysis performs.
+
+    ``order`` is ``"hb"`` (sync events only; reads/writes contribute just
+    their increment) or ``"shb"`` (reads join the last-write clock,
+    writes copy-check-monotone into it), lower-cased.
+    """
+    flavor = order.lower()
+    if flavor not in ("hb", "shb"):
+        raise ValueError(f"unknown op-log order {order!r}; expected 'hb' or 'shb'")
+    shb = flavor == "shb"
+    aux_index = {}
+    ops: List[ClockOp] = []
+    for event in trace:
+        tid = event.tid
+        ops.append((OP_INC, tid, -1))
+        kind = event.kind
+        if kind is OpKind.ACQUIRE or kind is OpKind.RELEASE:
+            key = ("lock", event.target)
+            aux = aux_index.setdefault(key, len(aux_index))
+            ops.append((OP_JOIN_AUX if kind is OpKind.ACQUIRE else OP_COPY_AUX, tid, aux))
+        elif kind is OpKind.FORK:
+            ops.append((OP_FORK, tid, int(event.target)))  # type: ignore[arg-type]
+        elif kind is OpKind.JOIN:
+            ops.append((OP_JOIN_THREAD, tid, int(event.target)))  # type: ignore[arg-type]
+        elif shb and (kind is OpKind.READ or kind is OpKind.WRITE):
+            key = ("var", event.target)
+            aux = aux_index.setdefault(key, len(aux_index))
+            ops.append((OP_JOIN_VAR if kind is OpKind.READ else OP_COPY_VAR, tid, aux))
+    return ClockOpLog(
+        name=name if name is not None else f"{trace.name}/{flavor}",
+        threads=tuple(trace.threads),
+        num_aux=len(aux_index),
+        ops=tuple(ops),
+    )
+
+
+def replay_clock_ops(
+    clock_class: Type[Clock],
+    log: ClockOpLog,
+    counter: Optional[WorkCounter] = None,
+) -> Sequence[Clock]:
+    """Replay ``log`` against fresh ``clock_class`` clocks; returns the thread clocks.
+
+    This is the timed region of the ``clocks`` benchmark suite: it
+    allocates one clock per thread plus one per auxiliary slot, then
+    executes the ops in a tight loop.  Pass a :class:`WorkCounter` to
+    collect the paper's work metrics instead of (or besides) wall time.
+    """
+    context = ClockContext(threads=list(log.threads), counter=counter)
+    thread_clocks = {tid: clock_class(context, owner=tid) for tid in log.threads}
+    aux_clocks = [clock_class(context, owner=None) for _ in range(log.num_aux)]
+    for opcode, tid, target in log.ops:
+        clock = thread_clocks[tid]
+        if opcode == OP_INC:
+            clock.increment(tid)
+        elif opcode == OP_JOIN_AUX:
+            clock.join(aux_clocks[target])
+        elif opcode == OP_COPY_AUX:
+            aux_clocks[target].monotone_copy(clock)
+        elif opcode == OP_FORK:
+            child = thread_clocks.get(target)
+            if child is None:
+                context.add_thread(target)
+                child = clock_class(context, owner=target)
+                thread_clocks[target] = child
+            child.join(clock)
+        elif opcode == OP_JOIN_THREAD:
+            other = thread_clocks.get(target)
+            if other is not None:
+                clock.join(other)
+        elif opcode == OP_JOIN_VAR:
+            clock.join(aux_clocks[target])
+        elif opcode == OP_COPY_VAR:
+            aux_clocks[target].copy_check_monotone(clock)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown opcode {opcode}")
+    return list(thread_clocks.values())

@@ -1,0 +1,229 @@
+"""The measurement discipline: warmup, repeats, best-of-N, GC off.
+
+Python timing is noisy — allocator state, dict resizing, branch caches
+in the interpreter loop, a GC pass landing mid-measurement.  The runner
+therefore applies the standard discipline uniformly to every case:
+
+* the workload is **prepared outside the timed region** (traces
+  generated, op logs recorded, generator sources materialized);
+* ``warmup`` untimed runs absorb first-touch effects;
+* ``repeats`` timed runs are all recorded in the artifact, with
+  **min-of-N** (``best_ns``) as the headline number — the minimum is the
+  best estimate of the true cost, since noise in user-space timing is
+  strictly additive;
+* the cyclic garbage collector is disabled while timing (allocation
+  behaviour is part of what the clock optimizations target, and a
+  collection pass landing inside one repeat would swamp it).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..api import Session
+from ..api.registry import CLOCKS
+from ..api.sources import EventSource, FileSource, GeneratorSource
+from ..gen.scenarios import SCENARIOS
+from ..gen.suite import BenchmarkProfile, get_profile
+from .kernels import ClockOpLog, record_clock_ops, replay_clock_ops
+from .suites import BenchCase
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Run-wide measurement knobs (recorded in the artifact)."""
+
+    warmup: int = 1
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+
+@dataclass
+class BenchCaseResult:
+    """The measured numbers of one case.
+
+    ``events`` is the workload size in trace events; ``runs_ns`` the raw
+    wall time of every timed repeat; ``sub`` optional named sub-series
+    (the per-spec feed times of a session case).
+    """
+
+    name: str
+    kind: str
+    params: Mapping[str, object]
+    events: int
+    runs_ns: List[int]
+    sub: Dict[str, List[int]] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def best_ns(self) -> int:
+        """Min-of-N: the headline number compared across runs."""
+        return min(self.runs_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        """Mean of the timed repeats (for noise inspection)."""
+        return sum(self.runs_ns) / len(self.runs_ns)
+
+    @property
+    def per_event_ns(self) -> float:
+        """``best_ns`` normalized by the workload size."""
+        return self.best_ns / self.events if self.events else float(self.best_ns)
+
+    def as_dict(self) -> Dict[str, object]:
+        """The artifact representation of this case."""
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "events": self.events,
+            "repeats": len(self.runs_ns),
+            "runs_ns": list(self.runs_ns),
+            "best_ns": self.best_ns,
+            "mean_ns": self.mean_ns,
+            "per_event_ns": self.per_event_ns,
+        }
+        if self.sub:
+            payload["sub"] = {
+                key: {"runs_ns": list(runs), "best_ns": min(runs), "mean_ns": sum(runs) / len(runs)}
+                for key, runs in self.sub.items()
+            }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        return payload
+
+
+def _timed_runs(fn: Callable[[], object], config: BenchConfig) -> List[int]:
+    """Apply the warmup/repeat discipline to ``fn``; returns raw ns per repeat."""
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(config.warmup):
+            fn()
+        runs: List[int] = []
+        perf = time.perf_counter_ns
+        for _ in range(config.repeats):
+            started = perf()
+            fn()
+            runs.append(perf() - started)
+        return runs
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _scenario_trace(params: Mapping[str, object]):
+    factory = SCENARIOS[str(params["scenario"])]
+    return factory(int(params["threads"]), int(params["events"]), int(params.get("seed", 0)))
+
+
+def _run_clock_ops_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
+    trace = _scenario_trace(case.params)
+    log: ClockOpLog = record_clock_ops(trace, order=str(case.params.get("order", "hb")))
+    clock_class = CLOCKS.get(str(case.params["clock"]))
+    runs = _timed_runs(lambda: replay_clock_ops(clock_class, log), config)
+    return BenchCaseResult(
+        name=case.name,
+        kind=case.kind,
+        params=case.params,
+        events=len(trace),
+        runs_ns=runs,
+        meta={
+            "ops": len(log),
+            "joins": log.num_joins,
+            "copies": log.num_copies,
+            "threads": len(log.threads),
+        },
+    )
+
+
+def _session_source(params: Mapping[str, object]) -> EventSource:
+    source_kind = str(params.get("source", "scenario"))
+    if source_kind == "scenario":
+        trace = _scenario_trace(params)
+        source = GeneratorSource(lambda: trace, name=trace.name)
+        source.materialize()
+        return source
+    if source_kind == "profile":
+        profile = get_profile(str(params["profile"]))
+        events = params.get("events")
+        if events is not None:
+            profile = BenchmarkProfile(
+                name=profile.name,
+                family=profile.family,
+                config=replace(profile.config, num_events=int(events)),  # type: ignore[arg-type]
+            )
+        source = profile.source()
+        source.materialize()
+        return source
+    if source_kind == "file":
+        return FileSource(str(params["path"]))
+    raise ValueError(f"unknown session source kind {source_kind!r}")
+
+
+def _run_session_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
+    specs = [str(spec) for spec in case.params["specs"]]  # type: ignore[index]
+    source = _session_source(case.params)
+    session = Session(specs)
+    sub: Dict[str, List[int]] = {}
+    events = 0
+
+    def one_walk() -> None:
+        nonlocal events
+        result = session.run(source)
+        events = result.num_events
+        for key, analysis_result in result:
+            sub.setdefault(key, []).append(analysis_result.elapsed_ns)
+
+    runs = _timed_runs(one_walk, config)
+    # Warmup walks also appended to ``sub``; keep only the timed tail so
+    # every series has exactly ``repeats`` entries.
+    sub = {key: series[-config.repeats :] for key, series in sub.items()}
+    return BenchCaseResult(
+        name=case.name,
+        kind=case.kind,
+        params=case.params,
+        events=events,
+        runs_ns=runs,
+        sub=sub,
+        meta={"specs": specs, "source": str(case.params.get("source", "scenario"))},
+    )
+
+
+#: Case kind -> measurement procedure.
+_RUNNERS: Dict[str, Callable[[BenchCase, BenchConfig], BenchCaseResult]] = {
+    "clock_ops": _run_clock_ops_case,
+    "session": _run_session_case,
+}
+
+
+def run_case(case: BenchCase, config: Optional[BenchConfig] = None) -> BenchCaseResult:
+    """Prepare and measure one case under the standard discipline."""
+    runner = _RUNNERS.get(case.kind)
+    if runner is None:
+        raise ValueError(f"unknown bench case kind {case.kind!r}; expected one of {sorted(_RUNNERS)}")
+    return runner(case, config if config is not None else BenchConfig())
+
+
+def run_suite(
+    cases: List[BenchCase],
+    config: Optional[BenchConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchCaseResult]:
+    """Measure every case of a suite, in declaration order."""
+    resolved = config if config is not None else BenchConfig()
+    results: List[BenchCaseResult] = []
+    for case in cases:
+        if progress is not None:
+            progress(case.name)
+        results.append(run_case(case, resolved))
+    return results

@@ -1,0 +1,176 @@
+"""The declarative benchmark suites behind ``repro-bench run``.
+
+A suite is a list of :class:`BenchCase` values — pure data, no timing
+logic — so that what gets measured is inspectable (``repro-bench list``)
+and stable across runs: the artifact's case names are the join keys of
+``repro-bench compare``, so they must not depend on machine, time or
+ordering.
+
+Two suites ship by default:
+
+``clocks``
+    Micro-benchmarks of the clock data structures alone: the recorded
+    join/copy op log (:mod:`repro.bench.kernels`) of the Figure-10
+    scalability scenarios, replayed per clock class.  This is where the
+    TreeClock hot-path optimizations show up most directly.
+
+``session``
+    Macro-benchmarks: full multi-spec :class:`repro.api.Session` walks
+    over scalability scenarios and benchmark-suite profiles, one walk
+    per case, with every spec's per-feed time attributed separately
+    (the artifact keeps a ``sub`` entry per spec).
+
+Extra session cases over *captured* trace files can be appended with
+``repro-bench run --trace FILE`` — the file is streamed lazily through a
+:class:`repro.api.FileSource`, so real recorded workloads ride the same
+harness as the synthetic ones.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+#: Default analysis specs of a ``session`` case: the paper's central
+#: TC-vs-VC comparison, with and without the detection component.
+DEFAULT_SESSION_SPECS: Tuple[str, ...] = ("hb+tc", "hb+vc", "shb+tc+detect", "shb+vc+detect")
+
+#: Scalability scenarios exercised by the default suites (a subset of
+#: :data:`repro.gen.scenarios.SCENARIOS`, chosen to span the spectrum:
+#: the tree-clock best case, the star pattern, and the worst case).
+DEFAULT_SCENARIOS: Tuple[str, ...] = ("single_lock", "star_topology", "pairwise_communication")
+
+#: Thread counts of the default clock-kernel cases.
+DEFAULT_THREAD_COUNTS: Tuple[int, ...] = (10, 40)
+
+#: Benchmark-suite profiles used by the default ``session`` suite.
+DEFAULT_PROFILES: Tuple[str, ...] = ("bufwriter-like", "drb-counter-16-like")
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark case: a stable name, a kind, and its parameters.
+
+    ``kind`` selects the measurement procedure in
+    :mod:`repro.bench.runner` (``"clock_ops"`` or ``"session"``);
+    ``params`` is plain JSON-serializable data describing the workload.
+    """
+
+    name: str
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line human-readable description for ``repro-bench list``."""
+        details = ", ".join(f"{key}={value}" for key, value in sorted(self.params.items()))
+        return f"{self.name} [{self.kind}] ({details})"
+
+
+def clocks_suite(
+    events: int = 2000,
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    thread_counts: Sequence[int] = DEFAULT_THREAD_COUNTS,
+    clocks: Sequence[str] = ("TC", "VC"),
+    seed: int = 0,
+) -> List[BenchCase]:
+    """The ``clocks`` suite: op-log replay kernels, one case per cell."""
+    cases: List[BenchCase] = []
+    for scenario in scenarios:
+        for threads in thread_counts:
+            for clock in clocks:
+                cases.append(
+                    BenchCase(
+                        name=f"clock_ops/{scenario}-t{threads}/{clock}",
+                        kind="clock_ops",
+                        params={
+                            "scenario": scenario,
+                            "threads": threads,
+                            "events": events,
+                            "seed": seed,
+                            "order": "hb",
+                            "clock": clock,
+                        },
+                    )
+                )
+    return cases
+
+
+def session_suite(
+    events: int = 2000,
+    scenarios: Sequence[str] = ("single_lock", "star_topology"),
+    thread_counts: Sequence[int] = (10,),
+    profiles: Sequence[str] = DEFAULT_PROFILES,
+    specs: Sequence[str] = DEFAULT_SESSION_SPECS,
+    seed: int = 0,
+    trace_files: Sequence[str] = (),
+) -> List[BenchCase]:
+    """The ``session`` suite: one multi-spec session walk per workload."""
+    spec_list = list(specs)
+    cases: List[BenchCase] = []
+    for scenario in scenarios:
+        for threads in thread_counts:
+            cases.append(
+                BenchCase(
+                    name=f"session/{scenario}-t{threads}",
+                    kind="session",
+                    params={
+                        "source": "scenario",
+                        "scenario": scenario,
+                        "threads": threads,
+                        "events": events,
+                        "seed": seed,
+                        "specs": spec_list,
+                    },
+                )
+            )
+    for profile in profiles:
+        cases.append(
+            BenchCase(
+                name=f"session/profile-{profile}",
+                kind="session",
+                params={"source": "profile", "profile": profile, "events": events, "specs": spec_list},
+            )
+        )
+    for path in trace_files:
+        cases.append(
+            BenchCase(
+                name=f"session/file-{Path(path).name}",
+                kind="session",
+                params={"source": "file", "path": str(path), "specs": spec_list},
+            )
+        )
+    return cases
+
+
+#: Suite name -> builder.  :func:`suite_cases` dispatches through this
+#: registry, forwarding only the global knobs a builder's signature
+#: declares — registering a new suite here is the whole integration.
+SUITES: Dict[str, Callable[..., List[BenchCase]]] = {
+    "clocks": clocks_suite,
+    "session": session_suite,
+}
+
+
+def suite_names() -> List[str]:
+    """Names of the built-in suites."""
+    return sorted(SUITES)
+
+
+def suite_cases(
+    suite: str,
+    events: int = 2000,
+    thread_counts: Sequence[int] = (),
+    seed: int = 0,
+    trace_files: Sequence[str] = (),
+) -> List[BenchCase]:
+    """Build the cases of one named suite with the given global knobs."""
+    builder = SUITES.get(suite)
+    if builder is None:
+        raise KeyError(f"unknown benchmark suite {suite!r}; expected one of {suite_names()}")
+    knobs: Dict[str, object] = {"events": events, "seed": seed, "trace_files": tuple(trace_files)}
+    if thread_counts:
+        knobs["thread_counts"] = tuple(thread_counts)
+    accepted = inspect.signature(builder).parameters
+    return builder(**{name: value for name, value in knobs.items() if name in accepted})

@@ -16,7 +16,9 @@ loading it.
 
 The ``capture`` subcommand records a trace from a *live* script instead
 of loading one from disk, running online race detection while the script
-executes (see :mod:`repro.capture.cli`).
+executes (see :mod:`repro.capture.cli`).  The ``bench`` subcommand runs
+the reproducible benchmark suites and compares runs for performance
+regressions (see :mod:`repro.bench.cli`).
 
 Examples
 --------
@@ -29,6 +31,8 @@ Examples
     repro --demo --races --show-clocks
     repro capture examples/capture_bank_race.py
     repro capture --order HB --save bank.std.gz examples/capture_bank_race.py
+    repro bench run --suite clocks --out artifacts/
+    repro bench compare baseline/BENCH_clocks.json artifacts/BENCH_clocks.json
 """
 
 from __future__ import annotations
@@ -145,18 +149,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     other invocation is the classic trace-file analyzer.
     """
     arguments = list(argv) if argv is not None else sys.argv[1:]
-    if arguments and arguments[0] == "capture":
+    subcommands = {"capture": "repro.capture.cli", "bench": "repro.bench.cli"}
+    if arguments and arguments[0] in subcommands:
         # Subcommand names win over file names (git-style), except in the
-        # one unambiguous case: a bare `repro capture` where a trace file
-        # named "capture" exists — the subcommand requires a script
-        # argument anyway, so this can only mean "analyze that file".
-        # Otherwise a file called `capture` is reachable as `repro ./capture`.
+        # one unambiguous case: a bare `repro <name>` where a trace file
+        # of that name exists — the subcommands all require further
+        # arguments anyway, so this can only mean "analyze that file".
+        # Otherwise such a file is reachable as `repro ./<name>`.
+        import importlib
         import os
 
-        if not (len(arguments) == 1 and os.path.isfile("capture")):
-            from .capture.cli import main as capture_main
-
-            return capture_main(arguments[1:])
+        if not (len(arguments) == 1 and os.path.isfile(arguments[0])):
+            module = importlib.import_module(subcommands[arguments[0]])
+            return module.main(arguments[1:])
     args = build_parser().parse_args(arguments)
 
     say = make_say(args.json)

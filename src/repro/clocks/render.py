@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from .base import Clock
-from .tree_clock import TreeClock, TreeClockNode
+from .tree_clock import TreeClock
 from .vector_clock import VectorClock
 
 
@@ -22,16 +22,6 @@ def render_vector_time(clock: Clock) -> str:
     entries = sorted(clock.as_dict().items())
     body = ", ".join(f"t{tid}:{value}" for tid, value in entries)
     return f"[{body}]"
-
-
-def _render_node(node: TreeClockNode, prefix: str, is_last: bool, lines: List[str]) -> None:
-    connector = "`-- " if is_last else "|-- "
-    aclk = "⊥" if node.aclk is None else str(node.aclk)
-    lines.append(f"{prefix}{connector}(t{node.tid}, clk={node.clk}, aclk={aclk})")
-    children = list(node.children())
-    child_prefix = prefix + ("    " if is_last else "|   ")
-    for index, child in enumerate(children):
-        _render_node(child, child_prefix, index == len(children) - 1, lines)
 
 
 def render_tree_clock(clock: TreeClock) -> str:
@@ -44,14 +34,31 @@ def render_tree_clock(clock: TreeClock) -> str:
         `-- (t3, clk=4, aclk=1)
             |-- (t5, clk=2, aclk=2)
             `-- (t1, clk=2, aclk=1)
+
+    The traversal is iterative (an explicit stack, children pushed in
+    reverse so they pop in order), so adversarially deep trees — e.g.
+    the degenerate chains produced by long sequences of pairwise joins —
+    render fine regardless of the interpreter's recursion limit.
     """
     root = clock.root
     if root is None:
         return "(empty tree clock)"
     lines = [f"(t{root.tid}, clk={root.clk}, aclk=⊥)"]
-    children = list(root.children())
-    for index, child in enumerate(children):
-        _render_node(child, "", index == len(children) - 1, lines)
+    # Stack of (node, prefix, is_last); root's children seeded in reverse
+    # so that popping yields them first-to-last.
+    stack: List[tuple] = []
+    root_children = list(root.children())
+    for index in range(len(root_children) - 1, -1, -1):
+        stack.append((root_children[index], "", index == len(root_children) - 1))
+    while stack:
+        node, prefix, is_last = stack.pop()
+        connector = "`-- " if is_last else "|-- "
+        aclk = "⊥" if node.aclk is None else str(node.aclk)
+        lines.append(f"{prefix}{connector}(t{node.tid}, clk={node.clk}, aclk={aclk})")
+        children = list(node.children())
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        for index in range(len(children) - 1, -1, -1):
+            stack.append((children[index], child_prefix, index == len(children) - 1))
     return "\n".join(lines)
 
 

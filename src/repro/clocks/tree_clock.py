@@ -25,6 +25,28 @@ The implementation below mirrors the paper's pseudocode, with the
 recursive traversals made iterative (as in the authors' Java artifact)
 and the child lists kept as intrusive doubly-linked lists so that both
 ``pushChild`` and node detachment are O(1).
+
+Beyond the algorithmic structure, the hot path (one join or monotone
+copy per synchronization event) is tuned to avoid per-event allocation,
+which dominates the constant factor in CPython:
+
+* the paper's ``detachNodes`` + ``attachNodes`` passes are fused into a
+  single :meth:`_apply_updated_nodes` sweep (one stack drain and one
+  thread-map lookup per updated node instead of two);
+* the traversal work lists (the updated-node stack and the pruned
+  pre-order frames) live on the shared :class:`ClockContext` and are
+  reused across operations instead of being allocated per call, with the
+  frame tuples replaced by two parallel lists;
+* nodes dropped by a deep copy go onto the context's shared **free
+  list** and are recycled by later attaches and copies of any clock, so
+  steady-state operation allocates no :class:`TreeClockNode` objects;
+* :meth:`_deep_copy_from` rebuilds in place, reusing this clock's
+  existing nodes, and is fully iterative (no recursion, no per-node
+  closure calls), so adversarially deep trees cannot blow the stack.
+
+The differential test harness (``tests/differential/``) pins these
+optimizations to the semantics of the plain vector clock: every mutation
+is cross-checked against ``VectorClock`` and ``validate_structure()``.
 """
 
 from __future__ import annotations
@@ -91,6 +113,9 @@ class TreeClock:
         self.owner = owner
         self._root: Optional[TreeClockNode] = None
         self._nodes: Dict[int, TreeClockNode] = {}
+        # The join/copy work lists and the recycled-node free list live on
+        # the shared context (empty between operations), so per-variable
+        # auxiliary clocks stay as small as a dict plus two pointers.
         if owner is not None:
             root = TreeClockNode(owner, 0, None)
             self._root = root
@@ -152,7 +177,15 @@ class TreeClock:
     # -- join ------------------------------------------------------------------------
 
     def join(self, other: "TreeClock") -> None:
-        """In-place join ``self ← self ⊔ other`` (the paper's ``Join``)."""
+        """In-place join ``self ← self ⊔ other`` (the paper's ``Join``).
+
+        Requires ``other`` to satisfy the *snapshot property*: its root
+        entry has progressed whenever any of its contents have (the O(1)
+        direct-monotonicity check at the root relies on it).  All clocks
+        maintained by the analyses satisfy this — thread clocks increment
+        before every event's joins, and auxiliary clocks are copies of
+        thread clocks.
+        """
         counter = self.context.counter
         other_root = other._root
         if other_root is None:
@@ -174,10 +207,9 @@ class TreeClock:
                 counter.record_join(processed=1, updated=0)
             return
 
-        stack: List[TreeClockNode] = []
+        stack = self.context.tc_stack
         processed = 1 + self._gather_updated_nodes(stack, other_root, old_root_tid=None)
-        self._detach_nodes(stack)
-        updated = self._attach_nodes(stack)
+        updated = self._apply_updated_nodes(stack)
 
         # Place the updated subtree under the root of this clock, at the
         # front of its child list (it carries the freshest attachment clock).
@@ -208,17 +240,27 @@ class TreeClock:
             return
 
         old_root = self._root
-        stack: List[TreeClockNode] = []
+        stack = self.context.tc_stack
         processed = 1 + self._gather_updated_nodes(
             stack, other_root, old_root_tid=None if old_root is None else old_root.tid
         )
-        self._detach_nodes(stack)
-        updated = self._attach_nodes(stack)
+        updated = self._apply_updated_nodes(stack)
 
         new_root = self._nodes[other_root.tid]
         new_root.parent = None
         new_root.aclk = None
         self._root = new_root
+        if old_root is not None and old_root is not new_root and old_root.parent is None:
+            # The pruned traversal never examined the old root's thread
+            # (an ancestor in `other` was already fully known), so it was
+            # not repositioned and would be left unreachable.  Re-attach
+            # it under the new root with the freshest attachment clock:
+            # at local time `new_root.clk` the new root's thread knows
+            # everything this clock holds — including the old root's
+            # subtree — so the aclk invariant holds, and pushing the
+            # largest aclk at the front keeps the descending order.
+            old_root.aclk = new_root.clk
+            self._push_child(old_root, new_root)
         if counter is not None:
             counter.record_copy(processed=processed, updated=updated)
 
@@ -343,21 +385,6 @@ class TreeClock:
             parent.first_child.prev_sibling = child
         parent.first_child = child
 
-    def _detach_from_parent(self, node: TreeClockNode) -> None:
-        """Remove ``node`` from its parent's child list (O(1))."""
-        parent = node.parent
-        if parent is None:
-            return
-        if node.prev_sibling is not None:
-            node.prev_sibling.next_sibling = node.next_sibling
-        else:
-            parent.first_child = node.next_sibling
-        if node.next_sibling is not None:
-            node.next_sibling.prev_sibling = node.prev_sibling
-        node.parent = None
-        node.prev_sibling = None
-        node.next_sibling = None
-
     def _gather_updated_nodes(
         self,
         stack: List[TreeClockNode],
@@ -381,21 +408,28 @@ class TreeClock:
         examined = 0
         nodes_get = self._nodes.get
         stack_push = stack.append
-        # Each frame is (node_of_other, next_child_to_examine).
-        frames: List[Tuple[TreeClockNode, Optional[TreeClockNode]]] = [
-            (other_root, other_root.first_child)
-        ]
-        frames_push = frames.append
-        while frames:
-            node, child = frames.pop()
+        # Each frame is (node_of_other, next_child_to_examine), kept as
+        # two parallel reused lists so the hot path allocates nothing.
+        context = self.context
+        fnodes = context.tc_frame_nodes
+        fchildren = context.tc_frame_children
+        fnodes_push = fnodes.append
+        fchildren_push = fchildren.append
+        fnodes_push(other_root)
+        fchildren_push(other_root.first_child)
+        while fnodes:
+            node = fnodes.pop()
+            child = fchildren.pop()
             descended = False
             while child is not None:
                 examined += 1
                 local = nodes_get(child.tid)
                 if (0 if local is None else local.clk) < child.clk:
                     # Progressed: recurse into the child, resume this node later.
-                    frames_push((node, child.next_sibling))
-                    frames_push((child, child.first_child))
+                    fnodes_push(node)
+                    fchildren_push(child.next_sibling)
+                    fnodes_push(child)
+                    fchildren_push(child.first_child)
                     descended = True
                     break
                 if old_root_tid is not None and child.tid == old_root_tid:
@@ -414,46 +448,54 @@ class TreeClock:
                 stack_push(node)
         return examined
 
-    def _detach_nodes(self, stack: List[TreeClockNode]) -> None:
-        """The paper's ``detachNodes``: unlink local counterparts of updated nodes."""
-        nodes_get = self._nodes.get
-        root = self._root
-        for other_node in stack:
-            local = nodes_get(other_node.tid)
-            if local is None or local is root:
-                continue
-            parent = local.parent
-            if parent is None:
-                continue
-            # Inlined sibling-list removal (hot path).
-            previous = local.prev_sibling
-            following = local.next_sibling
-            if previous is not None:
-                previous.next_sibling = following
-            else:
-                parent.first_child = following
-            if following is not None:
-                following.prev_sibling = previous
-            local.parent = None
-            local.prev_sibling = None
-            local.next_sibling = None
+    def _apply_updated_nodes(self, stack: List[TreeClockNode]) -> int:
+        """The paper's ``detachNodes`` + ``attachNodes``, fused into one sweep.
 
-    def _attach_nodes(self, stack: List[TreeClockNode]) -> int:
-        """The paper's ``attachNodes``: rebuild the updated subtree in this clock.
+        Pops the updated nodes gathered by :meth:`_gather_updated_nodes`
+        (parents first) and, for each, unlinks its local counterpart from
+        its old position and re-attaches it at the front of its new
+        parent's child list.  Fusing the two passes is safe because the
+        gather stack contains, for every updated node, all of its
+        ancestors on ``other``'s tree path — so a node's new parent has
+        always been re-attached before the node itself is processed —
+        and unlinking only touches the node's own sibling/parent links.
 
-        Returns the number of entries whose clock value actually changed
-        (the contribution of this operation to ``VTWork``).
+        Nodes for previously unknown threads come from the free list
+        when possible.  Returns the number of entries whose clock value
+        actually changed (this operation's contribution to ``VTWork``).
         """
         updated = 0
         nodes = self._nodes
         nodes_get = nodes.get
+        free = self.context.tc_free
         while stack:
             other_node = stack.pop()
             tid = other_node.tid
             local = nodes_get(tid)
             if local is None:
-                local = TreeClockNode(tid)
+                if free:
+                    local = free.pop()
+                    local.tid = tid
+                    local.clk = 0
+                    local.aclk = None
+                else:
+                    local = TreeClockNode(tid)
                 nodes[tid] = local
+            else:
+                # Unlink from the old position (inlined sibling removal).
+                parent = local.parent
+                if parent is not None:
+                    previous = local.prev_sibling
+                    following = local.next_sibling
+                    if previous is not None:
+                        previous.next_sibling = following
+                    else:
+                        parent.first_child = following
+                    if following is not None:
+                        following.prev_sibling = previous
+                    local.parent = None
+                    local.prev_sibling = None
+                    local.next_sibling = None
             if local.clk != other_node.clk:
                 updated += 1
                 local.clk = other_node.clk
@@ -471,42 +513,96 @@ class TreeClock:
                 parent_local.first_child = local
         return updated
 
+    def _recycle(self, node: TreeClockNode) -> None:
+        """Clear ``node``'s links and park it on the context's free list.
+
+        The free list is shared by every tree clock of the context —
+        safe, because a parked node carries no references and no clock
+        references it — so nodes dropped by one clock's deep copy are
+        recycled by any clock's later attach.
+        """
+        node.parent = None
+        node.first_child = None
+        node.prev_sibling = None
+        node.next_sibling = None
+        node.aclk = None
+        self.context.tc_free.append(node)
+
     def _deep_copy_from(self, other: "TreeClock") -> Tuple[int, int]:
         """Rebuild this clock as an exact structural copy of ``other``.
 
-        Returns ``(entries_changed, entries_processed)``.
+        Works in place: this clock's existing nodes are re-used for the
+        threads that survive the copy, nodes of vanished threads are
+        recycled onto the free list, and new threads draw from it —
+        steady-state deep copies allocate nothing.  The traversal is
+        iterative, so degenerate deep trees cannot overflow the Python
+        call stack.  Returns ``(entries_changed, entries_processed)``.
         """
-        old_values = {tid: node.clk for tid, node in self._nodes.items()}
-        self._nodes = {}
-        self._root = None
+        if other is self:
+            return 0, len(self._nodes)
+        old_nodes = self._nodes
+        free = self.context.tc_free
+        other_root = other._root
+        if other_root is None:
+            # self becomes the all-zero vector time: every node is dropped.
+            changed = 0
+            for node in old_nodes.values():
+                if node.clk:
+                    changed += 1
+                self._recycle(node)
+            self._nodes = {}
+            self._root = None
+            return changed, 0
+        nodes: Dict[int, TreeClockNode] = {}
+        self._nodes = nodes
         processed = 0
-        if other._root is None:
-            changed = sum(1 for value in old_values.values() if value)
-            return changed, processed
-
-        def clone(node: TreeClockNode) -> TreeClockNode:
-            copy = TreeClockNode(node.tid, node.clk, node.aclk)
-            self._nodes[node.tid] = copy
-            return copy
-
-        root_copy = clone(other._root)
-        self._root = root_copy
-        processed += 1
-        # Clone children back-to-front so that pushing each at the front of
-        # the child list reproduces the original order.
-        pending: List[Tuple[TreeClockNode, TreeClockNode]] = [(other._root, root_copy)]
-        while pending:
-            original, copy = pending.pop()
-            for child in reversed(list(original.children())):
-                child_copy = clone(child)
-                processed += 1
-                self._push_child(child_copy, copy)
-                pending.append((child, child_copy))
         changed = 0
-        for tid, node in self._nodes.items():
-            if old_values.get(tid, 0) != node.clk:
+        # Pre-order walk over `other`, pushing children in first-to-last
+        # order; popping reverses them, and attaching each at the front of
+        # its parent's child list restores the original order (attachment
+        # happens at pop time, so interleaving with subtrees is harmless).
+        originals: List[TreeClockNode] = [other_root]
+        parents: List[Optional[TreeClockNode]] = [None]
+        while originals:
+            original = originals.pop()
+            parent_copy = parents.pop()
+            tid = original.tid
+            node = old_nodes.pop(tid, None)
+            if node is None:
+                old_clk = 0
+                if free:
+                    node = free.pop()
+                    node.tid = tid
+                else:
+                    node = TreeClockNode(tid)
+            else:
+                old_clk = node.clk
+            processed += 1
+            if old_clk != original.clk:
                 changed += 1
-        for tid, value in old_values.items():
-            if value and tid not in self._nodes:
+            nodes[tid] = node
+            node.clk = original.clk
+            node.aclk = original.aclk
+            node.parent = parent_copy
+            node.first_child = None
+            node.prev_sibling = None
+            if parent_copy is None:
+                node.next_sibling = None
+                self._root = node
+            else:
+                head = parent_copy.first_child
+                node.next_sibling = head
+                if head is not None:
+                    head.prev_sibling = node
+                parent_copy.first_child = node
+            child = original.first_child
+            while child is not None:
+                originals.append(child)
+                parents.append(node)
+                child = child.next_sibling
+        # Threads of the old tree that `other` does not know: recycle.
+        for node in old_nodes.values():
+            if node.clk:
                 changed += 1
+            self._recycle(node)
         return changed, processed

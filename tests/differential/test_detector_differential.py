@@ -1,0 +1,143 @@
+"""Differential check: the epoch-fast-path detector ≡ the reference detector.
+
+The optimized :class:`repro.analysis.detectors.RaceDetector` keeps the
+reads-since-last-write as a single flat epoch until a second concurrent
+reading thread appears.  This must be *exact*: the same races, in the
+same order, with the same check counts as the straightforward
+per-thread read map.  To pin that down, this module re-implements the
+pre-optimization detector verbatim (epoch object for the last write,
+always-materialized read dictionary) and drives both detectors with the
+same clock stream, comparing their full observable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import HBAnalysis
+from repro.analysis.detectors import RaceDetector
+from repro.clocks import TreeClock, VectorClock
+from util_traces import make_random_trace
+
+
+@dataclass
+class _ReferenceState:
+    last_write: Optional[Tuple[int, int]] = None  # (tid, clk)
+    reads: Dict[int, int] = field(default_factory=dict)
+
+
+class ReferenceRaceDetector:
+    """The seed implementation of the HB/SHB race detector, kept verbatim.
+
+    Records races as ``(variable, prior_tid, prior_clk, event_eid)``
+    tuples and counts checks exactly like the original code did.
+    """
+
+    def __init__(self) -> None:
+        self.races: List[Tuple[object, int, int, int]] = []
+        self.checks = 0
+        self._states: Dict[object, _ReferenceState] = {}
+
+    def _state(self, variable: object) -> _ReferenceState:
+        state = self._states.get(variable)
+        if state is None:
+            state = _ReferenceState()
+            self._states[variable] = state
+        return state
+
+    def on_read(self, event, clock) -> None:
+        state = self._state(event.variable)
+        last_write = state.last_write
+        self.checks += 1
+        if (
+            last_write is not None
+            and last_write[0] != event.tid
+            and last_write[1] > clock.get(last_write[0])
+        ):
+            self.races.append((event.variable, last_write[0], last_write[1], event.eid))
+        state.reads[event.tid] = clock.get(event.tid)
+
+    def on_write(self, event, clock) -> None:
+        state = self._state(event.variable)
+        last_write = state.last_write
+        self.checks += 1
+        if (
+            last_write is not None
+            and last_write[0] != event.tid
+            and last_write[1] > clock.get(last_write[0])
+        ):
+            self.races.append((event.variable, last_write[0], last_write[1], event.eid))
+        for reader_tid, reader_clk in state.reads.items():
+            if reader_tid == event.tid:
+                continue
+            self.checks += 1
+            if reader_clk > clock.get(reader_tid):
+                self.races.append((event.variable, reader_tid, reader_clk, event.eid))
+        state.reads.clear()
+        state.last_write = (event.tid, clock.get(event.tid))
+
+
+class _SnapshotClock:
+    """A read-only clock over a recorded vector-time snapshot."""
+
+    def __init__(self, snapshot: Dict[int, int]) -> None:
+        self._snapshot = snapshot
+
+    def get(self, tid: int) -> int:
+        return self._snapshot.get(tid, 0)
+
+
+def _drive_detectors(trace) -> Tuple[RaceDetector, ReferenceRaceDetector]:
+    """Run HB once for timestamps, then feed both detectors identically."""
+    timestamps = HBAnalysis(TreeClock, capture_timestamps=True).run(trace).timestamps
+    optimized = RaceDetector()
+    reference = ReferenceRaceDetector()
+    for event in trace:
+        if not event.is_access:
+            continue
+        clock = _SnapshotClock(timestamps[event.eid])
+        if event.is_read:
+            optimized.on_read(event, clock)
+            reference.on_read(event, clock)
+        else:
+            optimized.on_write(event, clock)
+            reference.on_write(event, clock)
+    return optimized, reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    sync_bias=st.sampled_from([0.1, 0.45, 0.8]),
+)
+def test_epoch_fast_path_matches_reference_detector(seed: int, sync_bias: float) -> None:
+    """Same races, same order, same check counts as the seed detector."""
+    trace = make_random_trace(seed, num_events=150, sync_bias=sync_bias, num_variables=3)
+    optimized, reference = _drive_detectors(trace)
+    optimized_races = [
+        (race.variable, race.prior_tid, race.prior_local_time, race.event_eid)
+        for race in optimized.summary.races
+    ]
+    assert optimized_races == reference.races
+    assert optimized.summary.checks == reference.checks
+    assert optimized.summary.total_reported == len(reference.races)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_detection_identical_across_clock_classes(seed: int) -> None:
+    """The full analysis pipeline reports identical races for TC and VC."""
+    trace = make_random_trace(seed, num_events=150, num_variables=2)
+    summaries = {}
+    for clock_class in (TreeClock, VectorClock):
+        result = HBAnalysis(clock_class, detect=True).run(trace)
+        summaries[clock_class] = result.detection
+    tc, vc = summaries[TreeClock], summaries[VectorClock]
+    assert [(r.variable, r.prior_tid, r.prior_local_time, r.event_eid) for r in tc.races] == [
+        (r.variable, r.prior_tid, r.prior_local_time, r.event_eid) for r in vc.races
+    ]
+    assert tc.checks == vc.checks

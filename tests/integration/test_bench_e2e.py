@@ -1,0 +1,83 @@
+"""End-to-end: ``repro-bench run`` → artifacts → ``repro-bench compare``.
+
+The full loop a CI pipeline performs: measure a tiny suite, check the
+emitted ``BENCH_<suite>.json`` files against the schema, compare a run
+against itself (must pass), inject a slowdown into the baseline copy
+(must fail with exit code 1), and drive the same flow through the
+``repro bench`` subcommand of the main CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import SCHEMA_VERSION, validate_artifact
+from repro.bench.cli import main as bench_main
+from repro.cli import main as repro_main
+
+RUN_ARGS = [
+    "run",
+    "--events", "150",
+    "--repeats", "2",
+    "--warmup", "1",
+    "--threads", "4,8",
+    "--quiet",
+]
+
+
+def test_run_compare_roundtrip_and_injected_regression(tmp_path, capsys):
+    out_dir = tmp_path / "artifacts"
+    assert bench_main(RUN_ARGS + ["--suite", "clocks", "--suite", "session", "--out", str(out_dir)]) == 0
+
+    clocks_path = out_dir / "BENCH_clocks.json"
+    session_path = out_dir / "BENCH_session.json"
+    assert clocks_path.is_file() and session_path.is_file()
+
+    clocks = json.loads(clocks_path.read_text())
+    session = json.loads(session_path.read_text())
+    for artifact, suite in ((clocks, "clocks"), (session, "session")):
+        assert validate_artifact(artifact) == []
+        assert artifact["schema"] == SCHEMA_VERSION
+        assert artifact["suite"] == suite
+        assert artifact["config"] == {"warmup": 1, "repeats": 2}
+        assert len(artifact["results"]) > 0
+    # The clocks suite covers both clock classes over both thread counts.
+    names = {entry["name"] for entry in clocks["results"]}
+    assert "clock_ops/single_lock-t4/TC" in names
+    assert "clock_ops/single_lock-t8/VC" in names
+    # Session cases attribute per-spec feed times.
+    session_case = session["results"][0]
+    assert set(session_case["sub"]) == set(session_case["params"]["specs"])
+
+    # Self-comparison with a generous threshold: no regression possible.
+    assert bench_main(["compare", str(clocks_path), str(clocks_path), "--strict"]) == 0
+
+    # Inject a 10x slowdown into the current artifact: must fail (exit 1).
+    slowed = dict(clocks)
+    slowed["results"] = [dict(entry) for entry in clocks["results"]]
+    victim = slowed["results"][0]
+    victim["runs_ns"] = [value * 10 for value in victim["runs_ns"]]
+    victim["best_ns"] = min(victim["runs_ns"])
+    victim["mean_ns"] = sum(victim["runs_ns"]) / len(victim["runs_ns"])
+    slowed_path = tmp_path / "BENCH_clocks_slow.json"
+    slowed_path.write_text(json.dumps(slowed))
+    assert bench_main(["compare", str(clocks_path), str(slowed_path), "--threshold", "100"]) == 1
+    report = capsys.readouterr().out
+    assert "REGRESSION" in report
+    assert "comparison FAILED" in report
+    # The same artifacts pass under an absurdly generous threshold.
+    assert bench_main(["compare", str(clocks_path), str(slowed_path), "--threshold", "100000"]) == 0
+    capsys.readouterr()
+
+
+def test_repro_bench_subcommand_dispatch(tmp_path, capsys):
+    out_dir = tmp_path / "artifacts"
+    args = ["bench"] + RUN_ARGS + ["--suite", "clocks", "--out", str(out_dir)]
+    assert "--suite" not in RUN_ARGS  # only the clocks suite runs here
+    # `repro bench run ...` goes through the main CLI's subcommand dispatch.
+    assert repro_main(args) == 0
+    clocks_path = out_dir / "BENCH_clocks.json"
+    assert clocks_path.is_file()
+    assert repro_main(["bench", "compare", str(clocks_path), str(clocks_path)]) == 0
+    assert repro_main(["bench", "list"]) == 0
+    capsys.readouterr()

@@ -11,6 +11,9 @@ from pathlib import Path
 
 import pytest
 
+# Real threads and subprocesses: runs in the dedicated `-m slow` CI lane.
+pytestmark = pytest.mark.slow
+
 from repro.capture import OnlineDetector, capture, run_script
 from repro.capture.cli import main as capture_cli_main
 from repro.cli import main as repro_main

@@ -6,6 +6,9 @@ from pathlib import Path
 
 import pytest
 
+# Spawns one subprocess per example script: runs in the `-m slow` CI lane.
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 
