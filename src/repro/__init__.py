@@ -31,7 +31,12 @@ Orderings in Concurrent Executions" (ASPLOS 2022).  The package provides
   (clock join/copy kernels, full session walks) under a
   warmup/repeat/min-of-N discipline, emits schema-versioned
   ``BENCH_<suite>.json`` artifacts, and diffs two artifacts with a
-  regression threshold for CI gating.
+  regression threshold for CI gating,
+* :mod:`repro.serve` — the concurrent trace-analysis service: a
+  content-addressed trace corpus, a digest-sharded job queue feeding a
+  crash-isolated ``multiprocessing`` worker pool, and a JSON-lines TCP
+  protocol with whole-trace submission *and* live streaming ingest
+  (``repro serve`` / ``repro submit`` / ``repro status``).
 
 Session quickstart
 ------------------
@@ -116,6 +121,7 @@ from .api import (
     EventSource,
     FileSource,
     GeneratorSource,
+    QueueSource,
     Session,
     SessionResult,
     TraceSource,
@@ -132,7 +138,20 @@ from . import api  # noqa: E402  (bound as an attribute, like `capture` below)
 # several (e.g. `capture`, `spawn`) are too generic for the top level.
 from . import capture  # noqa: E402  (import order: capture needs the packages above)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def __getattr__(name: str):
+    # The service subsystem is namespaced like `capture`
+    # (repro.serve.TraceCorpus, ...) but bound lazily: it pulls in
+    # socketserver/multiprocessing/gzip, which a plain `repro analyze`
+    # never needs — the same reason repro.bench stays out of the eager
+    # package root.
+    if name == "serve":
+        import importlib
+
+        return importlib.import_module(".serve", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "AnalysisResult",
@@ -148,6 +167,7 @@ __all__ = [
     "HBAnalysis",
     "MAZAnalysis",
     "OpKind",
+    "QueueSource",
     "Race",
     "SHBAnalysis",
     "Session",
@@ -176,4 +196,5 @@ __all__ = [
     "register_order",
     "run_specs",
     "save_trace",
+    "serve",
 ]

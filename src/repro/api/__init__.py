@@ -46,6 +46,7 @@ from .sources import (
     EventSource,
     FileSource,
     GeneratorSource,
+    QueueSource,
     TraceSource,
     as_event_source,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "FileSource",
     "GeneratorSource",
     "ORDERS",
+    "QueueSource",
     "Registry",
     "Session",
     "SessionResult",

@@ -23,6 +23,7 @@ so ``Session.run`` accepts any of them directly.
 
 from __future__ import annotations
 
+import queue
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional, Protocol, Sequence, Union, runtime_checkable
 
@@ -215,6 +216,76 @@ class CaptureSource:
         return session.finish()
 
 
+class QueueSource:
+    """Source bridging a producer thread to a session walk.
+
+    The producer side calls :meth:`put` for every event and :meth:`close`
+    when the stream ends; the consumer side hands the source to
+    ``Session.run`` (typically on a separate thread), whose ``events()``
+    iteration blocks on the internal queue until events arrive and
+    terminates when the source is closed.  This is the handoff the
+    :mod:`repro.serve` streaming-ingest path uses: the socket handler
+    thread feeds parsed events in, a walk thread analyzes them as they
+    arrive, and races surface through the session's ``on_race`` callback
+    while the producer is still sending.
+
+    ``maxsize`` bounds the queue (0 = unbounded); a bounded queue applies
+    backpressure to the producer when analysis falls behind.  The thread
+    universe is unknown upfront, so clocks grow dynamically.  The event
+    stream is consumable once.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, name: str = "queue", maxsize: int = 0) -> None:
+        self.name = name
+        self.events_emitted = 0
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize)
+        self._closed = False
+
+    def put(self, event: Event, timeout: Optional[float] = None) -> None:
+        """Hand one event to the consumer side (blocks when bounded and full)."""
+        if self._closed:
+            raise RuntimeError("cannot put() into a closed QueueSource")
+        self._queue.put(event, timeout=timeout)
+
+    def close(self) -> None:
+        """End the stream: the consuming iteration drains and terminates.
+
+        Never blocks, even when a bounded queue is full with a dead
+        consumer: the closed flag is set first and the sentinel enqueue
+        is only a fast-path wakeup — a live consumer that misses it
+        still notices the flag once the queue drains.
+        """
+        if not self._closed:
+            self._closed = True
+            try:
+                self._queue.put_nowait(self._SENTINEL)
+            except queue.Full:
+                pass
+
+    @property
+    def closed(self) -> bool:
+        """Whether the producer side has ended the stream."""
+        return self._closed
+
+    def threads(self) -> None:
+        return None
+
+    def events(self) -> Iterator[Event]:
+        while True:
+            try:
+                item = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if item is self._SENTINEL:
+                return
+            self.events_emitted += 1
+            yield item  # type: ignore[misc]
+
+
 SourceLike = Union[
     "EventSource", Trace, str, Path, BenchmarkProfile, RandomTraceConfig, Callable[[], Trace]
 ]
@@ -228,7 +299,7 @@ def as_event_source(source: SourceLike) -> EventSource:
     :class:`BenchmarkProfile` / :class:`RandomTraceConfig`, or a
     zero-argument callable returning a ``Trace``.
     """
-    if isinstance(source, (TraceSource, FileSource, GeneratorSource, CaptureSource)):
+    if isinstance(source, (TraceSource, FileSource, GeneratorSource, CaptureSource, QueueSource)):
         return source
     if isinstance(source, Trace):
         return TraceSource(source)

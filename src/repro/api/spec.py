@@ -144,24 +144,33 @@ def parse_spec(text: str) -> AnalysisSpec:
     for raw_token in text.split("+"):
         token = raw_token.strip()
         if not token:
-            raise ValueError(f"empty token in spec {text!r}")
+            raise ValueError(
+                f"empty token in spec {text!r}: specs are '+'-separated like "
+                f"'hb+tc+detect' with no leading, trailing or doubled '+'"
+            )
         if token.lower() in _FLAG_TOKENS:
             flags[_FLAG_TOKENS[token.lower()]] = True
         elif token in ORDERS:
             if order is not None:
-                raise ValueError(f"spec {text!r} names two partial orders")
+                raise ValueError(
+                    f"spec {text!r} names two partial orders "
+                    f"({order.lower()!r} and {token.lower()!r}); pick one"
+                )
             order = token
         elif token in CLOCKS:
             if clock is not None:
-                raise ValueError(f"spec {text!r} names two clocks")
+                raise ValueError(
+                    f"spec {text!r} names two clocks "
+                    f"({clock.lower()!r} and {token.lower()!r}); pick one"
+                )
             clock = token
         else:
-            valid = (
-                [name.lower() for name in ORDERS.names()]
-                + [name.lower() for name in CLOCKS.names()]
-                + sorted(set(_FLAG_TOKENS))
+            raise ValueError(
+                f"unknown spec token {token!r} in {text!r}; registered partial orders: "
+                f"{[name.lower() for name in ORDERS.names()]}, registered clocks: "
+                f"{[name.lower() for name in CLOCKS.names()]}, flags: "
+                f"{sorted(set(_FLAG_TOKENS))}"
             )
-            raise ValueError(f"unknown spec token {token!r} in {text!r}; expected one of {valid}")
     return AnalysisSpec(
         order=order if order is not None else "HB",
         clock=clock if clock is not None else "TC",

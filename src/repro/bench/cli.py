@@ -33,6 +33,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from ..cli_util import package_version
 from .artifact import artifact_path, load_artifact, make_artifact, write_artifact
 from .compare import compare_artifacts, format_report
 from .runner import BenchConfig, run_suite
@@ -44,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Run reproducible benchmark suites and compare runs for regressions.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {package_version()}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 

@@ -199,10 +199,136 @@ def _run_session_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
     )
 
 
+def _run_serve_jobs_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
+    """End-to-end service throughput: (trace × spec) cells through a worker pool.
+
+    One timed repeat = submitting the whole corpus fan-out as a batch and
+    draining it.  The corpus is ingested and the pool is started (worker
+    processes forked) *outside* the timed region, so the measurement is
+    steady-state jobs/sec, not process-spawn latency.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..serve.corpus import TraceCorpus
+    from ..serve.pool import WorkerPool, WorkerTask
+
+    params = case.params
+    specs = [str(spec) for spec in params["specs"]]  # type: ignore[index]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        corpus = TraceCorpus(Path(tmp) / "corpus")
+        entries = []
+        for scenario in params["scenarios"]:  # type: ignore[index]
+            trace = SCENARIOS[str(scenario)](
+                int(params["threads"]), int(params["events"]), int(params.get("seed", 0))
+            )
+            entry, _ = corpus.ingest(trace)
+            entries.append(entry)
+        pool = WorkerPool(workers=int(params["workers"])).start()
+        batch_index = 0
+
+        def one_batch() -> None:
+            nonlocal batch_index
+            batch_index += 1  # fresh task ids per repeat: no in-flight collisions
+            tasks = [
+                WorkerTask(
+                    task_id=f"{entry.digest[:8]}:{spec}#{batch_index}",
+                    trace_path=str(corpus.trace_path(entry.digest)),
+                    spec=spec,
+                    trace_name=entry.name,
+                )
+                for entry in entries
+                for spec in specs
+            ]
+            for task_id, (payload, error, _) in pool.run_batch(tasks, timeout=600).items():
+                if error is not None:
+                    raise RuntimeError(f"serve bench job {task_id} failed: {error}")
+
+        try:
+            runs = _timed_runs(one_batch, config)
+        finally:
+            if not pool.close(timeout=10.0):
+                pool.terminate()
+    jobs = len(entries) * len(specs)
+    events_total = sum(entry.events for entry in entries) * len(specs)
+    return BenchCaseResult(
+        name=case.name,
+        kind=case.kind,
+        params=case.params,
+        events=events_total,
+        runs_ns=runs,
+        meta={
+            "jobs": jobs,
+            "traces": len(entries),
+            "workers": int(params["workers"]),
+            "jobs_per_sec": round(jobs / (min(runs) / 1e9), 3),
+        },
+    )
+
+
+def _run_serve_ingest_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
+    """Streaming-ingest throughput: STD lines over a live loopback server.
+
+    One timed repeat = one full stream (begin, batched feeds, end)
+    against a :class:`repro.serve.TraceServer` started outside the timed
+    region, so the number is sustained protocol + incremental-session
+    events/sec on the loopback interface.
+    """
+    import tempfile
+    import threading
+    from pathlib import Path
+
+    from ..serve.client import ServeClient
+    from ..serve.server import TraceServer
+    from ..trace.io import std_line
+
+    params = case.params
+    specs = [str(spec) for spec in params["specs"]]  # type: ignore[index]
+    batch = int(params.get("batch", 32))
+    trace = _scenario_trace(params)
+    lines = [std_line(event) for event in trace]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as tmp:
+        server = TraceServer(("127.0.0.1", 0), Path(tmp) / "corpus", workers=1)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.address
+        stream_index = 0
+        try:
+            client = ServeClient(host, port, timeout=600.0)
+            try:
+
+                def one_stream() -> None:
+                    nonlocal stream_index
+                    stream_index += 1
+                    stream = client.stream_begin(f"{trace.name}-{stream_index}", specs)
+                    for start in range(0, len(lines), batch):
+                        stream.feed_lines(lines[start : start + batch])
+                    stream.end()
+
+                runs = _timed_runs(one_stream, config)
+            finally:
+                client.close()
+        finally:
+            server.close()
+    return BenchCaseResult(
+        name=case.name,
+        kind=case.kind,
+        params=case.params,
+        events=len(lines),
+        runs_ns=runs,
+        meta={
+            "batch": batch,
+            "specs": specs,
+            "events_per_sec": round(len(lines) / (min(runs) / 1e9), 1),
+        },
+    )
+
+
 #: Case kind -> measurement procedure.
 _RUNNERS: Dict[str, Callable[[BenchCase, BenchConfig], BenchCaseResult]] = {
     "clock_ops": _run_clock_ops_case,
     "session": _run_session_case,
+    "serve_jobs": _run_serve_jobs_case,
+    "serve_ingest": _run_serve_ingest_case,
 }
 
 

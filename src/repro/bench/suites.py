@@ -20,6 +20,15 @@ Two suites ship by default:
     per case, with every spec's per-feed time attributed separately
     (the artifact keeps a ``sub`` entry per spec).
 
+``serve``
+    Service benchmarks: end-to-end **jobs/sec** through the
+    :mod:`repro.serve` worker pool (a small corpus of scenario traces
+    fanned out as (trace × spec) cells across worker processes) and
+    streaming-ingest **events/sec** through a live loopback TCP server
+    (STD lines batched over the socket into an incremental session).
+    Pool startup and server startup happen outside the timed region, so
+    the numbers measure the steady-state service, not process spawning.
+
 Extra session cases over *captured* trace files can be appended with
 ``repro-bench run --trace FILE`` — the file is streamed lazily through a
 :class:`repro.api.FileSource`, so real recorded workloads ride the same
@@ -144,12 +153,67 @@ def session_suite(
     return cases
 
 
+#: Analysis specs of the default ``serve`` jobs cases: the service's
+#: canonical TC-vs-VC detection fan-out.
+DEFAULT_SERVE_SPECS: Tuple[str, ...] = ("hb+tc+detect", "shb+vc+detect")
+
+#: Worker-pool sizes exercised by the default ``serve`` suite.
+DEFAULT_SERVE_WORKERS: Tuple[int, ...] = (2, 4)
+
+
+def serve_suite(
+    events: int = 2000,
+    scenarios: Sequence[str] = ("single_lock", "star_topology", "pairwise_communication"),
+    thread_counts: Sequence[int] = (10,),
+    specs: Sequence[str] = DEFAULT_SERVE_SPECS,
+    workers: Sequence[int] = DEFAULT_SERVE_WORKERS,
+    ingest_batch: int = 32,
+    seed: int = 0,
+) -> List[BenchCase]:
+    """The ``serve`` suite: worker-pool jobs/sec and streaming-ingest events/sec."""
+    spec_list = list(specs)
+    threads = int(thread_counts[0]) if thread_counts else 10
+    cases: List[BenchCase] = []
+    for worker_count in workers:
+        cases.append(
+            BenchCase(
+                name=f"serve/jobs-w{worker_count}",
+                kind="serve_jobs",
+                params={
+                    "scenarios": list(scenarios),
+                    "threads": threads,
+                    "events": events,
+                    "seed": seed,
+                    "specs": spec_list,
+                    "workers": worker_count,
+                },
+            )
+        )
+    for scenario in scenarios[:1]:
+        cases.append(
+            BenchCase(
+                name=f"serve/ingest-{scenario}",
+                kind="serve_ingest",
+                params={
+                    "scenario": scenario,
+                    "threads": threads,
+                    "events": events,
+                    "seed": seed,
+                    "specs": spec_list,
+                    "batch": ingest_batch,
+                },
+            )
+        )
+    return cases
+
+
 #: Suite name -> builder.  :func:`suite_cases` dispatches through this
 #: registry, forwarding only the global knobs a builder's signature
 #: declares — registering a new suite here is the whole integration.
 SUITES: Dict[str, Callable[..., List[BenchCase]]] = {
     "clocks": clocks_suite,
     "session": session_suite,
+    "serve": serve_suite,
 }
 
 

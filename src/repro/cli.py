@@ -18,7 +18,9 @@ The ``capture`` subcommand records a trace from a *live* script instead
 of loading one from disk, running online race detection while the script
 executes (see :mod:`repro.capture.cli`).  The ``bench`` subcommand runs
 the reproducible benchmark suites and compares runs for performance
-regressions (see :mod:`repro.bench.cli`).
+regressions (see :mod:`repro.bench.cli`).  The ``serve`` / ``submit`` /
+``status`` subcommands run and talk to the concurrent trace-analysis
+service (see :mod:`repro.serve.cli`).
 
 Examples
 --------
@@ -33,6 +35,9 @@ Examples
     repro capture --order HB --save bank.std.gz examples/capture_bank_race.py
     repro bench run --suite clocks --out artifacts/
     repro bench compare baseline/BENCH_clocks.json artifacts/BENCH_clocks.json
+    repro serve --corpus ./corpus --workers 4
+    repro submit 127.0.0.1:7341 trace.std.gz --spec hb+tc+detect --wait
+    repro status 127.0.0.1:7341 --results
 """
 
 from __future__ import annotations
@@ -45,7 +50,7 @@ from typing import List, Optional, Sequence
 
 from .api import CLOCKS, ORDERS, AnalysisSpec, FileSource, Session, TraceSource, parse_spec
 from .api.sources import EventSource
-from .cli_util import make_say
+from .cli_util import make_say, package_version
 from .clocks.render import render_clock
 from .trace import TraceBuilder, infer_format, load_trace
 from .trace.stats import compute_statistics
@@ -58,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
         description="Compute causal orderings (HB/SHB/MAZ) and races for a trace file.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {package_version()}"
     )
     parser.add_argument("trace", nargs="?", help="path to the trace file")
     parser.add_argument(
@@ -149,7 +157,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     other invocation is the classic trace-file analyzer.
     """
     arguments = list(argv) if argv is not None else sys.argv[1:]
-    subcommands = {"capture": "repro.capture.cli", "bench": "repro.bench.cli"}
+    subcommands = {
+        "capture": ("repro.capture.cli", "main"),
+        "bench": ("repro.bench.cli", "main"),
+        "serve": ("repro.serve.cli", "main_serve"),
+        "submit": ("repro.serve.cli", "main_submit"),
+        "status": ("repro.serve.cli", "main_status"),
+    }
     if arguments and arguments[0] in subcommands:
         # Subcommand names win over file names (git-style), except in the
         # one unambiguous case: a bare `repro <name>` where a trace file
@@ -160,8 +174,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         import os
 
         if not (len(arguments) == 1 and os.path.isfile(arguments[0])):
-            module = importlib.import_module(subcommands[arguments[0]])
-            return module.main(arguments[1:])
+            module_name, entry_name = subcommands[arguments[0]]
+            module = importlib.import_module(module_name)
+            return getattr(module, entry_name)(arguments[1:])
     args = build_parser().parse_args(arguments)
 
     say = make_say(args.json)

@@ -6,6 +6,25 @@ import sys
 from typing import Callable
 
 
+def package_version() -> str:
+    """The installed package version, for the CLIs' ``--version`` flags.
+
+    Sourced from the package metadata of the ``treeclock-repro``
+    distribution when installed; a source checkout run straight off
+    ``PYTHONPATH=src`` has no metadata, so the package's own
+    ``__version__`` (kept in sync with ``pyproject.toml``) is the
+    fallback.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("treeclock-repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
 def make_say(json_mode: bool) -> Callable[..., None]:
     """A ``print``-alike for human diagnostics.
 

@@ -24,6 +24,7 @@ import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..cli_util import package_version
 from . import figure6, figure7, figure8, figure9, figure10, table1, table2, table3
 from .figure10 import ScalabilityConfig
 from .reporting import ExperimentReport
@@ -47,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the tree-clock paper's evaluation.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {package_version()}"
     )
     parser.add_argument(
         "experiment",
@@ -82,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the per-trace sweep (default: 1, in process)",
+    )
+    parser.add_argument(
+        "--server",
+        metavar="HOST:PORT",
+        default=None,
+        help="delegate the sweep to a running `repro serve` instance (sweep only)",
     )
     parser.add_argument(
         "--json",
@@ -127,6 +137,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             orders=tuple(args.orders),
             max_profiles=args.max_profiles,
             workers=args.workers,
+            server=args.server,
         )
         payload = SuiteRunner(config).sweep()
         document = json.dumps(payload, indent=2)
@@ -135,8 +146,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             with open(args.json, "w", encoding="utf-8") as handle:
                 handle.write(document + "\n")
-            print(f"sweep written to {args.json} ({len(payload['speedups'])} timing cells)")
+            cells = payload.get("speedups", payload.get("cells", []))
+            print(f"sweep written to {args.json} ({len(cells)} cells)")
         return 0
+    if args.server:
+        print("error: --server applies to the 'sweep' experiment only", file=sys.stderr)
+        return 2
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         report = _run_experiment(name, args)

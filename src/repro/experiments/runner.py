@@ -61,6 +61,12 @@ class ExperimentConfig:
         process, the default).  Opt-in: timing numbers from parallel
         workers share cores, so use >1 for functional sweeps and work
         counting rather than publication-grade timings.
+    server:
+        Optional ``host:port`` of a running ``repro serve`` instance.
+        When set, :meth:`SuiteRunner.sweep` ships every suite trace to
+        that server and collects the (trace × order × clock) cells from
+        its results store instead of fanning out in-process — the
+        service-mode counterpart of ``workers``.
     """
 
     scale: float = 1.0
@@ -69,6 +75,7 @@ class ExperimentConfig:
     max_profiles: Optional[int] = None
     families: Optional[Sequence[str]] = None
     workers: int = 1
+    server: Optional[str] = None
 
     def analysis_classes(self) -> List[Type[PartialOrderAnalysis]]:
         """The analysis classes selected by :attr:`orders`."""
@@ -264,6 +271,66 @@ class SuiteRunner:
 
     # -- the whole sweep, machine-readable ----------------------------------------------
 
+    def remote_sweep(self, address: str) -> Dict[str, object]:
+        """Run the detection sweep on a running ``repro serve`` instance.
+
+        Every suite profile's trace is submitted to the server (ingested
+        content-addressed into its corpus) with one
+        ``<order>+<clock>+detect`` spec per (order × clock) cell; the
+        call then blocks until the server's job queue drains and reads
+        the cells back from its results store.  Worker-process timings
+        (``elapsed_ns``) ride along per cell, but the headline output is
+        the functional matrix: per-trace, per-spec race counts computed
+        by a shared remote worker fleet instead of in-process fan-out.
+        """
+        from ..api.registry import CLOCKS
+        from ..serve.client import ServeClient
+
+        specs = [
+            f"{order.lower()}+{clock.lower()}+detect"
+            for order in self.config.orders
+            for clock in CLOCKS.names()
+        ]
+        cells: List[Dict[str, object]] = []
+        with ServeClient.connect(address) as client:
+            digests: Dict[str, str] = {}
+            job_ids: List[str] = []
+            for profile in self.profiles:
+                response = client.submit_trace(
+                    self.trace(profile), specs, name=profile.name, tags=("sweep",)
+                )
+                digests[profile.name] = str(response["digest"])
+                job_ids.extend(str(job) for job in response["jobs"])
+            # Wait on exactly the cells this sweep queued — a shared
+            # server's other workload must not stall the sweep's clock.
+            client.wait_for_jobs(job_ids, timeout=600.0)
+            for profile in self.profiles:
+                digest = digests[profile.name]
+                results = client.results(digest)
+                for spec in specs:
+                    payload = results.get(spec)
+                    cells.append(
+                        {
+                            "trace": profile.name,
+                            "digest": digest,
+                            "spec": spec,
+                            "races": payload.get("race_count") if payload else None,
+                            "events": payload.get("events") if payload else None,
+                            "elapsed_ns": payload.get("elapsed_ns") if payload else None,
+                            "attempts": payload.get("attempts") if payload else None,
+                        }
+                    )
+        return {
+            "config": {
+                "scale": self.config.scale,
+                "orders": list(self.config.orders),
+                "max_profiles": self.config.max_profiles,
+                "server": address,
+            },
+            "profiles": [profile.name for profile in self.profiles],
+            "cells": cells,
+        }
+
     def sweep(self) -> Dict[str, object]:
         """Run the full session sweep and return a JSON-serializable payload.
 
@@ -271,8 +338,12 @@ class SuiteRunner:
         component (timing) plus the work metrics — the matrix behind
         Table 2 and Figures 6–9 — in one document.  This is what
         ``repro-experiments sweep --json`` emits and what the CI
-        benchmark smoke job uploads as an artifact.
+        benchmark smoke job uploads as an artifact.  With
+        ``config.server`` set the whole sweep is delegated to a running
+        ``repro serve`` instance instead (:meth:`remote_sweep`).
         """
+        if self.config.server:
+            return self.remote_sweep(self.config.server)
         return {
             "config": {
                 "scale": self.config.scale,

@@ -1,0 +1,336 @@
+"""The thin client side of the analysis service.
+
+:class:`ServeClient` wraps one TCP connection to a running
+``repro serve`` in typed request helpers — one method per protocol op —
+plus :meth:`wait_idle` polling for batch workflows.  Whole traces are
+normalized client-side: :meth:`submit_file` parses the local STD/CSV
+[.gz] file lazily and re-serializes it to canonical STD text, so the
+bytes on the wire (and therefore the server-side content address) never
+depend on the local file's format or compression.
+
+Streaming ingest gets its own small handle::
+
+    with ServeClient("127.0.0.1", 7341) as client:
+        stream = client.stream_begin("live-run", ["shb+tc+detect"])
+        for event in events:
+            reply = stream.feed(event)       # races stream back as found
+        final = stream.end()
+
+Every helper raises :class:`ServeClientError` on an error response, so
+call sites read straight-line.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..trace.event import Event
+from ..trace.io import infer_format, iter_trace_file, std_line
+from ..trace.trace import Trace
+from .protocol import DEFAULT_PORT, ProtocolError, read_message, write_message
+
+
+class ServeClientError(RuntimeError):
+    """Raised when the server answers with an error (or the link breaks)."""
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse a ``host:port`` string (bare host defaults the port)."""
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        try:
+            return host or "127.0.0.1", int(port_text)
+        except ValueError as error:
+            raise ValueError(f"invalid address {text!r}: port must be an integer") from error
+    return text or "127.0.0.1", DEFAULT_PORT
+
+
+class ServeClient:
+    """One connection to a running trace-analysis server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._socket.makefile("rb")
+        self._wfile = self._socket.makefile("wb")
+
+    @classmethod
+    def connect(cls, address: str, timeout: float = 30.0) -> "ServeClient":
+        """Connect to a ``host:port`` string."""
+        host, port = parse_address(address)
+        return cls(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        for stream in (self._rfile, self._wfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        self._socket.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one request, read one response; raises on error responses."""
+        try:
+            write_message(self._wfile, payload)
+            response = read_message(self._rfile)
+        except (ProtocolError, OSError) as error:
+            raise ServeClientError(f"connection to {self.host}:{self.port} failed: {error}") from error
+        if response is None:
+            raise ServeClientError(f"server {self.host}:{self.port} closed the connection")
+        if not response.get("ok"):
+            raise ServeClientError(str(response.get("error", "unknown server error")))
+        return response
+
+    # -- ops ---------------------------------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        return self.request({"op": "ping"})
+
+    def status(
+        self, detail: bool = False, jobs: Optional[Sequence[str]] = None
+    ) -> Dict[str, object]:
+        request: Dict[str, object] = {"op": "status", "detail": detail}
+        if jobs is not None:
+            request["jobs"] = list(jobs)
+        return self.request(request)
+
+    def results(self, digest: Optional[str] = None) -> Dict[str, Dict[str, object]]:
+        request: Dict[str, object] = {"op": "results"}
+        if digest is not None:
+            request["digest"] = digest
+        return self.request(request)["results"]  # type: ignore[return-value]
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request({"op": "shutdown"})
+
+    def submit_text(
+        self,
+        text: str,
+        specs: Sequence[str],
+        fmt: str = "std",
+        name: Optional[str] = None,
+        tags: Sequence[str] = (),
+        force: bool = False,
+    ) -> Dict[str, object]:
+        """Submit raw trace text for ingest + analysis."""
+        request: Dict[str, object] = {
+            "op": "submit",
+            "text": text,
+            "fmt": fmt,
+            "specs": list(specs),
+            "tags": list(tags),
+            "force": force,
+        }
+        if name is not None:
+            request["name"] = name
+        return self.request(request)
+
+    def submit_trace(
+        self,
+        trace: Trace,
+        specs: Sequence[str],
+        name: Optional[str] = None,
+        tags: Sequence[str] = (),
+        force: bool = False,
+    ) -> Dict[str, object]:
+        """Submit an in-memory trace (serialized to canonical STD text)."""
+        text = "\n".join(std_line(event) for event in trace)
+        return self.submit_text(
+            text, specs, fmt="std", name=name or trace.name or None, tags=tags, force=force
+        )
+
+    def analyze(
+        self, digest: str, specs: Sequence[str], force: bool = False
+    ) -> Dict[str, object]:
+        """Queue (trace × spec) jobs for a trace already in the server's corpus."""
+        return self.request(
+            {"op": "analyze", "digest": digest, "specs": list(specs), "force": force}
+        )
+
+    #: Traces whose canonical STD serialization exceeds this many bytes
+    #: are submitted through the streaming path instead of one
+    #: whole-text message, keeping client and server memory bounded
+    #: regardless of trace size (or on-disk compression ratio).
+    STREAM_THRESHOLD_BYTES = 32 * 1024 * 1024
+
+    def submit_file(
+        self,
+        path: Union[str, Path],
+        specs: Sequence[str],
+        name: Optional[str] = None,
+        tags: Sequence[str] = (),
+        force: bool = False,
+    ) -> Dict[str, object]:
+        """Submit a local STD/CSV[.gz] trace file.
+
+        The file is parsed lazily and re-serialized to canonical STD, so
+        format and compression never leak into the content address.
+        Small traces travel as one ``submit`` message; once the
+        *serialized* size (measured while streaming the file — the
+        on-disk size may be gzip-compressed many times smaller) passes
+        :attr:`STREAM_THRESHOLD_BYTES`, the upload switches to an
+        ingest-only stream followed by an ``analyze`` request, so
+        neither side ever materializes the whole trace.  The response
+        shape is the same either way.
+        """
+        resolved_name = name or Path(path).name
+        lines = (std_line(event) for event in iter_trace_file(path, fmt=infer_format(path)))
+        buffered: List[str] = []
+        buffered_bytes = 0
+        overflowed = False
+        for line in lines:
+            buffered.append(line)
+            buffered_bytes += len(line) + 1
+            if buffered_bytes > self.STREAM_THRESHOLD_BYTES:
+                overflowed = True
+                break
+        if not overflowed:
+            return self.submit_text(
+                "\n".join(buffered), specs, fmt="std", name=resolved_name, tags=tags, force=force
+            )
+        stream = self.stream_begin(resolved_name, specs=(), save=True)
+        for start in range(0, len(buffered), 1024):
+            stream.feed_lines(buffered[start : start + 1024])
+        batch: List[str] = []
+        for line in lines:  # continue the same lazy iteration
+            batch.append(line)
+            if len(batch) >= 1024:
+                stream.feed_lines(batch)
+                batch = []
+        if batch:
+            stream.feed_lines(batch)
+        final = stream.end(tags=tags or ("uploaded",))
+        return self.analyze(str(final["digest"]), specs, force=force)
+
+    # -- streaming ingest --------------------------------------------------------------
+
+    def stream_begin(
+        self, name: str, specs: Sequence[str], save: bool = False
+    ) -> "StreamHandle":
+        """Open a streaming-ingest session on this connection."""
+        self.request({"op": "stream_begin", "name": name, "specs": list(specs), "save": save})
+        return StreamHandle(self)
+
+    # -- polling -----------------------------------------------------------------------
+
+    def wait_idle(self, timeout: float = 60.0, poll: float = 0.1) -> Dict[str, object]:
+        """Poll ``status`` until no job is pending or running *server-wide*.
+
+        Useful for single-tenant batch scripts and tests; a client that
+        only cares about its own submission should use
+        :meth:`wait_for_jobs` instead, which is immune to other clients'
+        backlogs.  Returns the final status response; raises
+        :class:`ServeClientError` when the server is still busy after
+        ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status()
+            scheduler = status["scheduler"]
+            jobs = scheduler["jobs"]  # type: ignore[index]
+            busy = jobs["pending"] + jobs["running"]  # type: ignore[index]
+            if busy == 0:
+                return status
+            if time.monotonic() > deadline:
+                raise ServeClientError(
+                    f"server still has {busy} unfinished jobs after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def wait_for_jobs(
+        self, job_ids: Sequence[str], timeout: float = 120.0, poll: float = 0.1
+    ) -> List[Dict[str, object]]:
+        """Poll until the given jobs reach a terminal state (done *or* failed).
+
+        Returns the job rows in ``job_ids`` order — callers must inspect
+        each row's ``status``/``error``, since a failed job is a normal
+        terminal outcome here, not an exception.  Only waits on the
+        caller's own jobs, so another client's backlog cannot time this
+        call out.  Raises :class:`ServeClientError` when some job is
+        still unfinished after ``timeout`` seconds.
+
+        A job id the server no longer lists counts as terminal with
+        status ``"unknown"``: ids are registered synchronously at
+        submission and only *terminal* jobs are ever pruned from the
+        history, so absence means the job finished long enough ago to be
+        pruned (its result, if successful, is still in the results
+        store).
+        """
+        wanted = list(job_ids)
+        if not wanted:
+            return []
+        deadline = time.monotonic() + timeout
+        while True:
+            # The server filters the job list to just our ids, so each
+            # poll costs O(len(wanted)), not O(server history).
+            status = self.status(jobs=wanted)
+            rows = {
+                str(row["job_id"]): row
+                for row in status["scheduler"]["job_list"]  # type: ignore[index]
+            }
+            unfinished = [
+                job_id
+                for job_id in wanted
+                if job_id in rows and rows[job_id].get("status") not in ("done", "failed")
+            ]
+            if not unfinished:
+                return [
+                    rows.get(job_id, {"job_id": job_id, "status": "unknown", "error": None})
+                    for job_id in wanted
+                ]
+            if time.monotonic() > deadline:
+                raise ServeClientError(
+                    f"{len(unfinished)} of {len(wanted)} submitted jobs still "
+                    f"unfinished after {timeout}s: {unfinished[:5]}"
+                )
+            time.sleep(poll)
+
+
+class StreamHandle:
+    """A live streaming-ingest session (one per connection)."""
+
+    def __init__(self, client: ServeClient) -> None:
+        self._client = client
+        self.events_sent = 0
+
+    def feed(self, event: Event) -> Dict[str, object]:
+        """Send one event; the response carries races found since the last call."""
+        return self.feed_lines([std_line(event)])
+
+    def feed_events(self, events: Iterable[Event], batch: int = 64) -> List[Dict[str, object]]:
+        """Send many events in batched ``feed`` messages; returns the replies."""
+        replies: List[Dict[str, object]] = []
+        pending: List[str] = []
+        for event in events:
+            pending.append(std_line(event))
+            if len(pending) >= batch:
+                replies.append(self.feed_lines(pending))
+                pending = []
+        if pending:
+            replies.append(self.feed_lines(pending))
+        return replies
+
+    def feed_lines(self, lines: Sequence[str]) -> Dict[str, object]:
+        """Send raw STD lines (the wire-level form of :meth:`feed`)."""
+        response = self._client.request({"op": "feed", "lines": list(lines)})
+        self.events_sent = int(response.get("events", self.events_sent))  # type: ignore[arg-type]
+        return response
+
+    def end(self, tags: Sequence[str] = ()) -> Dict[str, object]:
+        """Close the stream; the response carries the final per-spec results."""
+        request: Dict[str, object] = {"op": "stream_end"}
+        if tags:
+            request["tags"] = list(tags)
+        return self._client.request(request)

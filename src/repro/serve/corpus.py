@@ -1,0 +1,333 @@
+"""The content-addressed :class:`TraceCorpus` behind the analysis service.
+
+A corpus is a directory of ingested traces plus a JSON index of
+per-trace statistics.  Ingest is *content-addressed*: every incoming
+trace — an STD/CSV[.gz] file, an in-memory :class:`Trace`, or a raw
+event stream — is re-serialized to the canonical STD line form
+(:func:`repro.trace.io.std_line`) while a SHA-256 digest runs over those
+lines, so the digest depends only on the logical event sequence.  The
+same trace submitted twice (or once as CSV and once as gzipped STD)
+dedupes to one stored entry; the bytes on disk are always canonical
+gzipped STD under ``traces/<digest>.std.gz``.
+
+The index (``index.json``, schema ``repro-serve-corpus/1``) carries the
+per-trace statistics the scheduler and ``repro status`` report — event /
+thread / lock / variable counts and the sync-event share — plus
+free-form tags for corpus queries (``corpus.entries(tag="captured")``).
+
+Ingest is streaming: events flow through a bounded-memory pipeline
+(hash + stats + gzip writer), so a multi-gigabyte trace file never
+materializes in memory.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import itertools
+import json
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..api.sources import FileSource
+from ..trace.event import Event, OpKind
+from ..trace.io import TraceFormatError, infer_format, iter_trace_file, std_line
+from ..trace.trace import Trace
+
+#: Schema identifier of the corpus index; bumped on breaking layout changes.
+INDEX_SCHEMA = "repro-serve-corpus/1"
+
+#: Event kinds counted as synchronization for the per-trace statistics.
+_SYNC_KINDS = (OpKind.ACQUIRE, OpKind.RELEASE, OpKind.FORK, OpKind.JOIN)
+
+
+class CorpusError(ValueError):
+    """Raised on unusable corpus input (corrupt files, unknown digests)."""
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusEntry:
+    """One ingested trace: its digest, statistics and tags.
+
+    ``digest`` is the SHA-256 over the canonical STD lines — the
+    content address and primary key; ``filename`` is the stored file
+    name relative to the corpus's ``traces/`` directory.
+    """
+
+    digest: str
+    name: str
+    events: int
+    threads: int
+    locks: int
+    variables: int
+    sync_events: int
+    tags: Tuple[str, ...] = ()
+    ingested_unix: float = 0.0
+
+    @property
+    def filename(self) -> str:
+        """The canonical stored file name (relative to ``traces/``)."""
+        return f"{self.digest}.std.gz"
+
+    @property
+    def sync_fraction(self) -> float:
+        """Share of events that are synchronization events."""
+        return self.sync_events / self.events if self.events else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """The index representation of this entry."""
+        return {
+            "digest": self.digest,
+            "name": self.name,
+            "events": self.events,
+            "threads": self.threads,
+            "locks": self.locks,
+            "variables": self.variables,
+            "sync_events": self.sync_events,
+            "tags": list(self.tags),
+            "ingested_unix": self.ingested_unix,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CorpusEntry":
+        """Rebuild an entry from its index representation."""
+        return cls(
+            digest=str(payload["digest"]),
+            name=str(payload.get("name", "")),
+            events=int(payload["events"]),  # type: ignore[arg-type]
+            threads=int(payload.get("threads", 0)),  # type: ignore[arg-type]
+            locks=int(payload.get("locks", 0)),  # type: ignore[arg-type]
+            variables=int(payload.get("variables", 0)),  # type: ignore[arg-type]
+            sync_events=int(payload.get("sync_events", 0)),  # type: ignore[arg-type]
+            tags=tuple(payload.get("tags", ())),  # type: ignore[arg-type]
+            ingested_unix=float(payload.get("ingested_unix", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+IngestSource = Union[str, Path, Trace, Iterable[Event]]
+
+
+class TraceCorpus:
+    """A directory-backed, content-addressed store of analysis traces.
+
+    Thread-safe: every server handler thread (and the streaming save
+    path) shares one corpus, so ingests and index saves are serialized
+    by an internal lock.
+    """
+
+    _ingest_counter = itertools.count()
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.traces_dir = self.root / "traces"
+        self.traces_dir.mkdir(parents=True, exist_ok=True)
+        self.index_path = self.root / "index.json"
+        self._entries: Dict[str, CorpusEntry] = {}
+        self._lock = threading.RLock()
+        self._load_index()
+
+    # -- index persistence -------------------------------------------------------------
+
+    def _load_index(self) -> None:
+        if not self.index_path.exists():
+            return
+        try:
+            payload = json.loads(self.index_path.read_text())
+        except json.JSONDecodeError as error:
+            raise CorpusError(f"{self.index_path}: corrupt corpus index ({error})") from error
+        schema = payload.get("schema")
+        if schema != INDEX_SCHEMA:
+            raise CorpusError(
+                f"{self.index_path}: unsupported corpus index schema {schema!r} "
+                f"(expected {INDEX_SCHEMA!r})"
+            )
+        for digest, entry in payload.get("traces", {}).items():
+            self._entries[digest] = CorpusEntry.from_dict(entry)
+
+    def _save_index(self) -> None:
+        payload = {
+            "schema": INDEX_SCHEMA,
+            "traces": {digest: entry.as_dict() for digest, entry in self._entries.items()},
+        }
+        temp = self.index_path.with_suffix(".json.tmp")
+        temp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(temp, self.index_path)
+
+    # -- ingest ------------------------------------------------------------------------
+
+    def ingest(
+        self,
+        source: IngestSource,
+        name: Optional[str] = None,
+        tags: Sequence[str] = (),
+    ) -> Tuple[CorpusEntry, bool]:
+        """Ingest a trace; returns ``(entry, created)``.
+
+        ``source`` may be a trace file path (STD/CSV, ``.gz``-aware), an
+        in-memory :class:`Trace`, or any iterable of events.  A trace
+        whose canonical content is already stored dedupes to the existing
+        entry (``created`` is ``False``; new tags are merged in).
+        Corrupt or truncated files — bad gzip streams, malformed trace
+        lines — raise :class:`CorpusError` and leave the corpus
+        unchanged.
+        """
+        if isinstance(source, (str, Path)):
+            default_name = Path(source).name
+            events: Iterable[Event] = iter_trace_file(source, fmt=infer_format(source))
+        elif isinstance(source, Trace):
+            default_name = source.name or ""
+            events = iter(source)
+        else:
+            default_name = ""
+            events = source
+        return self._ingest_events(
+            events, name=name if name is not None else default_name, tags=tags, origin=source
+        )
+
+    def _ingest_events(
+        self,
+        events: Iterable[Event],
+        name: str,
+        tags: Sequence[str],
+        origin: object = None,
+    ) -> Tuple[CorpusEntry, bool]:
+        hasher = hashlib.sha256()
+        num_events = 0
+        sync_events = 0
+        threads: set = set()
+        locks: set = set()
+        variables: set = set()
+        temp_path = self.traces_dir / (
+            f".ingest-{os.getpid()}-{threading.get_ident()}-"
+            f"{next(self._ingest_counter)}.tmp.gz"
+        )
+        try:
+            with gzip.open(temp_path, "wt", encoding="utf-8") as handle:
+                for event in events:
+                    line = std_line(event)
+                    hasher.update(line.encode("utf-8"))
+                    hasher.update(b"\n")
+                    handle.write(line)
+                    handle.write("\n")
+                    num_events += 1
+                    threads.add(event.tid)
+                    kind = event.kind
+                    if kind in _SYNC_KINDS:
+                        sync_events += 1
+                        if kind in (OpKind.ACQUIRE, OpKind.RELEASE):
+                            locks.add(event.target)
+                    elif kind in (OpKind.READ, OpKind.WRITE):
+                        variables.add(event.target)
+        except (TraceFormatError, EOFError, zlib.error, OSError) as error:
+            temp_path.unlink(missing_ok=True)
+            where = f" {origin}" if isinstance(origin, (str, Path)) else ""
+            raise CorpusError(
+                f"cannot ingest trace{where}: {type(error).__name__}: {error}"
+            ) from error
+        except BaseException:
+            temp_path.unlink(missing_ok=True)
+            raise
+
+        digest = hasher.hexdigest()
+        with self._lock:
+            existing = self._entries.get(digest)
+            if existing is not None:
+                temp_path.unlink(missing_ok=True)
+                merged_tags = tuple(sorted(set(existing.tags) | set(tags)))
+                if merged_tags != existing.tags:
+                    existing = replace(existing, tags=merged_tags)
+                    self._entries[digest] = existing
+                    self._save_index()
+                return existing, False
+
+            entry = CorpusEntry(
+                digest=digest,
+                name=name or digest[:12],
+                events=num_events,
+                threads=len(threads),
+                locks=len(locks),
+                variables=len(variables),
+                sync_events=sync_events,
+                tags=tuple(sorted(set(tags))),
+                ingested_unix=time.time(),
+            )
+            os.replace(temp_path, self.traces_dir / entry.filename)
+            self._entries[digest] = entry
+            self._save_index()
+            return entry, True
+
+    # -- lookup ------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self.entries())
+
+    def get(self, digest: str) -> CorpusEntry:
+        """The entry stored under ``digest``; raises :class:`CorpusError` if absent."""
+        with self._lock:
+            entry = self._entries.get(digest)
+        if entry is None:
+            raise CorpusError(f"no trace with digest {digest!r} in corpus {self.root}")
+        return entry
+
+    def entries(self, tag: Optional[str] = None) -> List[CorpusEntry]:
+        """All entries (optionally filtered by tag), oldest-ingested first."""
+        with self._lock:
+            selected = [
+                entry
+                for entry in self._entries.values()
+                if tag is None or tag in entry.tags
+            ]
+        return sorted(selected, key=lambda entry: (entry.ingested_unix, entry.digest))
+
+    def trace_path(self, digest: str) -> Path:
+        """Path of the stored canonical trace file for ``digest``."""
+        return self.traces_dir / self.get(digest).filename
+
+    def open_source(self, digest: str) -> FileSource:
+        """A lazy :class:`FileSource` over the stored trace (O(1) memory)."""
+        entry = self.get(digest)
+        return FileSource(self.trace_path(digest), fmt="std", name=entry.name)
+
+    def load(self, digest: str) -> Trace:
+        """The stored trace, materialized in memory."""
+        entry = self.get(digest)
+        return Trace(iter_trace_file(self.trace_path(digest), fmt="std"), name=entry.name)
+
+    def remove(self, digest: str) -> None:
+        """Delete a stored trace and its index entry."""
+        with self._lock:
+            entry = self.get(digest)
+            (self.traces_dir / entry.filename).unlink(missing_ok=True)
+            del self._entries[digest]
+            self._save_index()
+
+    # -- summaries ---------------------------------------------------------------------
+
+    @property
+    def total_events(self) -> int:
+        """Sum of the event counts of every stored trace."""
+        with self._lock:
+            return sum(entry.events for entry in self._entries.values())
+
+    def summary(self) -> Dict[str, object]:
+        """Corpus-level counts for ``repro status``."""
+        return {
+            "root": str(self.root),
+            "traces": len(self),
+            "events": self.total_events,
+        }
+
+

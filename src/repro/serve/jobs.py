@@ -1,0 +1,339 @@
+"""Jobs, the sharded pending queue, and the :class:`Scheduler`.
+
+A *job* is one (trace × :class:`~repro.api.spec.AnalysisSpec`) cell of
+the corpus-wide analysis matrix.  Pending jobs live in a
+:class:`JobQueue` sharded by trace digest — every cell of one trace
+lands in the same shard, and dispatch drains the shards round-robin, so
+a freshly submitted thousand-cell trace cannot starve the single cell
+someone else just queued (fairness across traces, locality within one).
+
+The :class:`Scheduler` is the conductor: it folds submissions into
+jobs (skipping cells the results store already holds — idempotent
+re-submission), keeps a bounded number of cells in flight on the
+:class:`~repro.serve.pool.WorkerPool`, and folds worker payloads into
+the :class:`~repro.serve.results.ResultsStore` as they complete.  All
+public methods are thread-safe; the TCP handler threads of
+:mod:`repro.serve.server` and the pool's monitor thread meet here.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from collections import deque
+
+from ..api.spec import coerce_spec
+from .corpus import TraceCorpus
+from .pool import WorkerPool, WorkerTask
+from .results import ResultsStore
+
+#: Default number of pending-queue shards.
+DEFAULT_SHARDS = 8
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of one (trace × spec) cell."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class AnalysisJob:
+    """One queued analysis cell and its lifecycle state."""
+
+    job_id: str
+    digest: str
+    spec: str
+    trace_name: str
+    status: JobStatus = JobStatus.PENDING
+    attempts: int = 0
+    error: Optional[str] = None
+    submitted_unix: float = field(default_factory=time.time)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable job descriptor (the ``status`` op's job rows)."""
+        return {
+            "job_id": self.job_id,
+            "digest": self.digest,
+            "spec": self.spec,
+            "trace": self.trace_name,
+            "status": self.status.value,
+            "attempts": self.attempts,
+            "error": self.error,
+            "submitted_unix": self.submitted_unix,
+        }
+
+
+def job_id_of(digest: str, spec: str) -> str:
+    """The stable id of one cell (short digest + spec key)."""
+    return f"{digest[:12]}:{spec}"
+
+
+def shard_of(digest: str, num_shards: int) -> int:
+    """The queue shard a trace's cells land in (stable digest hash)."""
+    return int(digest[:8], 16) % num_shards
+
+
+class JobQueue:
+    """The sharded pending queue: digest-sharded push, round-robin pop."""
+
+    def __init__(self, num_shards: int = DEFAULT_SHARDS) -> None:
+        if num_shards < 1:
+            raise ValueError("a job queue needs at least one shard")
+        self.num_shards = num_shards
+        self._shards: List[Deque[AnalysisJob]] = [deque() for _ in range(num_shards)]
+        self._next_shard = 0
+        self._lock = threading.Lock()
+
+    def push(self, job: AnalysisJob) -> int:
+        """Queue a job on its trace's shard; returns the shard index."""
+        shard = shard_of(job.digest, self.num_shards)
+        with self._lock:
+            self._shards[shard].append(job)
+        return shard
+
+    def pop(self) -> Optional[AnalysisJob]:
+        """The next pending job, scanning shards round-robin; ``None`` if empty."""
+        with self._lock:
+            for offset in range(self.num_shards):
+                shard = (self._next_shard + offset) % self.num_shards
+                if self._shards[shard]:
+                    self._next_shard = (shard + 1) % self.num_shards
+                    return self._shards[shard].popleft()
+        return None
+
+    def depths(self) -> List[int]:
+        """Pending-job count per shard (the ``status`` op's shard row)."""
+        with self._lock:
+            return [len(shard) for shard in self._shards]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(shard) for shard in self._shards)
+
+
+class Scheduler:
+    """Drives (trace × spec) cells from submission to recorded result."""
+
+    def __init__(
+        self,
+        corpus: TraceCorpus,
+        results: ResultsStore,
+        workers: int = 2,
+        task_timeout: Optional[float] = None,
+        num_shards: int = DEFAULT_SHARDS,
+        max_inflight: Optional[int] = None,
+        chunk_events: int = 2048,
+    ) -> None:
+        self.corpus = corpus
+        self.results = results
+        self.queue = JobQueue(num_shards)
+        self.pool = WorkerPool(
+            workers=workers,
+            task_timeout=task_timeout,
+            on_result=self._on_result,
+            chunk_events=chunk_events,
+        )
+        # Keep a small multiple of the worker count in flight so workers
+        # never idle while the round-robin pop preserves shard fairness
+        # for everything still queued.
+        self.max_inflight = max_inflight if max_inflight is not None else 2 * workers
+        self.chunk_events = chunk_events
+        #: Terminal (done/failed) jobs kept for status queries; older ones
+        #: are pruned so a long-lived server's job history stays bounded
+        #: (their results live on in the results store regardless).
+        self.max_job_history = 10_000
+        self._jobs: Dict[str, AnalysisJob] = {}
+        self._inflight = 0
+        self._closing = False
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> "Scheduler":
+        self.pool.start()
+        return self
+
+    def close(self, timeout: Optional[float] = 10.0) -> bool:
+        """Graceful shutdown of the pool; ``False`` if it had to be killed."""
+        with self._lock:
+            # Stop dispatching first: a completion callback racing this
+            # close must not push new tasks into a stopping pool.
+            self._closing = True
+        try:
+            if self.pool.close(timeout=timeout):
+                return True
+            self.pool.terminate()
+            return False
+        finally:
+            self.results.flush()
+
+    # -- submission --------------------------------------------------------------------
+
+    def submit(
+        self, digest: str, specs: Sequence[str], force: bool = False
+    ) -> Tuple[List[str], List[str]]:
+        """Queue the (``digest`` × ``specs``) cells; returns ``(queued, cached)``.
+
+        Cells whose result the store already holds are skipped and
+        reported in ``cached`` (pass ``force=True`` to recompute them);
+        cells already pending or running are returned in ``queued``
+        without double-enqueueing.  Spec strings are canonicalized, so
+        ``"HB+tree"`` and ``"hb+tc"`` name the same cell.
+        """
+        entry = self.corpus.get(digest)
+        queued: List[str] = []
+        cached: List[str] = []
+        for spec_text in specs:
+            spec = coerce_spec(spec_text).key
+            job_id = job_id_of(digest, spec)
+            if not force and self.results.has(digest, spec):
+                cached.append(job_id)
+                continue
+            if force:
+                self.results.discard(digest, spec)
+            with self._lock:
+                existing = self._jobs.get(job_id)
+                if existing is not None and existing.status in (
+                    JobStatus.PENDING,
+                    JobStatus.RUNNING,
+                ):
+                    queued.append(job_id)
+                    continue
+                job = AnalysisJob(
+                    job_id=job_id, digest=digest, spec=spec, trace_name=entry.name
+                )
+                self._jobs[job_id] = job
+                self.queue.push(job)
+                queued.append(job_id)
+        self._dispatch()
+        return queued, cached
+
+    def _dispatch(self) -> None:
+        """Top the pool up to ``max_inflight`` tasks from the sharded queue."""
+        while True:
+            with self._lock:
+                if self._closing or self._inflight >= self.max_inflight:
+                    return
+                job = self.queue.pop()
+                if job is None:
+                    return
+                job.status = JobStatus.RUNNING
+                self._inflight += 1
+                task = WorkerTask(
+                    task_id=job.job_id,
+                    trace_path=str(self.corpus.trace_path(job.digest)),
+                    spec=job.spec,
+                    fmt="std",
+                    trace_name=job.trace_name,
+                    chunk_events=self.chunk_events,
+                )
+            self.pool.submit(task)
+
+    def _on_result(
+        self,
+        task_id: str,
+        payload: Optional[Dict[str, object]],
+        error: Optional[str],
+        attempts: int,
+    ) -> None:
+        with self._lock:
+            job = self._jobs.get(task_id)
+        # Record the payload BEFORE the job becomes visibly DONE: clients
+        # wait for terminal status and then read the results store, so
+        # the store must already hold the cell when the flip happens.  A
+        # recording failure (e.g. disk full) must still flip the job —
+        # to FAILED — or its dispatch slot leaks forever.
+        if job is not None and payload is not None:
+            try:
+                self.results.record(job.digest, job.spec, payload)
+            except Exception as record_error:  # noqa: BLE001 - surfaced on the job
+                payload = None
+                error = f"result recording failed: {type(record_error).__name__}: {record_error}"
+        with self._lock:
+            if job is not None:
+                job.attempts = attempts
+                if error is None:
+                    job.status = JobStatus.DONE
+                else:
+                    job.status = JobStatus.FAILED
+                    job.error = error
+            self._inflight = max(0, self._inflight - 1)
+            self._prune_history_locked()
+            self._drained.notify_all()
+        self._dispatch()
+
+    def _prune_history_locked(self) -> None:
+        """Drop the oldest terminal jobs beyond :attr:`max_job_history`."""
+        overflow = len(self._jobs) - self.max_job_history
+        if overflow <= 0:
+            return
+        terminal = sorted(
+            (
+                job
+                for job in self._jobs.values()
+                if job.status in (JobStatus.DONE, JobStatus.FAILED)
+            ),
+            key=lambda job: job.submitted_unix,
+        )
+        for job in terminal[:overflow]:
+            del self._jobs[job.job_id]
+
+    # -- introspection -----------------------------------------------------------------
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is pending or running (or ``timeout`` expired)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._drained:
+            while self._inflight > 0 or len(self.queue) > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._drained.wait(remaining if remaining is not None else 0.5)
+            return True
+
+    def jobs(self) -> List[AnalysisJob]:
+        """Every job this scheduler has seen, submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.submitted_unix)
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts by status (the ``status`` op's headline numbers)."""
+        tally = {status.value: 0 for status in JobStatus}
+        with self._lock:
+            for job in self._jobs.values():
+                tally[job.status.value] += 1
+        return tally
+
+    def status_snapshot(
+        self, detail: bool = False, job_ids: Optional[Sequence[str]] = None
+    ) -> Dict[str, object]:
+        """JSON-serializable scheduler state for the ``status`` protocol op.
+
+        ``job_ids`` restricts the detailed job list to those ids — the
+        form pollers use, so a wait on six jobs does not make the server
+        serialize its whole history on every poll.
+        """
+        snapshot: Dict[str, object] = {
+            "jobs": self.counts(),
+            "shards": self.queue.depths(),
+            "inflight": self._inflight,
+            "workers": self.pool.alive_workers,
+            "results": len(self.results),
+        }
+        if job_ids is not None:
+            with self._lock:
+                snapshot["job_list"] = [
+                    self._jobs[job_id].as_dict() for job_id in job_ids if job_id in self._jobs
+                ]
+        elif detail:
+            snapshot["job_list"] = [job.as_dict() for job in self.jobs()]
+        return snapshot

@@ -1,0 +1,101 @@
+"""The line protocol spoken between ``repro serve`` and its clients.
+
+One request or response per line, each a single JSON object encoded
+UTF-8 and terminated by ``\\n`` — trivially debuggable with ``nc`` and
+framing-safe because :func:`json.dumps` never emits raw newlines.  Every
+request carries an ``op`` field; every response carries ``ok`` (and, on
+failure, ``error``).  The protocol version travels in the ``ping``
+response as ``proto`` = ``"repro-serve/1"``.
+
+Request ops (see :mod:`repro.serve.server` for the authoritative
+handlers):
+
+``ping``
+    Liveness + version handshake.
+``submit``
+    Whole-trace submission: the canonical trace text travels in the
+    ``text`` field (JSON-escaped), is ingested content-addressed into
+    the corpus, and one job per ``specs`` entry is queued.
+``status`` / ``results``
+    Scheduler counts / finished (trace × spec) payloads.
+``stream_begin`` / ``feed`` / ``stream_end``
+    Streaming ingest: events arrive as STD lines (``line`` or a batched
+    ``lines`` list), are fed into an incremental session while the
+    producer is still sending, and every ``feed`` response carries the
+    races found since the previous one.
+``shutdown``
+    Graceful server stop.
+
+This module only frames and parses messages; it has no socket or
+threading opinions, so both the server's ``rfile``/``wfile`` pair and
+the client's socket makefile handles use it symmetrically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import BinaryIO, Dict, Optional
+
+#: Protocol identifier exchanged in the ``ping`` handshake.
+PROTOCOL = "repro-serve/1"
+
+#: Default TCP port of ``repro serve`` (overridable; 0 = ephemeral).
+DEFAULT_PORT = 7341
+
+
+class ProtocolError(ValueError):
+    """Raised when a peer sends something that is not a framed JSON object."""
+
+
+def encode_message(payload: Dict[str, object]) -> bytes:
+    """One message as wire bytes (compact JSON + newline terminator)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def write_message(stream: BinaryIO, payload: Dict[str, object]) -> None:
+    """Frame and send one message; flushes so the peer can respond."""
+    stream.write(encode_message(payload))
+    stream.flush()
+
+
+def read_message(stream: BinaryIO) -> Optional[Dict[str, object]]:
+    """Read one framed message; ``None`` on EOF (peer closed the stream).
+
+    Blank lines are skipped (telnet users); anything else that fails to
+    parse into a JSON *object* raises :class:`ProtocolError` — the
+    connection-level framing is still intact, so servers answer with an
+    error response and keep the connection alive.
+    """
+    while True:
+        line = stream.readline()
+        if not line:
+            return None
+        try:
+            text = line.decode("utf-8") if isinstance(line, bytes) else line
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"message is not valid UTF-8: {error}") from error
+        if not text.strip():
+            continue
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"message is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"message must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+
+def ok_response(**fields: object) -> Dict[str, object]:
+    """A success response with extra payload fields."""
+    response: Dict[str, object] = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(message: str, **fields: object) -> Dict[str, object]:
+    """A failure response carrying a human-readable ``error``."""
+    response: Dict[str, object] = {"ok": False, "error": message}
+    response.update(fields)
+    return response

@@ -1,0 +1,476 @@
+"""The :class:`TraceServer`: the TCP front end of the analysis service.
+
+A :class:`socketserver.ThreadingTCPServer` speaking the line protocol of
+:mod:`repro.serve.protocol`, one thread per connection, all threads
+sharing one :class:`~repro.serve.corpus.TraceCorpus`, one
+:class:`~repro.serve.jobs.Scheduler` (with its worker-process pool) and
+one :class:`~repro.serve.results.ResultsStore`.
+
+Two ingestion shapes:
+
+* **whole-trace submission** (``submit``) — the trace text is ingested
+  content-addressed into the corpus and (trace × spec) jobs fan out
+  across the worker pool; results are read back with ``results``.
+* **streaming ingest** (``stream_begin`` / ``feed`` / ``stream_end``) —
+  events arrive one STD line at a time (or batched) and flow through a
+  :class:`~repro.api.sources.QueueSource` into an incremental
+  :class:`~repro.api.Session` running on a per-stream walk thread;
+  races stream back in the ``feed`` responses *while the producer is
+  still sending*, exactly the online-detection story of
+  ``repro capture``, but across a socket.  With ``save=true`` the
+  streamed events are additionally ingested into the corpus at stream
+  end.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import queue
+import socketserver
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.result import Race
+from ..api import QueueSource, Session
+from ..api.spec import coerce_spec
+from ..cli_util import package_version
+from ..trace.event import Event
+from ..trace.io import TraceFormatError, iter_csv, iter_std, parse_std_line, std_line
+from .corpus import CorpusError, TraceCorpus
+from .jobs import Scheduler
+from .protocol import (
+    PROTOCOL,
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_message,
+    write_message,
+)
+from .results import ResultsStore
+
+
+class _StreamState:
+    """One connection's live streaming-ingest session.
+
+    Memory is bounded in both directions: the handoff to the walk thread
+    goes through a *bounded* :class:`QueueSource` (a producer outpacing
+    the analysis blocks in ``feed`` — backpressure through the socket
+    instead of unbounded buffering), and ``save=true`` spools the
+    incoming events to a gzipped temp file instead of keeping them in
+    RAM, so streaming a multi-gigabyte trace costs O(queue) memory.
+    """
+
+    #: Events buffered between the socket handler and the walk thread.
+    QUEUE_BOUND = 8192
+
+    #: Seconds a feed waits on a full queue before declaring the walk stalled.
+    FEED_TIMEOUT = 30.0
+
+    def __init__(self, name: str, specs: Sequence[str], save: bool) -> None:
+        self.name = name
+        self.save = save
+        self.spec_keys = [coerce_spec(spec).key for spec in specs]
+        self._races: List[Race] = []
+        self._races_lock = threading.Lock()
+        self.events_sent = 0
+        self.spool_path: Optional[Path] = None
+        self._spool = None
+        if save:
+            handle, raw_path = tempfile.mkstemp(prefix="repro-stream-", suffix=".std.gz")
+            os.close(handle)
+            self.spool_path = Path(raw_path)
+            self._spool = gzip.open(self.spool_path, "wt", encoding="utf-8")
+        self.result = None
+        self._walk_error: Optional[BaseException] = None
+        # Ingest-only streams (no specs, save=true) skip the live session
+        # entirely: events only flow to the spool.  This is the bounded-
+        # memory upload path big `repro submit`s use before `analyze`.
+        if self.spec_keys:
+            self.source: Optional[QueueSource] = QueueSource(name=name, maxsize=self.QUEUE_BOUND)
+            self.session: Optional[Session] = Session(self.spec_keys, on_race=self._collect_race)
+            self._walk: Optional[threading.Thread] = threading.Thread(
+                target=self._run_walk, daemon=True
+            )
+            self._walk.start()
+        else:
+            self.source = None
+            self.session = None
+            self._walk = None
+
+    def _collect_race(self, race: Race) -> None:
+        with self._races_lock:
+            self._races.append(race)
+
+    def _run_walk(self) -> None:
+        try:
+            assert self.session is not None and self.source is not None
+            self.result = self.session.run(self.source)
+        except BaseException as error:  # noqa: BLE001 - re-raised at stream_end
+            self._walk_error = error
+
+    def feed_line(self, line: str) -> Optional[Event]:
+        """Parse one STD line and hand it to the walk; ``None`` for blanks."""
+        if self._walk_error is not None:
+            raise RuntimeError(f"stream analysis failed: {self._walk_error}")
+        event = parse_std_line(line, eid=self.events_sent, line_number=self.events_sent + 1)
+        if event is None:
+            return None
+        if self.source is not None:
+            try:
+                self.source.put(event, timeout=self.FEED_TIMEOUT)
+            except queue.Full:
+                raise RuntimeError(
+                    f"stream backlog full after {self.FEED_TIMEOUT}s: the analysis "
+                    "walk cannot keep up or has stalled"
+                ) from None
+        if self._spool is not None:
+            self._spool.write(std_line(event))
+            self._spool.write("\n")
+        self.events_sent += 1
+        return event
+
+    def races_since(self, cursor: int) -> Tuple[List[Dict[str, object]], int]:
+        """Races reported after ``cursor``, plus the new cursor."""
+        with self._races_lock:
+            fresh = [race.as_dict() for race in self._races[cursor:]]
+            return fresh, len(self._races)
+
+    def finish(self, timeout: float = 60.0):
+        """Close the stream and join the walk; returns the SessionResult.
+
+        Ingest-only streams (no specs) have no walk and return ``None``.
+        """
+        if self.source is not None:
+            self.source.close()
+        if self._spool is not None:
+            self._spool.close()
+            self._spool = None
+        if self._walk is None:
+            return None
+        self._walk.join(timeout)
+        if self._walk.is_alive():
+            raise RuntimeError("stream analysis walk did not finish")
+        if self._walk_error is not None:
+            raise RuntimeError(f"stream analysis failed: {self._walk_error}")
+        return self.result
+
+    def discard_spool(self) -> None:
+        """Delete the save spool (after ingest, or on teardown)."""
+        if self._spool is not None:
+            self._spool.close()
+            self._spool = None
+        if self.spool_path is not None:
+            self.spool_path.unlink(missing_ok=True)
+            self.spool_path = None
+
+    def abort(self) -> None:
+        """Tear down a stream whose connection died mid-send."""
+        if self.source is not None and not self.source.closed:
+            self.source.close()
+        self.discard_spool()
+        if self._walk is not None:
+            self._walk.join(5.0)
+
+
+class ServeHandler(socketserver.StreamRequestHandler):
+    """One connection: read framed requests, answer framed responses."""
+
+    server: "TraceServer"
+
+    def setup(self) -> None:
+        super().setup()
+        self._stream: Optional[_StreamState] = None
+        self._race_cursor = 0
+
+    def handle(self) -> None:
+        while True:
+            try:
+                request = read_message(self.rfile)
+            except ProtocolError as error:
+                write_message(self.wfile, error_response(str(error)))
+                continue
+            except (ConnectionError, OSError):
+                return
+            if request is None:
+                return
+            op = request.get("op")
+            handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+            if handler is None:
+                response = error_response(f"unknown op {op!r}")
+            else:
+                try:
+                    response = handler(request)
+                except (CorpusError, TraceFormatError, ValueError) as error:
+                    response = error_response(str(error))
+                except Exception as error:  # noqa: BLE001 - keep the server alive
+                    response = error_response(f"internal error: {type(error).__name__}: {error}")
+            try:
+                write_message(self.wfile, response)
+            except (ConnectionError, OSError):
+                return
+            if op == "shutdown" and response.get("ok"):
+                self.server.begin_shutdown()
+                return
+
+    def finish(self) -> None:
+        if self._stream is not None:
+            self._stream.abort()
+            self._stream = None
+        super().finish()
+
+    # -- simple ops --------------------------------------------------------------------
+
+    def _op_ping(self, request: Dict[str, object]) -> Dict[str, object]:
+        return ok_response(
+            proto=PROTOCOL,
+            server="repro.serve",
+            version=package_version(),
+            uptime_seconds=round(time.time() - self.server.started_unix, 3),
+        )
+
+    def _op_status(self, request: Dict[str, object]) -> Dict[str, object]:
+        detail = bool(request.get("detail", False))
+        job_ids = request.get("jobs")
+        if job_ids is not None and not isinstance(job_ids, list):
+            return error_response("status 'jobs' must be a list of job ids")
+        return ok_response(
+            proto=PROTOCOL,
+            corpus=self.server.corpus.summary(),
+            scheduler=self.server.scheduler.status_snapshot(
+                detail=detail,
+                job_ids=[str(job_id) for job_id in job_ids] if job_ids is not None else None,
+            ),
+        )
+
+    def _op_results(self, request: Dict[str, object]) -> Dict[str, object]:
+        digest = request.get("digest")
+        if digest is not None:
+            payloads = self.server.results.for_trace(str(digest))
+        else:
+            payloads = self.server.results.all()
+        return ok_response(results=payloads, count=len(payloads))
+
+    def _op_shutdown(self, request: Dict[str, object]) -> Dict[str, object]:
+        return ok_response(stopping=True)
+
+    # -- whole-trace submission --------------------------------------------------------
+
+    def _op_submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        text = request.get("text")
+        if not isinstance(text, str):
+            return error_response("submit needs the trace content in the 'text' field")
+        fmt = str(request.get("fmt", "std"))
+        if fmt not in ("std", "csv"):
+            return error_response(f"unknown trace format {fmt!r}; expected 'std' or 'csv'")
+        specs = request.get("specs")
+        if not isinstance(specs, list) or not specs:
+            return error_response("submit needs a non-empty 'specs' list")
+        name = str(request.get("name", "")) or None
+        tags = [str(tag) for tag in request.get("tags", [])]
+        # Canonicalize the specs first so a typo fails before ingest.
+        spec_keys = [coerce_spec(str(spec)).key for spec in specs]
+        parse = iter_std if fmt == "std" else iter_csv
+        entry, created = self.server.corpus.ingest(
+            parse(text.splitlines()), name=name, tags=tags
+        )
+        force = bool(request.get("force", False))
+        queued, cached = self.server.scheduler.submit(entry.digest, spec_keys, force=force)
+        return ok_response(
+            digest=entry.digest,
+            created=created,
+            name=entry.name,
+            events=entry.events,
+            jobs=queued,
+            cached=cached,
+        )
+
+    def _op_analyze(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Queue (trace × spec) jobs for a trace already in the corpus."""
+        digest = request.get("digest")
+        if not isinstance(digest, str) or not digest:
+            return error_response("analyze needs a corpus trace 'digest'")
+        specs = request.get("specs")
+        if not isinstance(specs, list) or not specs:
+            return error_response("analyze needs a non-empty 'specs' list")
+        spec_keys = [coerce_spec(str(spec)).key for spec in specs]
+        entry = self.server.corpus.get(digest)
+        force = bool(request.get("force", False))
+        queued, cached = self.server.scheduler.submit(entry.digest, spec_keys, force=force)
+        return ok_response(
+            digest=entry.digest,
+            created=False,
+            name=entry.name,
+            events=entry.events,
+            jobs=queued,
+            cached=cached,
+        )
+
+    # -- streaming ingest --------------------------------------------------------------
+
+    def _op_stream_begin(self, request: Dict[str, object]) -> Dict[str, object]:
+        if self._stream is not None:
+            return error_response("a stream is already open on this connection")
+        specs = request.get("specs")
+        if specs is None:
+            specs = []
+        if not isinstance(specs, list):
+            return error_response("stream_begin 'specs' must be a list")
+        save = bool(request.get("save", False))
+        if not specs and not save:
+            return error_response(
+                "stream_begin needs a non-empty 'specs' list (live analysis), "
+                "save=true (ingest only), or both"
+            )
+        name = str(request.get("name", "")) or "stream"
+        self._stream = _StreamState(name=name, specs=[str(s) for s in specs], save=save)
+        self._race_cursor = 0
+        return ok_response(name=name, specs=self._stream.spec_keys, save=save)
+
+    def _op_feed(self, request: Dict[str, object]) -> Dict[str, object]:
+        stream = self._stream
+        if stream is None:
+            return error_response("no open stream; send stream_begin first")
+        lines = request.get("lines")
+        if lines is None:
+            line = request.get("line")
+            lines = [line] if line is not None else None
+        if not isinstance(lines, list):
+            return error_response("feed needs an STD 'line' or a 'lines' list")
+        fed = 0
+        for line in lines:
+            if stream.feed_line(str(line)) is not None:
+                fed += 1
+        races, self._race_cursor = stream.races_since(self._race_cursor)
+        return ok_response(
+            fed=fed,
+            events=stream.events_sent,
+            races=races,
+            race_count=self._race_cursor,
+        )
+
+    def _op_stream_end(self, request: Dict[str, object]) -> Dict[str, object]:
+        stream = self._stream
+        if stream is None:
+            return error_response("no open stream; send stream_begin first")
+        self._stream = None
+        try:
+            result = stream.finish()
+        except BaseException:
+            # The stream is already detached from the connection, so the
+            # teardown path cannot reach it: drop the save spool here or
+            # it leaks on every failed stream.
+            stream.discard_spool()
+            raise
+        races, _ = stream.races_since(0)
+        response = ok_response(
+            name=stream.name,
+            events=result.num_events if result is not None else stream.events_sent,
+            elapsed_ns=result.elapsed_ns if result is not None else None,
+            races=races,
+            specs={
+                key: {
+                    "race_count": (
+                        analysis.detection.race_count if analysis.detection is not None else None
+                    ),
+                    "elapsed_ns": analysis.elapsed_ns,
+                }
+                for key, analysis in (result if result is not None else ())
+            },
+        )
+        if stream.save and stream.spool_path is not None:
+            tags = [str(tag) for tag in request.get("tags", ["streamed"])]
+            try:
+                entry, created = self.server.corpus.ingest(
+                    stream.spool_path, name=stream.name, tags=tags
+                )
+            finally:
+                stream.discard_spool()
+            response["digest"] = entry.digest
+            response["created"] = created
+        return response
+
+
+class TraceServer(socketserver.ThreadingTCPServer):
+    """The concurrent trace-analysis service (TCP + corpus + workers)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        corpus_dir: Union[str, Path],
+        workers: int = 2,
+        task_timeout: Optional[float] = None,
+        num_shards: int = 8,
+    ) -> None:
+        self.corpus = TraceCorpus(corpus_dir)
+        self.results = ResultsStore(self.corpus.root / "results.json")
+        self.scheduler = Scheduler(
+            self.corpus,
+            self.results,
+            workers=workers,
+            task_timeout=task_timeout,
+            num_shards=num_shards,
+        )
+        self.started_unix = time.time()
+        self._shutdown_thread: Optional[threading.Thread] = None
+        self._loop_started = False
+        # Start the worker processes before the socket threads: forked
+        # children should not inherit handler-thread state.
+        self.scheduler.start()
+        try:
+            super().__init__(address, ServeHandler)
+        except BaseException:
+            self.scheduler.close(timeout=2.0)
+            raise
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) actually bound (port 0 resolves here)."""
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._loop_started = True
+        super().serve_forever(poll_interval)
+
+    def begin_shutdown(self) -> None:
+        """Stop the serve loop from a handler thread (idempotent)."""
+        if self._shutdown_thread is None:
+            self._shutdown_thread = threading.Thread(target=self.shutdown, daemon=True)
+            self._shutdown_thread.start()
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Full teardown: stop serving, drain the pool, release the socket."""
+        if self._loop_started:
+            self.shutdown()
+        self.scheduler.close(timeout=timeout)
+        self.server_close()
+
+
+def serve(
+    host: str,
+    port: int,
+    corpus_dir: Union[str, Path],
+    workers: int = 2,
+    task_timeout: Optional[float] = None,
+    num_shards: int = 8,
+) -> TraceServer:
+    """Construct a :class:`TraceServer` bound to ``(host, port)``.
+
+    The caller owns the serve loop: call ``serve_forever()`` (blocking)
+    or drive it from a thread; ``server.address`` reports the bound
+    port when ``port`` was 0.
+    """
+    return TraceServer(
+        (host, port),
+        corpus_dir,
+        workers=workers,
+        task_timeout=task_timeout,
+        num_shards=num_shards,
+    )

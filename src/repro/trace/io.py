@@ -83,17 +83,49 @@ def _parse_target(kind: OpKind, text: Optional[str], line_number: int) -> Option
 # -- STD format -----------------------------------------------------------------
 
 
+def std_line(event: Event) -> str:
+    """One event rendered as a single STD-format line (no newline).
+
+    This is the canonical per-event serialization: the content-addressed
+    corpus of :mod:`repro.serve` hashes exactly these lines, so the same
+    logical trace produces the same digest whether it arrived as STD,
+    CSV, gzipped or in memory.
+    """
+    op = _STD_KIND_NAMES[event.kind]
+    target = _target_to_text(event)
+    if target:
+        return f"T{event.tid}|{op}({target})|{event.eid}"
+    return f"T{event.tid}|{op}|{event.eid}"
+
+
 def dumps_std(trace: Trace) -> str:
     """Serialize a trace to the STD text format."""
-    lines = []
-    for event in trace:
-        op = _STD_KIND_NAMES[event.kind]
-        target = _target_to_text(event)
-        if target:
-            lines.append(f"T{event.tid}|{op}({target})|{event.eid}")
-        else:
-            lines.append(f"T{event.tid}|{op}|{event.eid}")
+    lines = [std_line(event) for event in trace]
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_std_line(raw_line: str, eid: int, line_number: int = 0) -> Optional[Event]:
+    """Parse one STD-format line into an event, or ``None`` for blanks/comments.
+
+    The single-line building block behind :func:`iter_std`, also used
+    directly by the :mod:`repro.serve` streaming-ingest protocol, where
+    events arrive one line per network message and the caller maintains
+    the running ``eid``.  Raises :class:`TraceFormatError` on malformed
+    lines (``line_number`` only decorates the error message).
+    """
+    line = raw_line.strip()
+    if not line or line.startswith("#"):
+        return None
+    match = _STD_LINE.match(line)
+    if not match:
+        raise TraceFormatError(f"line {line_number}: cannot parse {raw_line!r}")
+    op_name = match.group("op")
+    if op_name not in _STD_KIND_BY_NAME:
+        raise TraceFormatError(f"line {line_number}: unknown operation {op_name!r}")
+    kind = _STD_KIND_BY_NAME[op_name]
+    tid = int(match.group("tid"))
+    target = _parse_target(kind, match.group("target"), line_number)
+    return Event(eid=eid, tid=tid, kind=kind, target=target)
 
 
 def iter_std(lines: Iterable[str]) -> Iterator[Event]:
@@ -106,19 +138,10 @@ def iter_std(lines: Iterable[str]) -> Iterator[Event]:
     """
     eid = 0
     for line_number, raw_line in enumerate(lines, start=1):
-        line = raw_line.strip()
-        if not line or line.startswith("#"):
+        event = parse_std_line(raw_line, eid, line_number)
+        if event is None:
             continue
-        match = _STD_LINE.match(line)
-        if not match:
-            raise TraceFormatError(f"line {line_number}: cannot parse {raw_line!r}")
-        op_name = match.group("op")
-        if op_name not in _STD_KIND_BY_NAME:
-            raise TraceFormatError(f"line {line_number}: unknown operation {op_name!r}")
-        kind = _STD_KIND_BY_NAME[op_name]
-        tid = int(match.group("tid"))
-        target = _parse_target(kind, match.group("target"), line_number)
-        yield Event(eid=eid, tid=tid, kind=kind, target=target)
+        yield event
         eid += 1
 
 
@@ -250,6 +273,31 @@ def iter_trace_file(source: PathOrFile, fmt: Optional[str] = None) -> Iterator[E
     finally:
         if should_close:
             handle.close()
+
+
+def iter_trace_chunks(
+    source: PathOrFile, fmt: Optional[str] = None, chunk_events: int = 4096
+) -> Iterator[List[Event]]:
+    """Stream a trace file as bounded chunks of events.
+
+    A thin batching layer over :func:`iter_trace_file` for consumers that
+    want to interleave work between groups of events without paying a
+    per-event call overhead: the :mod:`repro.serve` workers feed analysis
+    sessions chunk by chunk (so cancellation and progress checks happen
+    at chunk granularity), and the corpus ingest path computes per-trace
+    statistics the same way.  Memory stays O(``chunk_events``); the final
+    chunk may be shorter, and an empty file yields no chunks.
+    """
+    if chunk_events < 1:
+        raise ValueError("chunk_events must be >= 1")
+    chunk: List[Event] = []
+    for event in iter_trace_file(source, fmt=fmt):
+        chunk.append(event)
+        if len(chunk) >= chunk_events:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 def load_trace(source: PathOrFile, fmt: str = "std", name: str = "") -> Trace:

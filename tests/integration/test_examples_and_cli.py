@@ -44,6 +44,15 @@ class TestExamples:
         assert completed.returncode == 0, completed.stderr
         assert "violations observed: 0" in completed.stdout
 
+    def test_serve_batch_corpus_example_runs(self):
+        completed = run_example(
+            "serve_batch_corpus.py", "--events", "600", "--threads", "4", "--workers", "2"
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "deduped to" in completed.stdout
+        assert "jobs/sec" in completed.stdout
+        assert "all jobs completed: True" in completed.stdout
+
 
 class TestCliEndToEnd:
     def test_module_invocation_runs_table2(self):

@@ -101,15 +101,45 @@ class TestParseSpec:
         with pytest.raises(ValueError, match="unknown spec token"):
             parse_spec("hb+warp")
 
+    def test_unknown_token_error_lists_registered_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            parse_spec("hb+warp")
+        message = str(excinfo.value)
+        assert "'warp'" in message
+        assert "partial orders" in message and "clocks" in message and "flags" in message
+        for name in ORDERS.names():
+            assert name.lower() in message
+        for name in CLOCKS.names():
+            assert name.lower() in message
+        assert "detect" in message
+
     def test_rejects_duplicate_orders_and_clocks(self):
         with pytest.raises(ValueError, match="two partial orders"):
             parse_spec("hb+shb")
         with pytest.raises(ValueError, match="two clocks"):
             parse_spec("hb+tc+vc")
 
+    def test_duplicate_error_names_both_offenders(self):
+        with pytest.raises(ValueError, match="'hb' and 'shb'"):
+            parse_spec("hb+shb")
+
     def test_rejects_empty_tokens(self):
         with pytest.raises(ValueError, match="empty token"):
             parse_spec("hb++tc")
+
+    @pytest.mark.parametrize("malformed", ["hb+", "+hb", "++", "+", ""])
+    def test_rejects_dangling_separators(self, malformed):
+        with pytest.raises(ValueError, match="empty token"):
+            parse_spec(malformed)
+
+    def test_empty_token_error_explains_the_format(self):
+        with pytest.raises(ValueError, match="hb\\+tc\\+detect"):
+            parse_spec("hb+")
+
+    @pytest.mark.parametrize("malformed", ["bogus", "hb+tc+bogus", "detect+nope"])
+    def test_rejects_unknown_names_everywhere(self, malformed):
+        with pytest.raises(ValueError, match="unknown spec token"):
+            parse_spec(malformed)
 
 
 class TestSpecRoundTrip:

@@ -12,10 +12,13 @@ from repro.trace.io import (
     dumps_csv,
     dumps_std,
     infer_format,
+    iter_trace_chunks,
     load_trace,
     loads_csv,
     loads_std,
+    parse_std_line,
     save_trace,
+    std_line,
 )
 
 
@@ -180,3 +183,51 @@ class TestInferFormat:
     )
     def test_inference_by_suffix(self, name, expected):
         assert infer_format(name) == expected
+
+
+class TestStdLine:
+    def test_std_line_matches_dumps_std(self, sample_trace):
+        lines = [std_line(event) for event in sample_trace]
+        assert "\n".join(lines) + "\n" == dumps_std(sample_trace)
+
+    def test_parse_std_line_round_trips(self, sample_trace):
+        for event in sample_trace:
+            parsed = parse_std_line(std_line(event), eid=event.eid)
+            assert parsed == event
+
+    def test_parse_std_line_skips_blanks_and_comments(self):
+        assert parse_std_line("", eid=0) is None
+        assert parse_std_line("   ", eid=0) is None
+        assert parse_std_line("# a comment", eid=0) is None
+
+    def test_parse_std_line_rejects_garbage(self):
+        with pytest.raises(TraceFormatError, match="cannot parse"):
+            parse_std_line("not a trace line", eid=0, line_number=7)
+
+
+class TestIterTraceChunks:
+    def test_chunks_cover_the_file_in_order(self, tmp_path, sample_trace):
+        path = tmp_path / "t.std.gz"
+        save_trace(sample_trace, path)
+        chunks = list(iter_trace_chunks(path, chunk_events=3))
+        assert [len(chunk) for chunk in chunks[:-1]] == [3] * (len(chunks) - 1)
+        assert len(chunks[-1]) <= 3
+        flattened = [event for chunk in chunks for event in chunk]
+        assert flattened == list(sample_trace)
+
+    def test_single_chunk_when_larger_than_file(self, tmp_path, sample_trace):
+        path = tmp_path / "t.std"
+        save_trace(sample_trace, path)
+        chunks = list(iter_trace_chunks(path, chunk_events=10_000))
+        assert len(chunks) == 1 and len(chunks[0]) == len(sample_trace)
+
+    def test_empty_file_yields_no_chunks(self, tmp_path):
+        path = tmp_path / "empty.std"
+        path.write_text("")
+        assert list(iter_trace_chunks(path)) == []
+
+    def test_invalid_chunk_size_rejected(self, tmp_path, sample_trace):
+        path = tmp_path / "t.std"
+        save_trace(sample_trace, path)
+        with pytest.raises(ValueError, match="chunk_events"):
+            list(iter_trace_chunks(path, chunk_events=0))

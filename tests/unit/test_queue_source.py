@@ -1,0 +1,82 @@
+"""Unit tests for :class:`repro.api.QueueSource` (producer → session handoff)."""
+
+import threading
+
+import pytest
+
+from repro import QueueSource, Session, TraceBuilder
+from repro.api.sources import as_event_source
+
+
+@pytest.fixture
+def racy_trace():
+    builder = TraceBuilder(name="q-racy")
+    builder.write(1, "x").acquire(1, "l").write(1, "y").release(1, "l")
+    builder.write(2, "x").acquire(2, "l").read(2, "y").release(2, "l")
+    return builder.build()
+
+
+class TestQueueSource:
+    def test_threaded_walk_matches_in_memory_walk(self, racy_trace):
+        source = QueueSource(name="q-racy")
+        session = Session(["shb+tc+detect", "shb+vc+detect"])
+        walk = threading.Thread(target=lambda: setattr(source, "_result", session.run(source)))
+        walk.start()
+        for event in racy_trace:
+            source.put(event)
+        source.close()
+        walk.join(10)
+        assert not walk.is_alive()
+        streamed = source._result
+        direct = Session(["shb+tc+detect", "shb+vc+detect"]).run(racy_trace)
+        assert streamed.num_events == len(racy_trace)
+        for key, result in direct:
+            assert streamed[key].detection.race_count == result.detection.race_count
+        assert source.events_emitted == len(racy_trace)
+
+    def test_races_surface_while_producer_is_still_sending(self, racy_trace):
+        races = []
+        ready = threading.Event()
+        source = QueueSource()
+        session = Session(["shb+tc+detect"], on_race=lambda race: (races.append(race), ready.set()))
+        walk = threading.Thread(target=lambda: session.run(source))
+        walk.start()
+        events = list(racy_trace)
+        for event in events[:-1]:  # hold the last event back
+            source.put(event)
+        # the x-write race is complete after the second w(x): it must be
+        # reported before the stream is closed
+        assert ready.wait(10)
+        assert races
+        source.put(events[-1])
+        source.close()
+        walk.join(10)
+
+    def test_bounded_queue_applies_backpressure(self, racy_trace):
+        import queue as queue_module
+
+        source = QueueSource(maxsize=1)
+        events = iter(racy_trace)
+        source.put(next(events))  # fills the queue; no consumer running
+        with pytest.raises(queue_module.Full):
+            source.put(next(events), timeout=0.05)
+
+    def test_put_after_close_raises(self, racy_trace):
+        source = QueueSource()
+        source.close()
+        assert source.closed
+        with pytest.raises(RuntimeError, match="closed QueueSource"):
+            source.put(next(iter(racy_trace)))
+
+    def test_close_is_idempotent(self):
+        source = QueueSource()
+        source.close()
+        source.close()
+        assert list(source.events()) == []
+
+    def test_as_event_source_passthrough(self):
+        source = QueueSource()
+        assert as_event_source(source) is source
+
+    def test_threads_unknown_upfront(self):
+        assert QueueSource().threads() is None

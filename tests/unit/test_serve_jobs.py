@@ -1,0 +1,284 @@
+"""Unit tests for the sharded job queue, scheduler and worker pool."""
+
+import pytest
+
+from repro import Session, TraceBuilder
+from repro.trace.io import save_trace
+from repro.serve.corpus import TraceCorpus
+from repro.serve.jobs import AnalysisJob, JobQueue, JobStatus, Scheduler, job_id_of, shard_of
+from repro.serve.pool import WorkerPool, WorkerTask, execute_task, run_batch
+from repro.serve.results import ResultsStore
+
+
+def make_job(digest: str, spec: str = "hb+tc") -> AnalysisJob:
+    return AnalysisJob(job_id=job_id_of(digest, spec), digest=digest, spec=spec, trace_name="t")
+
+
+@pytest.fixture
+def racy_trace():
+    # The x-writes race under every order (no sync between them); the
+    # y-accesses are lock-protected and race-free.
+    builder = TraceBuilder(name="racy")
+    builder.write(1, "x").acquire(1, "l").write(1, "y").release(1, "l")
+    builder.write(2, "x").acquire(2, "l").read(2, "y").release(2, "l")
+    return builder.build()
+
+
+@pytest.fixture
+def trace_file(tmp_path, racy_trace):
+    path = tmp_path / "racy.std.gz"
+    save_trace(racy_trace, path, fmt="std")
+    return path
+
+
+class TestJobQueue:
+    def test_cells_of_one_trace_share_a_shard(self):
+        queue = JobQueue(num_shards=4)
+        digest = "ab" * 32
+        shards = {queue.push(make_job(digest, spec)) for spec in ("hb+tc", "hb+vc", "shb+tc")}
+        assert shards == {shard_of(digest, 4)}
+        assert len(queue) == 3
+
+    def test_pop_round_robins_across_shards(self):
+        queue = JobQueue(num_shards=4)
+        # Two traces in different shards, several cells each: pops must
+        # interleave the traces instead of draining one first.
+        first, second = "00" * 32, "01" * 32
+        assert shard_of(first, 4) != shard_of(second, 4)
+        for spec in ("hb+tc", "hb+vc"):
+            queue.push(make_job(first, spec))
+            queue.push(make_job(second, spec))
+        popped = [queue.pop().digest for _ in range(4)]
+        assert popped[:2] != [first, first] and popped[:2] != [second, second]
+        assert queue.pop() is None
+
+    def test_depths_reports_per_shard_backlog(self):
+        queue = JobQueue(num_shards=2)
+        digest = "ff" * 32
+        queue.push(make_job(digest))
+        depths = queue.depths()
+        assert sum(depths) == 1 and len(depths) == 2
+
+    def test_shard_of_is_stable(self):
+        digest = "abcdef00" + "00" * 28
+        assert shard_of(digest, 8) == shard_of(digest, 8)
+        assert 0 <= shard_of(digest, 8) < 8
+
+    def test_queue_requires_a_shard(self):
+        with pytest.raises(ValueError):
+            JobQueue(num_shards=0)
+
+
+class TestExecuteTask:
+    def test_in_process_execution_matches_session(self, trace_file, racy_trace):
+        task = WorkerTask(
+            task_id="t", trace_path=str(trace_file), spec="shb+tc+detect", trace_name="racy"
+        )
+        payload = execute_task(task)
+        direct = Session(["shb+tc+detect"]).run(racy_trace)["shb+tc+detect"]
+        assert payload["events"] == len(racy_trace)
+        assert payload["race_count"] == direct.detection.race_count
+        assert payload["races"] == sorted(race.pair() for race in direct.detection.races)
+
+    def test_spec_is_canonicalized(self, trace_file):
+        payload = execute_task(
+            WorkerTask(task_id="t", trace_path=str(trace_file), spec="TREE+HB+races")
+        )
+        assert payload["spec"] == "hb+tc+detect"
+
+    def test_work_payload_included_when_requested(self, trace_file):
+        payload = execute_task(
+            WorkerTask(task_id="t", trace_path=str(trace_file), spec="hb+tc+work")
+        )
+        assert payload["work"]["entries_processed"] > 0
+
+
+class TestWorkerPool:
+    def test_batch_results_match_direct_sessions(self, trace_file, racy_trace):
+        specs = ["hb+tc+detect", "shb+vc+detect"]
+        tasks = [
+            WorkerTask(task_id=spec, trace_path=str(trace_file), spec=spec) for spec in specs
+        ]
+        results = run_batch(tasks, workers=2, timeout=60)
+        for spec in specs:
+            payload, error, attempts = results[spec]
+            assert error is None and attempts == 1
+            direct = Session([spec]).run(racy_trace)[spec]
+            assert payload["race_count"] == direct.detection.race_count
+            assert payload["races"] == sorted(race.pair() for race in direct.detection.races)
+
+    def test_crash_is_isolated_and_retried_once(self, trace_file):
+        pool = WorkerPool(workers=2).start()
+        try:
+            results = pool.run_batch(
+                [
+                    WorkerTask(task_id="ok", trace_path=str(trace_file), spec="hb+tc+detect"),
+                    WorkerTask(
+                        task_id="boom", trace_path=str(trace_file), spec="hb+tc", fault="exit"
+                    ),
+                ],
+                timeout=60,
+            )
+            payload, error, attempts = results["boom"]
+            assert payload is None and "crashed" in error and attempts == 2
+            payload, error, _ = results["ok"]
+            assert error is None and payload["race_count"] == 1
+            # the fleet healed itself after two crashes
+            assert pool.alive_workers == 2
+        finally:
+            assert pool.close(timeout=10)
+
+    def test_exceptions_fail_fast_without_retry(self, tmp_path):
+        results = run_batch(
+            [WorkerTask(task_id="gone", trace_path=str(tmp_path / "nope.std"), spec="hb+tc")],
+            workers=1,
+            timeout=60,
+        )
+        payload, error, attempts = results["gone"]
+        assert payload is None and "FileNotFoundError" in error and attempts == 1
+
+    def test_pool_restarts_after_close(self, trace_file):
+        pool = WorkerPool(workers=1)
+        task = WorkerTask(task_id="first", trace_path=str(trace_file), spec="hb+tc+detect")
+        pool.start()
+        try:
+            assert pool.run_batch([task], timeout=60)["first"][0] is not None
+            assert pool.close(timeout=10)
+            pool.start()  # a closed pool must come back cleanly
+            again = WorkerTask(task_id="second", trace_path=str(trace_file), spec="hb+tc+detect")
+            payload, error, _ = pool.run_batch([again], timeout=60)["second"]
+            assert error is None and payload["race_count"] == 1
+        finally:
+            pool.close(timeout=10)
+
+    def test_pool_requires_start_and_unique_ids(self, trace_file):
+        pool = WorkerPool(workers=1)
+        task = WorkerTask(task_id="t", trace_path=str(trace_file), spec="hb+tc")
+        with pytest.raises(RuntimeError, match="not started"):
+            pool.submit(task)
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+
+class TestScheduler:
+    def test_submit_runs_cells_and_folds_results(self, tmp_path, racy_trace):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        entry, _ = corpus.ingest(racy_trace)
+        results = ResultsStore(tmp_path / "results.json")
+        scheduler = Scheduler(corpus, results, workers=2).start()
+        try:
+            queued, cached = scheduler.submit(entry.digest, ["hb+tc+detect", "shb+vc+detect"])
+            assert len(queued) == 2 and cached == []
+            assert scheduler.wait_idle(timeout=60)
+            counts = scheduler.counts()
+            assert counts["done"] == 2 and counts["failed"] == 0
+            direct = Session(["hb+tc+detect"]).run(racy_trace)["hb+tc+detect"]
+            payload = results.get(entry.digest, "hb+tc+detect")
+            assert payload["race_count"] == direct.detection.race_count
+        finally:
+            scheduler.close()
+
+    def test_resubmission_is_idempotent(self, tmp_path, racy_trace):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        entry, _ = corpus.ingest(racy_trace)
+        results = ResultsStore(tmp_path / "results.json")
+        scheduler = Scheduler(corpus, results, workers=1).start()
+        try:
+            scheduler.submit(entry.digest, ["hb+tc+detect"])
+            assert scheduler.wait_idle(timeout=60)
+            queued, cached = scheduler.submit(entry.digest, ["hb+tc+detect"])
+            assert queued == [] and cached == [job_id_of(entry.digest, "hb+tc+detect")]
+        finally:
+            scheduler.close()
+
+    def test_specs_are_canonicalized_on_submit(self, tmp_path, racy_trace):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        entry, _ = corpus.ingest(racy_trace)
+        results = ResultsStore()
+        scheduler = Scheduler(corpus, results, workers=1).start()
+        try:
+            scheduler.submit(entry.digest, ["TREE+HB+races"])
+            assert scheduler.wait_idle(timeout=60)
+            assert results.has(entry.digest, "hb+tc+detect")
+        finally:
+            scheduler.close()
+
+    def test_status_snapshot_filters_by_job_ids(self, tmp_path, racy_trace):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        entry, _ = corpus.ingest(racy_trace)
+        scheduler = Scheduler(corpus, ResultsStore(), workers=1).start()
+        try:
+            queued, _ = scheduler.submit(entry.digest, ["hb+tc", "hb+vc"])
+            assert scheduler.wait_idle(timeout=60)
+            snapshot = scheduler.status_snapshot(job_ids=[queued[0], "nope:missing"])
+            rows = snapshot["job_list"]
+            assert [row["job_id"] for row in rows] == [queued[0]]  # unknown ids drop out
+        finally:
+            scheduler.close()
+
+    def test_status_snapshot_shape(self, tmp_path, racy_trace):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        entry, _ = corpus.ingest(racy_trace)
+        scheduler = Scheduler(corpus, ResultsStore(), workers=1).start()
+        try:
+            scheduler.submit(entry.digest, ["hb+tc"])
+            assert scheduler.wait_idle(timeout=60)
+            snapshot = scheduler.status_snapshot(detail=True)
+            assert snapshot["jobs"]["done"] == 1
+            assert len(snapshot["shards"]) == 8
+            job_row = snapshot["job_list"][0]
+            assert job_row["status"] == JobStatus.DONE.value
+            assert job_row["attempts"] == 1
+        finally:
+            scheduler.close()
+
+
+class TestResultsStore:
+    def test_record_and_reload(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.json")
+        store.record("d" * 64, "hb+tc", {"race_count": 3})
+        reopened = ResultsStore(tmp_path / "r.json")
+        assert reopened.get("d" * 64, "hb+tc")["race_count"] == 3
+        assert reopened.get("d" * 64, "hb+tc")["recorded_unix"] > 0
+
+    def test_for_trace_filters_by_digest(self, tmp_path):
+        store = ResultsStore()
+        store.record("a" * 64, "hb+tc", {"race_count": 1})
+        store.record("a" * 64, "hb+vc", {"race_count": 1})
+        store.record("b" * 64, "hb+tc", {"race_count": 0})
+        assert set(store.for_trace("a" * 64)) == {"hb+tc", "hb+vc"}
+        assert len(store) == 3
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text('{"schema": "other/1", "results": {}}')
+        with pytest.raises(ValueError, match="unsupported results schema"):
+            ResultsStore(path)
+
+    def test_discard_supports_forced_reruns(self, tmp_path):
+        store = ResultsStore(tmp_path / "r.json")
+        store.record("a" * 64, "hb+tc", {"race_count": 1})
+        store.discard("a" * 64, "hb+tc")
+        assert not store.has("a" * 64, "hb+tc")
+
+    def test_throttled_persistence_flushes_on_demand(self, tmp_path):
+        # A large interval means record() only dirties memory after the
+        # first save; flush() must make the tail durable.
+        store = ResultsStore(tmp_path / "r.json", persist_interval=3600.0)
+        store.record("a" * 64, "hb+tc", {"race_count": 1})  # first save is immediate
+        store.record("a" * 64, "hb+vc", {"race_count": 1})  # throttled: memory only
+        assert len(ResultsStore(tmp_path / "r.json")) == 1
+        store.flush()
+        assert len(ResultsStore(tmp_path / "r.json")) == 2
+
+    def test_scheduler_close_flushes_results(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        builder_trace = TraceBuilder(name="t").write(1, "x").write(2, "x").build()
+        entry, _ = corpus.ingest(builder_trace)
+        results = ResultsStore(tmp_path / "results.json", persist_interval=3600.0)
+        scheduler = Scheduler(corpus, results, workers=1).start()
+        scheduler.submit(entry.digest, ["hb+tc+detect", "hb+vc+detect"])
+        assert scheduler.wait_idle(timeout=60)
+        scheduler.close()
+        reopened = ResultsStore(tmp_path / "results.json")
+        assert len(reopened) == 2

@@ -1,0 +1,89 @@
+"""Unit tests for the serve line protocol framing and address parsing."""
+
+import io
+
+import pytest
+
+from repro.serve.client import parse_address
+from repro.serve.protocol import (
+    DEFAULT_PORT,
+    PROTOCOL,
+    ProtocolError,
+    encode_message,
+    error_response,
+    ok_response,
+    read_message,
+    write_message,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        stream = io.BytesIO()
+        write_message(stream, {"op": "ping", "n": 1})
+        stream.seek(0)
+        assert read_message(stream) == {"op": "ping", "n": 1}
+
+    def test_one_message_per_line(self):
+        stream = io.BytesIO()
+        write_message(stream, {"op": "a"})
+        write_message(stream, {"op": "b"})
+        stream.seek(0)
+        assert read_message(stream)["op"] == "a"
+        assert read_message(stream)["op"] == "b"
+        assert read_message(stream) is None
+
+    def test_newlines_in_payloads_stay_framed(self):
+        # Whole-trace submission ships multi-line trace text in one message.
+        text = "T1|w(x)|0\nT2|w(x)|1\n"
+        stream = io.BytesIO()
+        write_message(stream, {"op": "submit", "text": text})
+        stream.seek(0)
+        assert read_message(stream)["text"] == text
+
+    def test_eof_returns_none(self):
+        assert read_message(io.BytesIO(b"")) is None
+
+    def test_blank_lines_are_skipped(self):
+        stream = io.BytesIO(b"\n\n" + encode_message({"op": "ping"}))
+        assert read_message(stream)["op"] == "ping"
+
+    def test_invalid_json_raises_protocol_error(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            read_message(io.BytesIO(b"{nope\n"))
+
+    def test_non_object_raises_protocol_error(self):
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            read_message(io.BytesIO(b"[1, 2]\n"))
+
+    def test_encode_is_compact_single_line(self):
+        wire = encode_message({"op": "feed", "lines": ["T1|w(x)"]})
+        assert wire.endswith(b"\n") and wire.count(b"\n") == 1
+
+
+class TestResponses:
+    def test_ok_response(self):
+        assert ok_response(digest="d")["ok"] is True
+        assert ok_response(digest="d")["digest"] == "d"
+
+    def test_error_response(self):
+        response = error_response("boom", op="submit")
+        assert response["ok"] is False and response["error"] == "boom"
+
+    def test_protocol_version_constant(self):
+        assert PROTOCOL == "repro-serve/1"
+
+
+class TestParseAddress:
+    def test_host_and_port(self):
+        assert parse_address("10.0.0.1:9000") == ("10.0.0.1", 9000)
+
+    def test_bare_host_defaults_the_port(self):
+        assert parse_address("example.test") == ("example.test", DEFAULT_PORT)
+
+    def test_bare_port_defaults_the_host(self):
+        assert parse_address(":7000") == ("127.0.0.1", 7000)
+
+    def test_invalid_port_raises(self):
+        with pytest.raises(ValueError, match="port must be an integer"):
+            parse_address("host:http")

@@ -1,0 +1,45 @@
+"""Unit tests for the ``--version`` flag across every console script."""
+
+import pytest
+
+import repro
+from repro.bench.cli import main as bench_main
+from repro.cli import main as analyze_main
+from repro.cli_util import package_version
+from repro.experiments.cli import main as experiments_main
+
+
+class TestPackageVersion:
+    def test_matches_the_package_dunder(self):
+        # Installed metadata (if present) and the in-tree __version__ are
+        # kept in sync with pyproject.toml, so both sources agree.
+        assert package_version() == repro.__version__
+
+    def test_is_a_sane_version_string(self):
+        parts = package_version().split(".")
+        assert len(parts) >= 2 and all(part.isdigit() for part in parts[:2])
+
+
+class TestVersionFlag:
+    @pytest.mark.parametrize(
+        "main, prog",
+        [
+            (analyze_main, "repro-analyze"),
+            (bench_main, "repro-bench"),
+            (experiments_main, "repro-experiments"),
+        ],
+    )
+    def test_version_flag_prints_and_exits_zero(self, capsys, main, prog):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert prog in output
+        assert package_version() in output
+
+    def test_version_flag_wins_over_subcommand_dispatch(self, capsys):
+        # `repro --version` is not a trace-file name or a subcommand.
+        with pytest.raises(SystemExit) as excinfo:
+            analyze_main(["--version"])
+        assert excinfo.value.code == 0
+        assert package_version() in capsys.readouterr().out
