@@ -20,7 +20,7 @@ changes, which is what the ablation benches measure.
 from __future__ import annotations
 
 from ..clocks.base import Clock
-from ..trace.event import Event, OpKind
+from ..trace.event import Event
 from .hb import HBAnalysis
 from .shb import SHBAnalysis
 
@@ -30,15 +30,12 @@ class HBDeepCopyAnalysis(HBAnalysis):
 
     PARTIAL_ORDER = "HB"
 
-    def _handle_event(self, event: Event, clock: Clock) -> None:
-        if event.kind is OpKind.RELEASE:
-            lock_clock = self.clock_of_lock(event.lock)
-            if hasattr(lock_clock, "copy_from"):
-                lock_clock.copy_from(clock)
-            else:  # pragma: no cover - vector clocks: copy is already flat
-                lock_clock.monotone_copy(clock)
-            return
-        super()._handle_event(event, clock)
+    def _on_release(self, event: Event, clock: Clock) -> None:
+        lock_clock = self.clock_of_lock(event.target)
+        if hasattr(lock_clock, "copy_from"):
+            lock_clock.copy_from(clock)
+        else:  # pragma: no cover - vector clocks: copy is already flat
+            lock_clock.monotone_copy(clock)
 
 
 class SHBDeepCopyAnalysis(SHBAnalysis):
@@ -46,14 +43,15 @@ class SHBDeepCopyAnalysis(SHBAnalysis):
 
     PARTIAL_ORDER = "SHB"
 
-    def _handle_event(self, event: Event, clock: Clock) -> None:
-        if event.kind is OpKind.WRITE:
-            if self._detector is not None:
-                self._detector.on_write(event, clock)
-            last_write = self.last_write_clock(event.variable)
-            if hasattr(last_write, "copy_from"):
-                last_write.copy_from(clock)
-            else:  # pragma: no cover - vector clocks: copy is already flat
-                last_write.copy_check_monotone(clock)
-            return
-        super()._handle_event(event, clock)
+    def _on_write(self, event: Event, clock: Clock) -> None:
+        last_write = self.last_write_clock(event.target)
+        if hasattr(last_write, "copy_from"):
+            last_write.copy_from(clock)
+        else:  # pragma: no cover - vector clocks: copy is already flat
+            last_write.copy_check_monotone(clock)
+
+    def _on_write_detect(self, event: Event, clock: Clock) -> None:
+        # SHBAnalysis binds this variant when a detector is attached;
+        # detection stays identical, only the copy discipline changes.
+        self._detector.on_write(event, clock)  # type: ignore[union-attr]
+        self._on_write(event, clock)

@@ -12,28 +12,45 @@ The engine is parametric in the clock class, which is the key experiment
 of the paper: running the *same* algorithm with ``VectorClock`` and with
 ``TreeClock`` and comparing cost.
 
-The driver is exposed at two granularities:
+The driver is exposed at three granularities:
 
 * :meth:`PartialOrderAnalysis.run` — the classic whole-trace entry point;
-* :meth:`begin` / :meth:`feed` / :meth:`finish` — an incremental API that
-  processes one event at a time.  ``run`` is a thin wrapper over it.  The
-  incremental form is what :class:`repro.capture.OnlineDetector` drives
-  while a live program is still executing: the thread universe does not
-  need to be known upfront (threads register dynamically via
-  :meth:`ClockContext.add_thread`) and detection results stream out
-  through the ``on_race`` callback.
+* :meth:`begin` / :meth:`feed_batch` / :meth:`finish` — the batched
+  incremental API every bulk consumer uses: a whole list of events is
+  processed per call with the per-kind handler resolved **once** from a
+  precomputed dispatch table (a dict of bound methods keyed by
+  :class:`OpKind`, built at :meth:`begin` time), so the hot loop carries
+  no per-event ``if``/``elif`` chain;
+* :meth:`begin` / :meth:`feed` / :meth:`finish` — the one-event form
+  (``feed_batch`` of a singleton, shared code path).  This is what
+  :class:`repro.capture.OnlineDetector` drives while a live program is
+  still executing: the thread universe does not need to be known upfront
+  (threads register dynamically via :meth:`ClockContext.add_thread`) and
+  detection results stream out through the ``on_race`` callback.
+
+Every granularity is *batch-transparent*: feeding the same events in any
+batch partition (including one at a time) produces bit-identical results
+— same timestamps, same races in the same order, same work counts.  The
+differential tests in ``tests/differential/test_batch_differential.py``
+enforce this, and any new per-event rule must preserve it.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Sequence, Type
 
 from ..clocks.base import Clock, ClockContext, VectorTime, WorkCounter
 from ..clocks.tree_clock import TreeClock
 from ..trace.event import Event, OpKind
+from ..trace.io import DEFAULT_BATCH_SIZE
 from ..trace.trace import Trace
 from .result import AnalysisResult, DetectionSummary, Race
+
+#: A per-kind handler: ``(event, clock)`` with ``clock`` the (already
+#: incremented) clock of the event's thread.  ``None`` means "no rule"
+#: (begin/end markers only advance local time).
+EventHandler = Optional[Callable[[Event, Clock], None]]
 
 
 class PartialOrderAnalysis:
@@ -97,6 +114,7 @@ class PartialOrderAnalysis:
         self._events_fed = 0
         self._timestamps: Optional[List[VectorTime]] = None
         self._started_ns = 0
+        self._dispatch: Dict[OpKind, EventHandler] = {}
 
     # -- clock management ----------------------------------------------------------
 
@@ -129,10 +147,65 @@ class PartialOrderAnalysis:
         """Apply the per-event rules of the concrete analysis.
 
         ``clock`` is the (already incremented) clock of the event's
-        thread.  Subclasses implement the acquire/release/read/write
-        rules here; fork/join are handled uniformly by the engine.
+        thread.  The base per-kind handlers delegate here, so a subclass
+        may either implement this single method with an ``if``/``elif``
+        chain, or (faster) override the per-kind hooks ``_on_acquire`` /
+        ``_on_release`` / ``_on_read`` / ``_on_write`` directly — the
+        built-in analyses do the latter so the dispatch table resolves
+        each kind to its rule without re-branching per event.  Fork/join
+        are handled uniformly by the engine.
         """
         raise NotImplementedError
+
+    def _on_acquire(self, event: Event, clock: Clock) -> None:
+        self._handle_event(event, clock)
+
+    def _on_release(self, event: Event, clock: Clock) -> None:
+        self._handle_event(event, clock)
+
+    def _on_read(self, event: Event, clock: Clock) -> None:
+        self._handle_event(event, clock)
+
+    def _on_write(self, event: Event, clock: Clock) -> None:
+        self._handle_event(event, clock)
+
+    def _on_fork(self, event: Event, clock: Clock) -> None:
+        """Engine-uniform fork rule: the child's clock joins the parent's."""
+        context = self.context
+        assert context is not None
+        child = int(event.target)  # type: ignore[arg-type]
+        if child not in context.index_of:
+            context.add_thread(child)
+        self.clock_of_thread(child).join(clock)
+
+    def _on_join(self, event: Event, clock: Clock) -> None:
+        """Engine-uniform join rule: the parent's clock joins the child's."""
+        context = self.context
+        assert context is not None
+        child = int(event.target)  # type: ignore[arg-type]
+        if child not in context.index_of:
+            context.add_thread(child)
+        clock.join(self.clock_of_thread(child))
+
+    def _dispatch_table(self) -> Dict[OpKind, EventHandler]:
+        """The per-kind handlers of this run, resolved once at :meth:`begin`.
+
+        Called after :meth:`_reset_state`, so per-run components (e.g.
+        the detector) exist and a subclass can bind their bound methods
+        directly into the table — the hot loop then jumps straight to
+        the rule with one dict lookup and zero re-branching.  Begin/end
+        markers map to ``None`` (they only advance local time).
+        """
+        return {
+            OpKind.ACQUIRE: self._on_acquire,
+            OpKind.RELEASE: self._on_release,
+            OpKind.READ: self._on_read,
+            OpKind.WRITE: self._on_write,
+            OpKind.FORK: self._on_fork,
+            OpKind.JOIN: self._on_join,
+            OpKind.BEGIN: None,
+            OpKind.END: None,
+        }
 
     def _detection_summary(self) -> Optional[DetectionSummary]:
         """The detector's summary, if a detector is attached."""
@@ -162,6 +235,7 @@ class PartialOrderAnalysis:
         self._events_fed = 0
         self._timestamps = [] if self.capture_timestamps else None
         self._reset_state()
+        self._dispatch = self._dispatch_table()
         self._started_ns = time.perf_counter_ns()
 
     def feed(self, event: Event) -> None:
@@ -169,36 +243,71 @@ class PartialOrderAnalysis:
 
         Events must be fed in trace order.  Thread ids not seen before —
         including the child of a fork — are registered with the clock
-        context on the fly.
+        context on the fly.  Exactly equivalent to a singleton
+        :meth:`feed_batch` (both run the same dispatch table).
         """
         context = self.context
         if context is None:
             raise RuntimeError("feed() called before begin()")
-        index_of = context.index_of
-        if event.tid not in index_of:
-            context.add_thread(event.tid)
-        clock = self.clock_of_thread(event.tid)
+        tid = event.tid
+        clock = self.thread_clocks.get(tid)
+        if clock is None:
+            if tid not in context.index_of:
+                context.add_thread(tid)
+            clock = self.clock_of_thread(tid)
         # The implicit per-event increment: after processing its i-th
         # event, a thread's own entry equals i (footnote 1 of the paper).
-        clock.increment(event.tid, 1)
-        kind = event.kind
-        if kind is OpKind.FORK:
-            child = event.other_thread
-            if child not in index_of:
-                context.add_thread(child)
-            self.clock_of_thread(child).join(clock)
-        elif kind is OpKind.JOIN:
-            child = event.other_thread
-            if child not in index_of:
-                context.add_thread(child)
-            clock.join(self.clock_of_thread(child))
-        elif kind is OpKind.BEGIN or kind is OpKind.END:
-            pass
-        else:
-            self._handle_event(event, clock)
+        clock.increment(tid, 1)
+        handler = self._dispatch[event.kind]
+        if handler is not None:
+            handler(event, clock)
         self._events_fed += 1
         if self._timestamps is not None:
             self._timestamps.append(clock.as_dict())
+
+    def feed_batch(self, events: Sequence[Event]) -> None:
+        """Process a whole batch of events in trace order.
+
+        The bulk hot path: everything loop-invariant — the dispatch
+        table, the thread-clock map, the timestamp switch — is hoisted
+        out of the per-event iteration, and bookkeeping (event counts)
+        is amortized to batch granularity.  Feeding ``events`` here is
+        exactly equivalent to feeding them one at a time through
+        :meth:`feed`, in any batch partition (the batch-transparency
+        invariant the differential tests pin down).
+        """
+        context = self.context
+        if context is None:
+            raise RuntimeError("feed_batch() called before begin()")
+        thread_clocks = self.thread_clocks
+        dispatch = self._dispatch
+        timestamps = self._timestamps
+        if timestamps is None:
+            for event in events:
+                tid = event.tid
+                clock = thread_clocks.get(tid)
+                if clock is None:
+                    if tid not in context.index_of:
+                        context.add_thread(tid)
+                    clock = self.clock_of_thread(tid)
+                clock.increment(tid, 1)
+                handler = dispatch[event.kind]
+                if handler is not None:
+                    handler(event, clock)
+        else:
+            for event in events:
+                tid = event.tid
+                clock = thread_clocks.get(tid)
+                if clock is None:
+                    if tid not in context.index_of:
+                        context.add_thread(tid)
+                    clock = self.clock_of_thread(tid)
+                clock.increment(tid, 1)
+                handler = dispatch[event.kind]
+                if handler is not None:
+                    handler(event, clock)
+                timestamps.append(clock.as_dict())
+        self._events_fed += len(events)
 
     def finish(self) -> AnalysisResult:
         """Close the incremental run and assemble the result."""
@@ -220,17 +329,23 @@ class PartialOrderAnalysis:
 
     # -- the single-pass whole-trace driver ---------------------------------------------
 
-    def run(self, trace: Trace) -> AnalysisResult:
+    def run(self, trace: Trace, batch_size: int = DEFAULT_BATCH_SIZE) -> AnalysisResult:
         """Process ``trace`` and return the analysis result.
 
-        A thin wrapper over :meth:`begin` / :meth:`feed` / :meth:`finish`
-        that pre-registers the trace's thread universe (so vector clocks
-        are allocated at full size immediately) and times only the event
-        loop, exactly like the paper's measurements.
+        A thin wrapper over :meth:`begin` / :meth:`feed_batch` /
+        :meth:`finish` that pre-registers the trace's thread universe (so
+        vector clocks are allocated at full size immediately) and times
+        only the event loop, exactly like the paper's measurements.  The
+        in-memory event tuple is walked in ``batch_size`` slices through
+        the batched hot path.
         """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.begin(threads=trace.threads, trace_name=trace.name)
-        feed = self.feed
+        feed_batch = self.feed_batch
+        events = trace.events
+        total = len(events)
         self._started_ns = time.perf_counter_ns()
-        for event in trace:
-            feed(event)
+        for start in range(0, total, batch_size):
+            feed_batch(events[start : start + batch_size])
         return self.finish()

@@ -14,13 +14,13 @@ optional race-detection component.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from ..clocks.base import Clock
 from ..trace.event import Event, OpKind
 from ..trace.trace import Trace
 from .detectors import RaceDetector
-from .engine import PartialOrderAnalysis
+from .engine import EventHandler, PartialOrderAnalysis
 from .result import AnalysisResult, DetectionSummary
 
 
@@ -37,18 +37,21 @@ class HBAnalysis(PartialOrderAnalysis):
             else None
         )
 
-    def _handle_event(self, event: Event, clock: Clock) -> None:
-        kind = event.kind
-        if kind is OpKind.ACQUIRE:
-            clock.join(self.clock_of_lock(event.lock))
-        elif kind is OpKind.RELEASE:
-            self.clock_of_lock(event.lock).monotone_copy(clock)
-        elif kind is OpKind.READ:
-            if self._detector is not None:
-                self._detector.on_read(event, clock)
-        elif kind is OpKind.WRITE:
-            if self._detector is not None:
-                self._detector.on_write(event, clock)
+    def _on_acquire(self, event: Event, clock: Clock) -> None:
+        clock.join(self.clock_of_lock(event.target))
+
+    def _on_release(self, event: Event, clock: Clock) -> None:
+        self.clock_of_lock(event.target).monotone_copy(clock)
+
+    def _dispatch_table(self) -> Dict[OpKind, EventHandler]:
+        # Reads and writes only matter to the detection component: bind
+        # its bound methods directly (or nothing) so the hot loop never
+        # re-tests ``detector is not None`` per event.
+        table = super()._dispatch_table()
+        detector = self._detector
+        table[OpKind.READ] = detector.on_read if detector is not None else None
+        table[OpKind.WRITE] = detector.on_write if detector is not None else None
+        return table
 
     def _detection_summary(self) -> Optional[DetectionSummary]:
         return self._detector.summary if self._detector is not None else None

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Set, Tuple
 
 from ..clocks.base import Clock
-from ..trace.event import Event, OpKind
+from ..trace.event import Event
 from ..trace.trace import Trace
 from .detectors import ReversiblePairDetector
 from .engine import PartialOrderAnalysis
@@ -77,32 +77,36 @@ class MAZAnalysis(PartialOrderAnalysis):
 
     # -- event rules ----------------------------------------------------------------------
 
-    def _handle_event(self, event: Event, clock: Clock) -> None:
-        kind = event.kind
-        if kind is OpKind.ACQUIRE:
-            clock.join(self.clock_of_lock(event.lock))
-        elif kind is OpKind.RELEASE:
-            self.clock_of_lock(event.lock).monotone_copy(clock)
-        elif kind is OpKind.READ:
-            if self._detector is not None:
-                self._detector.on_access(event, clock)
-            clock.join(self.last_write_clock(event.variable))
-            self.last_read_clock(event.tid, event.variable).monotone_copy(clock)
-            self.readers_since_write(event.variable).add(event.tid)
-            if self._detector is not None:
-                self._detector.after_access(event, clock)
-        elif kind is OpKind.WRITE:
-            if self._detector is not None:
-                self._detector.on_access(event, clock)
-            variable = event.variable
-            clock.join(self.last_write_clock(variable))
-            readers = self.readers_since_write(variable)
-            for reader_tid in readers:
-                clock.join(self.last_read_clock(reader_tid, variable))
-            self.last_write_clock(variable).monotone_copy(clock)
-            readers.clear()
-            if self._detector is not None:
-                self._detector.after_access(event, clock)
+    def _on_acquire(self, event: Event, clock: Clock) -> None:
+        clock.join(self.clock_of_lock(event.target))
+
+    def _on_release(self, event: Event, clock: Clock) -> None:
+        self.clock_of_lock(event.target).monotone_copy(clock)
+
+    def _on_read(self, event: Event, clock: Clock) -> None:
+        detector = self._detector
+        if detector is not None:
+            detector.on_access(event, clock)
+        variable = event.target
+        clock.join(self.last_write_clock(variable))
+        self.last_read_clock(event.tid, variable).monotone_copy(clock)
+        self.readers_since_write(variable).add(event.tid)
+        if detector is not None:
+            detector.after_access(event, clock)
+
+    def _on_write(self, event: Event, clock: Clock) -> None:
+        detector = self._detector
+        if detector is not None:
+            detector.on_access(event, clock)
+        variable = event.target
+        clock.join(self.last_write_clock(variable))
+        readers = self.readers_since_write(variable)
+        for reader_tid in readers:
+            clock.join(self.last_read_clock(reader_tid, variable))
+        self.last_write_clock(variable).monotone_copy(clock)
+        readers.clear()
+        if detector is not None:
+            detector.after_access(event, clock)
 
     def _detection_summary(self) -> Optional[DetectionSummary]:
         return self._detector.summary if self._detector is not None else None

@@ -24,7 +24,7 @@ from ..clocks.base import Clock
 from ..trace.event import Event, OpKind
 from ..trace.trace import Trace
 from .detectors import RaceDetector
-from .engine import PartialOrderAnalysis
+from .engine import EventHandler, PartialOrderAnalysis
 from .result import AnalysisResult, DetectionSummary
 
 
@@ -50,20 +50,34 @@ class SHBAnalysis(PartialOrderAnalysis):
             self._last_write_clocks[variable] = clock
         return clock
 
-    def _handle_event(self, event: Event, clock: Clock) -> None:
-        kind = event.kind
-        if kind is OpKind.ACQUIRE:
-            clock.join(self.clock_of_lock(event.lock))
-        elif kind is OpKind.RELEASE:
-            self.clock_of_lock(event.lock).monotone_copy(clock)
-        elif kind is OpKind.READ:
-            if self._detector is not None:
-                self._detector.on_read(event, clock)
-            clock.join(self.last_write_clock(event.variable))
-        elif kind is OpKind.WRITE:
-            if self._detector is not None:
-                self._detector.on_write(event, clock)
-            self.last_write_clock(event.variable).copy_check_monotone(clock)
+    def _on_acquire(self, event: Event, clock: Clock) -> None:
+        clock.join(self.clock_of_lock(event.target))
+
+    def _on_release(self, event: Event, clock: Clock) -> None:
+        self.clock_of_lock(event.target).monotone_copy(clock)
+
+    def _on_read(self, event: Event, clock: Clock) -> None:
+        clock.join(self.last_write_clock(event.target))
+
+    def _on_read_detect(self, event: Event, clock: Clock) -> None:
+        self._detector.on_read(event, clock)  # type: ignore[union-attr]
+        clock.join(self.last_write_clock(event.target))
+
+    def _on_write(self, event: Event, clock: Clock) -> None:
+        self.last_write_clock(event.target).copy_check_monotone(clock)
+
+    def _on_write_detect(self, event: Event, clock: Clock) -> None:
+        self._detector.on_write(event, clock)  # type: ignore[union-attr]
+        self.last_write_clock(event.target).copy_check_monotone(clock)
+
+    def _dispatch_table(self) -> Dict[OpKind, EventHandler]:
+        # The detect/no-detect decision is per run, not per event: the
+        # table binds the variant that already knows the answer.
+        table = super()._dispatch_table()
+        if self._detector is not None:
+            table[OpKind.READ] = self._on_read_detect
+            table[OpKind.WRITE] = self._on_write_detect
+        return table
 
     def _detection_summary(self) -> Optional[DetectionSummary]:
         return self._detector.summary if self._detector is not None else None

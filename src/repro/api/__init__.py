@@ -42,6 +42,7 @@ from .registry import (
 )
 from .session import Session, SessionResult, run_specs
 from .sources import (
+    DEFAULT_BATCH_SIZE,
     CaptureSource,
     EventSource,
     FileSource,
@@ -49,6 +50,7 @@ from .sources import (
     QueueSource,
     TraceSource,
     as_event_source,
+    iter_event_batches,
 )
 from .spec import AnalysisSpec, coerce_spec, parse_spec
 
@@ -56,6 +58,7 @@ __all__ = [
     "AnalysisSpec",
     "CLOCKS",
     "CaptureSource",
+    "DEFAULT_BATCH_SIZE",
     "EventSource",
     "FileSource",
     "GeneratorSource",
@@ -68,6 +71,7 @@ __all__ = [
     "as_event_source",
     "clock_class",
     "coerce_spec",
+    "iter_event_batches",
     "order_class",
     "parse_spec",
     "register_clock",

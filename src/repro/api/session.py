@@ -5,13 +5,17 @@ The paper's evaluation is a matrix sweep — every trace × {MAZ, SHB, HB}
 whole-trace pass repeats the event decoding, iteration and dispatch cost
 once per cell; a :class:`Session` instead drives *k* specs through a
 single pass over one :class:`~repro.api.sources.EventSource`, using the
-incremental ``begin()/feed()/finish()`` engine API underneath.
+batched ``begin()/feed_batch()/finish()`` engine API underneath:
+:meth:`Session.run` pulls the source as event batches
+(:func:`~repro.api.sources.iter_event_batches`) and fans each batch out
+whole, so the per-event cost of the shared walk is one engine dispatch
+per spec and nothing else.
 
-Each spec's share of every ``feed()`` call is timed separately (with
-:func:`time.perf_counter_ns`), so the per-spec
+Each spec's share of every ``feed_batch()`` call is timed separately
+(with :func:`time.perf_counter_ns`), so the per-spec
 :class:`~repro.analysis.result.AnalysisResult` still carries a
 meaningful ``elapsed_ns`` even though the walk is shared — and because
-the specs are interleaved at event granularity, cross-spec comparisons
+the specs are interleaved at batch granularity, cross-spec comparisons
 (VC vs TC) are insulated from machine-load drift between runs.
 
 Quickstart
@@ -31,7 +35,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 from ..analysis.engine import PartialOrderAnalysis
 from ..analysis.result import AnalysisResult, Race
 from ..trace.event import Event
-from .sources import SourceLike, as_event_source
+from .sources import DEFAULT_BATCH_SIZE, SourceLike, as_event_source, iter_event_batches
 from .spec import AnalysisSpec, SpecLike, coerce_spec
 
 
@@ -121,11 +125,14 @@ class Session:
     fresh analysis instances, so the same session can be run repeatedly
     — e.g. once per timing repetition.
 
-    Like the engine it drives, the session is exposed at two
-    granularities: :meth:`run` pulls a whole source through, while
-    :meth:`begin` / :meth:`feed` / :meth:`finish` accept one event at a
-    time (this is what a live :class:`~repro.api.sources.CaptureSource`
-    pushes into while the traced program is still executing).
+    Like the engine it drives, the session is exposed at three
+    granularities: :meth:`run` pulls a whole source through as event
+    batches, :meth:`begin` / :meth:`feed_batch` / :meth:`finish` accept
+    one batch at a time (the serve workers and streaming ingest drive
+    this), and :meth:`feed` accepts one event at a time (what a live
+    :class:`~repro.api.sources.CaptureSource` pushes into while the
+    traced program is still executing).  All three are exactly
+    equivalent in results — batching is invisible to the analyses.
     """
 
     def __init__(
@@ -170,12 +177,22 @@ class Session:
         self._walk_started_ns = time.perf_counter_ns()
 
     def feed(self, event: Event) -> None:
-        """Fan one event out to every spec, timing each spec's share.
+        """Fan one event out to every spec (equivalent to a singleton batch).
 
-        A single-spec session skips the per-feed attribution entirely —
-        the engine's own begin-to-finish timing is exact there, and the
-        hot loop stays free of timer calls, matching the cost of a
-        direct ``analysis.run(trace)``.
+        This is the incremental surface for live producers — a
+        :class:`~repro.api.sources.CaptureSource` pushing events as the
+        traced program runs — so it stays on the engine's dedicated
+        per-event ``feed`` with no batch scaffolding.  Bulk callers
+        should hand whole batches to :meth:`feed_batch` instead;
+        :meth:`run` does.
+
+        .. note:: **Timing attribution.**  Since the batched pipeline
+           landed, multi-spec timing is attributed at *batch*
+           granularity: each spec's ``elapsed_ns`` accumulates one
+           ``perf_counter_ns`` pair per feed call — per event here, but
+           amortized over up to ``batch_size`` events in the
+           :meth:`feed_batch`-based ``run()`` walk, which is what
+           dropped the old per-event timer overhead from the sweeps.
         """
         runners = self._runners
         if not runners:
@@ -190,6 +207,31 @@ class Session:
                 analysis.feed(event)
                 elapsed[index] += perf() - started
         self._events_fed += 1
+
+    def feed_batch(self, events: Sequence[Event]) -> None:
+        """Fan a whole batch out to every spec, timing each spec's share.
+
+        Every spec processes the full batch through the engine's
+        ``feed_batch`` hot loop before the next spec starts; the specs
+        stay interleaved at batch granularity, so cross-spec timing
+        comparisons still ride the same machine conditions.  A
+        single-spec session skips the attribution entirely — the
+        engine's own begin-to-finish timing is exact there, and the walk
+        stays free of timer calls, matching a direct ``analysis.run``.
+        """
+        runners = self._runners
+        if not runners:
+            raise RuntimeError("feed_batch() called before begin()")
+        if len(runners) == 1:
+            runners[0].feed_batch(events)
+        else:
+            elapsed = self._elapsed_ns
+            perf = time.perf_counter_ns
+            for index, analysis in enumerate(runners):
+                started = perf()
+                analysis.feed_batch(events)
+                elapsed[index] += perf() - started
+        self._events_fed += len(events)
 
     def finish(self) -> SessionResult:
         """Close the walk and collect every spec's result."""
@@ -216,18 +258,22 @@ class Session:
 
     # -- the one-call driver -----------------------------------------------------------
 
-    def run(self, source: SourceLike) -> SessionResult:
-        """One pass over ``source``, every spec riding the same walk.
+    def run(self, source: SourceLike, batch_size: int = DEFAULT_BATCH_SIZE) -> SessionResult:
+        """One pass over ``source``, every spec riding the same batched walk.
 
         ``source`` may be anything :func:`~repro.api.sources.as_event_source`
         accepts: an :class:`EventSource`, a :class:`Trace`, a file path,
-        a recorder, a benchmark profile, or a generator callable.
+        a recorder, a benchmark profile, or a generator callable.  The
+        walk pulls the source through
+        :func:`~repro.api.sources.iter_event_batches` — native batches
+        when the source has them, the fallback adapter otherwise — and
+        feeds each batch whole via :meth:`feed_batch`.
         """
         event_source = as_event_source(source)
         self.begin(threads=event_source.threads(), name=event_source.name)
-        feed = self.feed
-        for event in event_source.events():
-            feed(event)
+        feed_batch = self.feed_batch
+        for batch in iter_event_batches(event_source, batch_size):
+            feed_batch(batch)
         return self.finish()
 
     # -- introspection -----------------------------------------------------------------

@@ -16,6 +16,17 @@ Every source counts the events it hands out in ``events_emitted``; a
 *n*, not *k·n* — the tests assert exactly this to pin down the
 one-walk-many-analyses contract.
 
+Sources are consumed at two granularities.  ``events()`` is the
+per-event protocol surface every source implements; ``event_batches()``
+is the optional bulk surface — lists of up to ``batch_size`` events —
+that the built-in sources implement natively (``TraceSource`` and
+``GeneratorSource`` slice their in-memory tuples, ``FileSource`` rides
+the chunked file decoders, ``QueueSource`` drains greedily without
+waiting for a full batch).  :func:`iter_event_batches` is the adapter
+``Session.run`` walks through: it uses the native method when a source
+has one and otherwise chunks the plain ``events()`` iterator, so a
+minimal third-party source automatically rides the batched pipeline.
+
 :func:`as_event_source` coerces the common raw objects (``Trace``, a
 path, a recorder, a benchmark profile, a generator config, a callable)
 so ``Session.run`` accepts any of them directly.
@@ -25,12 +36,12 @@ from __future__ import annotations
 
 import queue
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional, Protocol, Sequence, Union, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Protocol, Sequence, Union, runtime_checkable
 
 from ..gen.random_trace import RandomTraceConfig, generate_trace
 from ..gen.suite import BenchmarkProfile
 from ..trace.event import Event, OpKind
-from ..trace.io import infer_format, iter_trace_file
+from ..trace.io import DEFAULT_BATCH_SIZE, infer_format, iter_trace_chunks, iter_trace_file
 from ..trace.trace import Trace
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
@@ -50,8 +61,61 @@ class EventSource(Protocol):
         ...
 
     def events(self) -> Iterator[Event]:
-        """The events, in trace order.  May be consumable only once."""
+        """The events, in trace order.  May be consumable only once.
+
+        Sources may *additionally* expose ``event_batches(batch_size)``
+        yielding lists of events; it is not part of the required
+        surface — :func:`iter_event_batches` adapts any source without
+        one — but implementing it natively skips the per-event hop.
+        """
         ...
+
+
+def iter_event_batches(
+    source: "EventSource", batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[Sequence[Event]]:
+    """Walk ``source`` as event batches, natively when it can, adapted when not.
+
+    The single entry point bulk consumers use: a source exposing
+    ``event_batches()`` streams through it (chunked decode for files,
+    tuple slicing for in-memory traces, greedy drain for queues); any
+    other source gets the default fallback adapter, which chunks its
+    per-event ``events()`` iterator into ``batch_size`` lists.  Either
+    way the concatenation of the batches is exactly the event stream.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    native = getattr(source, "event_batches", None)
+    if native is not None:
+        yield from native(batch_size)
+        return
+    batch: List[Event] = []
+    append = batch.append
+    for event in source.events():
+        append(event)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+            append = batch.append
+    if batch:
+        yield batch
+
+
+def _iter_tuple_batches(
+    source: "EventSource", events: Sequence[Event], batch_size: int
+) -> Iterator[Sequence[Event]]:
+    """Slice an in-memory event sequence into counted batches.
+
+    The shared native ``event_batches`` body of the materialized sources
+    (:class:`TraceSource`, :class:`GeneratorSource`): batch ``source``'s
+    events and keep its ``events_emitted`` counter honest.  The slices
+    are yielded as-is — every consumer takes any sequence, so copying
+    them into lists would only add an O(batch) allocation per batch.
+    """
+    for start in range(0, len(events), batch_size):
+        batch = events[start : start + batch_size]
+        source.events_emitted += len(batch)
+        yield batch
 
 
 class TraceSource:
@@ -69,6 +133,10 @@ class TraceSource:
         for event in self.trace:
             self.events_emitted += 1
             yield event
+
+    def event_batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[Sequence[Event]]:
+        """Native batches: slices of the trace's in-memory event tuple."""
+        return _iter_tuple_batches(self, self.trace.events, batch_size)
 
 
 class FileSource:
@@ -95,6 +163,18 @@ class FileSource:
         for event in iter_trace_file(self.path, fmt=self.fmt):
             self.events_emitted += 1
             yield event
+
+    def event_batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Event]]:
+        """Native batches: the chunked file decoders, straight from disk.
+
+        This is the fast path of a file-backed session — lines are
+        parsed through the per-file token caches of
+        :func:`~repro.trace.io.iter_trace_chunks` and never cross a
+        per-event generator boundary.  Memory stays O(``batch_size``).
+        """
+        for batch in iter_trace_chunks(self.path, fmt=self.fmt, batch_size=batch_size):
+            self.events_emitted += len(batch)
+            yield batch
 
 
 class GeneratorSource:
@@ -140,6 +220,10 @@ class GeneratorSource:
         for event in self.materialize():
             self.events_emitted += 1
             yield event
+
+    def event_batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[Sequence[Event]]:
+        """Native batches: slices of the generated trace's event tuple."""
+        return _iter_tuple_batches(self, self.materialize().events, batch_size)
 
 
 class CaptureSource:
@@ -284,6 +368,41 @@ class QueueSource:
                 return
             self.events_emitted += 1
             yield item  # type: ignore[misc]
+
+    def event_batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Event]]:
+        """Native batches: greedy drain, never waiting to fill a batch.
+
+        Blocks only for the *first* event of each batch, then takes
+        whatever else is already queued (up to ``batch_size``) without
+        waiting — a streaming producer keeps its live latency (each
+        event is analyzed as soon as the walk is idle), while a fast
+        producer naturally coalesces into full batches.
+        """
+        get = self._queue.get
+        get_nowait = self._queue.get_nowait
+        sentinel = self._SENTINEL
+        while True:
+            try:
+                item = get(timeout=0.1)
+            except queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if item is sentinel:
+                return
+            batch: List[Event] = [item]  # type: ignore[list-item]
+            while len(batch) < batch_size:
+                try:
+                    item = get_nowait()
+                except queue.Empty:
+                    break
+                if item is sentinel:
+                    self.events_emitted += len(batch)
+                    yield batch
+                    return
+                batch.append(item)  # type: ignore[arg-type]
+            self.events_emitted += len(batch)
+            yield batch
 
 
 SourceLike = Union[

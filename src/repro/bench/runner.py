@@ -323,12 +323,119 @@ def _run_serve_ingest_case(case: BenchCase, config: BenchConfig) -> BenchCaseRes
     )
 
 
+def _run_decode_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
+    """Decode throughput: parse a trace file, chunked vs per-event.
+
+    The trace is generated and written to a temp file *outside* the
+    timed region; one timed repeat = one full decode of the file —
+    ``mode="batched"`` drains :func:`repro.trace.io.iter_trace_chunks`
+    (lists of events, per-file token caches, no per-event generator
+    hop), ``mode="events"`` drains the per-event
+    :func:`repro.trace.io.iter_trace_file`.  Both parse the identical
+    bytes, so the pair isolates the cost of the event-at-a-time shape.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..trace.io import iter_trace_chunks, iter_trace_file, save_trace
+
+    params = case.params
+    fmt = str(params.get("fmt", "std"))
+    mode = str(params.get("mode", "batched"))
+    trace = _scenario_trace(params)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-decode-") as tmp:
+        path = Path(tmp) / f"trace.{fmt}"
+        save_trace(trace, path, fmt=fmt)
+
+        if mode == "batched":
+
+            def one_decode() -> None:
+                for _batch in iter_trace_chunks(path, fmt=fmt):
+                    pass
+
+        elif mode == "events":
+
+            def one_decode() -> None:
+                for _event in iter_trace_file(path, fmt=fmt):
+                    pass
+
+        else:
+            raise ValueError(f"unknown decode mode {mode!r}")
+
+        runs = _timed_runs(one_decode, config)
+    return BenchCaseResult(
+        name=case.name,
+        kind=case.kind,
+        params=case.params,
+        events=len(trace),
+        runs_ns=runs,
+        meta={
+            "fmt": fmt,
+            "mode": mode,
+            "events_per_sec": round(len(trace) / (min(runs) / 1e9), 1),
+        },
+    )
+
+
+def _run_pipeline_walk_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
+    """Multi-spec session walk: ``feed_batch`` (default) vs one event at a time.
+
+    Both modes drive the identical in-memory trace through the same
+    specs and produce the identical results (the differential tests
+    prove it); the pair measures exactly what batching buys the walk.
+    """
+    from ..api.sources import TraceSource, iter_event_batches
+
+    params = case.params
+    specs = [str(spec) for spec in params["specs"]]  # type: ignore[index]
+    mode = str(params.get("mode", "batched"))
+    trace = _scenario_trace(params)
+    session = Session(specs)
+
+    if mode == "batched":
+
+        def one_walk() -> None:
+            session.begin(threads=trace.threads, name=trace.name)
+            feed_batch = session.feed_batch
+            for batch in iter_event_batches(TraceSource(trace)):
+                feed_batch(batch)
+            session.finish()
+
+    elif mode == "events":
+
+        def one_walk() -> None:
+            session.begin(threads=trace.threads, name=trace.name)
+            feed = session.feed
+            for event in trace:
+                feed(event)
+            session.finish()
+
+    else:
+        raise ValueError(f"unknown pipeline walk mode {mode!r}")
+
+    runs = _timed_runs(one_walk, config)
+    return BenchCaseResult(
+        name=case.name,
+        kind=case.kind,
+        params=case.params,
+        events=len(trace),
+        runs_ns=runs,
+        meta={
+            "mode": mode,
+            "specs": specs,
+            "events_per_sec": round(len(trace) / (min(runs) / 1e9), 1),
+        },
+    )
+
+
 #: Case kind -> measurement procedure.
 _RUNNERS: Dict[str, Callable[[BenchCase, BenchConfig], BenchCaseResult]] = {
     "clock_ops": _run_clock_ops_case,
     "session": _run_session_case,
     "serve_jobs": _run_serve_jobs_case,
     "serve_ingest": _run_serve_ingest_case,
+    "decode": _run_decode_case,
+    "pipeline_walk": _run_pipeline_walk_case,
 }
 
 

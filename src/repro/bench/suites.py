@@ -29,6 +29,15 @@ Two suites ship by default:
     Pool startup and server startup happen outside the timed region, so
     the numbers measure the steady-state service, not process spawning.
 
+``pipeline``
+    Event-pipeline benchmarks: decode **events/sec** of the chunked
+    file decoders vs the per-event iterators (STD and CSV), and
+    multi-spec session walks batched (``feed_batch``, the default) vs
+    fed one event at a time.  The batched/per-event case pairs share
+    identical workloads, so their ratio *is* the measured win of the
+    batching layer — and a regression in either shape is caught
+    separately.
+
 Extra session cases over *captured* trace files can be appended with
 ``repro-bench run --trace FILE`` — the file is streamed lazily through a
 :class:`repro.api.FileSource`, so real recorded workloads ride the same
@@ -207,6 +216,61 @@ def serve_suite(
     return cases
 
 
+#: Decode formats exercised by the default ``pipeline`` suite.
+DEFAULT_PIPELINE_FORMATS: Tuple[str, ...] = ("std", "csv")
+
+#: Walk modes of the ``pipeline`` suite: the batched default vs the
+#: per-event reference path (same events, same specs, same results).
+PIPELINE_WALK_MODES: Tuple[str, ...] = ("batched", "events")
+
+
+def pipeline_suite(
+    events: int = 2000,
+    scenarios: Sequence[str] = ("single_lock", "star_topology"),
+    thread_counts: Sequence[int] = (10,),
+    formats: Sequence[str] = DEFAULT_PIPELINE_FORMATS,
+    specs: Sequence[str] = DEFAULT_SESSION_SPECS,
+    seed: int = 0,
+) -> List[BenchCase]:
+    """The ``pipeline`` suite: chunked decode and batched-vs-per-event walks."""
+    spec_list = list(specs)
+    threads = int(thread_counts[0]) if thread_counts else 10
+    cases: List[BenchCase] = []
+    for fmt in formats:
+        for mode in PIPELINE_WALK_MODES:
+            cases.append(
+                BenchCase(
+                    name=f"pipeline/decode-{fmt}-{mode}",
+                    kind="decode",
+                    params={
+                        "scenario": "single_lock",
+                        "threads": threads,
+                        "events": events,
+                        "seed": seed,
+                        "fmt": fmt,
+                        "mode": mode,
+                    },
+                )
+            )
+    for scenario in scenarios:
+        for mode in PIPELINE_WALK_MODES:
+            cases.append(
+                BenchCase(
+                    name=f"pipeline/walk-{mode}/{scenario}-t{threads}",
+                    kind="pipeline_walk",
+                    params={
+                        "scenario": scenario,
+                        "threads": threads,
+                        "events": events,
+                        "seed": seed,
+                        "specs": spec_list,
+                        "mode": mode,
+                    },
+                )
+            )
+    return cases
+
+
 #: Suite name -> builder.  :func:`suite_cases` dispatches through this
 #: registry, forwarding only the global knobs a builder's signature
 #: declares — registering a new suite here is the whole integration.
@@ -214,6 +278,7 @@ SUITES: Dict[str, Callable[..., List[BenchCase]]] = {
     "clocks": clocks_suite,
     "session": session_suite,
     "serve": serve_suite,
+    "pipeline": pipeline_suite,
 }
 
 

@@ -166,7 +166,9 @@ class SuiteRunner:
     ) -> SpeedupSample:
         """The (cached) VC-vs-TC timing comparison for one configuration.
 
-        Both clock cells share one session walk per repetition.
+        Both clock cells share one *batched* session walk per
+        repetition: the trace streams through ``Session.feed_batch``,
+        and each cell's time is its attributed share of every batch.
         """
         key = (trace.name, analysis_class.PARTIAL_ORDER, with_analysis)
         cached = self._speedups.get(key)

@@ -151,9 +151,11 @@ def compare_clocks_session(
 
     Builds a two-spec :class:`repro.api.Session` (``<order>+vc`` and
     ``<order>+tc``) and runs it ``repetitions`` times; each spec's
-    elapsed time is the per-``feed`` time attributed to it by the
+    elapsed time is the per-``feed_batch`` time attributed to it by the
     session, so both clocks see the identical event stream, interleaved
-    at event granularity.
+    at batch granularity (one timer pair per batch per spec — the
+    per-event timer overhead of the pre-batching walk is gone, and both
+    clocks still ride the same machine conditions within each batch).
     """
     from ..api import ORDERS, AnalysisSpec, Session
 

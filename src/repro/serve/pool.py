@@ -2,9 +2,10 @@
 
 Each worker is a separate ``multiprocessing`` process executing
 :class:`WorkerTask` cells — one (trace file × analysis spec) each —
-through a single-spec :class:`repro.api.Session` fed chunk-by-chunk from
-disk (:func:`repro.trace.io.iter_trace_chunks`), and reporting a
-plain-dict payload back.  Process isolation is the point: a segfaulting
+through a single-spec :class:`repro.api.Session` fed whole decoded
+chunks at a time (:func:`repro.trace.io.iter_trace_chunks` into
+``Session.feed_batch``, so the per-event cost is one engine dispatch
+and nothing else), and reporting a plain-dict payload back.  Process isolation is the point: a segfaulting
 or wedged analysis takes down one worker, not the service.
 
 Assignment is parent-side: every worker has its own one-deep task inbox
@@ -92,10 +93,9 @@ def execute_task(task: WorkerTask) -> Dict[str, object]:
     spec = coerce_spec(task.spec)
     session = Session([spec])
     session.begin(name=task.trace_name or task.trace_path)
-    feed = session.feed
-    for chunk in iter_trace_chunks(task.trace_path, fmt=task.fmt, chunk_events=task.chunk_events):
-        for event in chunk:
-            feed(event)
+    feed_batch = session.feed_batch
+    for chunk in iter_trace_chunks(task.trace_path, fmt=task.fmt, batch_size=task.chunk_events):
+        feed_batch(chunk)
     result = session.finish()
     analysis = result[spec]
 

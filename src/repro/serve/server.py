@@ -39,7 +39,7 @@ from ..api import QueueSource, Session
 from ..api.spec import coerce_spec
 from ..cli_util import package_version
 from ..trace.event import Event
-from ..trace.io import TraceFormatError, iter_csv, iter_std, parse_std_line, std_line
+from ..trace.io import StdParser, TraceFormatError, iter_csv, iter_std, std_line
 from .corpus import CorpusError, TraceCorpus
 from .jobs import Scheduler
 from .protocol import (
@@ -77,6 +77,10 @@ class _StreamState:
         self._races: List[Race] = []
         self._races_lock = threading.Lock()
         self.events_sent = 0
+        # One caching parser per stream: the thread/op tokens of a live
+        # trace repeat as heavily as a file's, so after warmup each
+        # incoming line costs dict hits instead of a regex match.
+        self._parser = StdParser()
         self.spool_path: Optional[Path] = None
         self._spool = None
         if save:
@@ -114,24 +118,65 @@ class _StreamState:
 
     def feed_line(self, line: str) -> Optional[Event]:
         """Parse one STD line and hand it to the walk; ``None`` for blanks."""
+        fed = self.feed_lines((line,))
+        return fed[0] if fed else None
+
+    def feed_lines(self, lines: Sequence[str]) -> List[Event]:
+        """Parse a batch of STD lines and hand them to the walk as one unit.
+
+        The whole batch is parsed first (through the per-stream token
+        cache), enqueued, and then spooled/counted with one write per
+        batch — the walk thread's greedy batch drain sees it as one
+        ``feed_batch``, so protocol messages carrying many lines cost
+        per-batch, not per-event, overhead on the analysis side.
+        Returns the parsed events (blanks/comments excluded).
+
+        Error atomicity is split by error class.  A *malformed line*
+        (deterministic — a retry cannot fix it) rejects the whole
+        message before anything is fed: the producer can repair the bad
+        line and resend the entire message without double-feeding.
+        *Backpressure* (transient ``queue.Full``) keeps the prefix
+        property instead: every event that did reach the walk is
+        spooled and counted before the error surfaces, so
+        ``events_sent``, the save spool and the analyzed stream never
+        disagree.
+        """
         if self._walk_error is not None:
             raise RuntimeError(f"stream analysis failed: {self._walk_error}")
-        event = parse_std_line(line, eid=self.events_sent, line_number=self.events_sent + 1)
-        if event is None:
-            return None
+        parse = self._parser.parse
+        eid = self.events_sent
+        events: List[Event] = []
+        for line in lines:
+            event = parse(line, eid, eid + 1)
+            if event is None:
+                continue
+            events.append(event)
+            eid += 1
+        if not events:
+            return events
         if self.source is not None:
+            put = self.source.put
+            delivered = 0
             try:
-                self.source.put(event, timeout=self.FEED_TIMEOUT)
+                for event in events:
+                    put(event, timeout=self.FEED_TIMEOUT)
+                    delivered += 1
             except queue.Full:
+                self._commit(events[:delivered])
                 raise RuntimeError(
                     f"stream backlog full after {self.FEED_TIMEOUT}s: the analysis "
                     "walk cannot keep up or has stalled"
                 ) from None
+        self._commit(events)
+        return events
+
+    def _commit(self, events: Sequence[Event]) -> None:
+        """Record events that reached the walk: spool them, advance the count."""
+        if not events:
+            return
         if self._spool is not None:
-            self._spool.write(std_line(event))
-            self._spool.write("\n")
-        self.events_sent += 1
-        return event
+            self._spool.write("".join(std_line(event) + "\n" for event in events))
+        self.events_sent = events[-1].eid + 1
 
     def races_since(self, cursor: int) -> Tuple[List[Dict[str, object]], int]:
         """Races reported after ``cursor``, plus the new cursor."""
@@ -340,10 +385,7 @@ class ServeHandler(socketserver.StreamRequestHandler):
             lines = [line] if line is not None else None
         if not isinstance(lines, list):
             return error_response("feed needs an STD 'line' or a 'lines' list")
-        fed = 0
-        for line in lines:
-            if stream.feed_line(str(line)) is not None:
-                fed += 1
+        fed = len(stream.feed_lines([str(line) for line in lines]))
         races, self._race_cursor = stream.races_since(self._race_cursor)
         return ok_response(
             fed=fed,

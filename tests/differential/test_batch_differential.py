@@ -1,0 +1,187 @@
+"""Differential check: ``feed_batch`` ≡ per-event ``feed``, exactly.
+
+The batched pipeline is only allowed to change *cost*, never results:
+feeding a trace in any batch partition — one huge batch, ragged odd
+sizes, one event at a time — must produce bit-identical output (the
+batch-transparency invariant).  This module drives the full order×clock
+spec matrix both ways over random well-formed traces and compares every
+observable: per-event vector timestamps, race records in order, check
+counts, work counters, event/thread counts.  A new per-event rule that
+peeks across batch boundaries (or caches per-feed state) fails here.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import HBAnalysis, MAZAnalysis, SHBAnalysis
+from repro.api import Session
+from repro.clocks import TreeClock, VectorClock
+from repro.trace import Trace
+from util_traces import make_random_trace
+
+ALL_ANALYSES = [HBAnalysis, SHBAnalysis, MAZAnalysis]
+ALL_CLOCKS = [TreeClock, VectorClock]
+
+#: Every spec combination of the evaluation matrix, as session spec keys.
+SPEC_MATRIX = [
+    f"{order}+{clock}{detect}"
+    for order in ("hb", "shb", "maz")
+    for clock in ("tc", "vc")
+    for detect in ("", "+detect")
+]
+
+
+def _partition(events, sizes):
+    """Split ``events`` into batches cycling through ``sizes``."""
+    batches = []
+    index = 0
+    cursor = 0
+    while cursor < len(events):
+        size = sizes[index % len(sizes)]
+        batches.append(list(events[cursor : cursor + size]))
+        cursor += size
+        index += 1
+    return batches
+
+
+def _run_per_event(analysis_class, clock_class, trace):
+    analysis = analysis_class(clock_class, capture_timestamps=True, detect=True)
+    analysis.begin(threads=trace.threads, trace_name=trace.name)
+    for event in trace:
+        analysis.feed(event)
+    return analysis.finish()
+
+
+def _run_batched(analysis_class, clock_class, trace, sizes):
+    analysis = analysis_class(clock_class, capture_timestamps=True, detect=True)
+    analysis.begin(threads=trace.threads, trace_name=trace.name)
+    for batch in _partition(list(trace), sizes):
+        analysis.feed_batch(batch)
+    return analysis.finish()
+
+
+def _assert_results_match(batched, reference):
+    assert batched.timestamps == reference.timestamps
+    assert batched.num_events == reference.num_events
+    assert batched.num_threads == reference.num_threads
+    assert batched.detection.checks == reference.detection.checks
+    assert batched.detection.race_count == reference.detection.race_count
+    assert [race.pair() for race in batched.detection.races] == [
+        race.pair() for race in reference.detection.races
+    ]
+
+
+class TestEngineBatchTransparency:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        sizes=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=4),
+    )
+    def test_every_analysis_matches_across_ragged_partitions(self, seed, sizes):
+        trace = make_random_trace(seed, num_events=150, include_fork_join=bool(seed % 2))
+        for analysis_class in ALL_ANALYSES:
+            for clock_class in ALL_CLOCKS:
+                reference = _run_per_event(analysis_class, clock_class, trace)
+                batched = _run_batched(analysis_class, clock_class, trace, sizes)
+                _assert_results_match(batched, reference)
+
+    def test_single_batch_and_singletons_agree(self):
+        trace = make_random_trace(7, num_events=120)
+        for analysis_class in ALL_ANALYSES:
+            for clock_class in ALL_CLOCKS:
+                reference = _run_per_event(analysis_class, clock_class, trace)
+                whole = _run_batched(analysis_class, clock_class, trace, [len(trace)])
+                singles = _run_batched(analysis_class, clock_class, trace, [1])
+                _assert_results_match(whole, reference)
+                _assert_results_match(singles, reference)
+
+    def test_work_counters_match(self):
+        trace = make_random_trace(11, num_events=150)
+        for analysis_class in ALL_ANALYSES:
+            for clock_class in ALL_CLOCKS:
+                reference = analysis_class(clock_class, count_work=True)
+                reference.begin(threads=trace.threads)
+                for event in trace:
+                    reference.feed(event)
+                per_event = reference.finish()
+
+                batched = analysis_class(clock_class, count_work=True)
+                batched.begin(threads=trace.threads)
+                for batch in _partition(list(trace), [13]):
+                    batched.feed_batch(batch)
+                result = batched.finish()
+
+                assert result.work.entries_processed == per_event.work.entries_processed
+                assert result.work.entries_updated == per_event.work.entries_updated
+                assert result.work.joins == per_event.work.joins
+                assert result.work.copies == per_event.work.copies
+
+    def test_empty_batches_are_no_ops(self):
+        trace = make_random_trace(3, num_events=60)
+        for analysis_class in ALL_ANALYSES:
+            reference = _run_per_event(analysis_class, TreeClock, trace)
+            analysis = analysis_class(TreeClock, capture_timestamps=True, detect=True)
+            analysis.begin(threads=trace.threads, trace_name=trace.name)
+            analysis.feed_batch([])
+            for batch in _partition(list(trace), [17]):
+                analysis.feed_batch(batch)
+                analysis.feed_batch([])
+            _assert_results_match(analysis.finish(), reference)
+
+
+class TestSessionBatchTransparency:
+    """The same invariant one layer up: ``Session.run`` (batched) vs a
+    hand-rolled per-event session walk, across the whole spec matrix."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_batched_run_matches_per_event_session(self, seed):
+        trace = make_random_trace(seed, num_events=150)
+        batched = Session(SPEC_MATRIX).run(trace)
+
+        per_event = Session(SPEC_MATRIX)
+        per_event.begin(threads=trace.threads, name=trace.name)
+        for event in trace:
+            per_event.feed(event)
+        reference = per_event.finish()
+
+        assert batched.num_events == reference.num_events == len(trace)
+        for key in SPEC_MATRIX:
+            left, right = batched[key], reference[key]
+            assert left.num_events == right.num_events
+            assert left.num_threads == right.num_threads
+            if left.detection is not None or right.detection is not None:
+                assert left.detection.checks == right.detection.checks
+                assert [race.pair() for race in left.detection.races] == [
+                    race.pair() for race in right.detection.races
+                ]
+
+    def test_session_run_with_tiny_batch_size_matches_default(self):
+        trace = make_random_trace(42, num_events=120)
+        default = Session(SPEC_MATRIX).run(trace)
+        ragged = Session(SPEC_MATRIX).run(trace, batch_size=7)
+        assert default.num_events == ragged.num_events
+        for key in SPEC_MATRIX:
+            left, right = default[key], ragged[key]
+            if left.detection is not None:
+                assert left.detection.race_count == right.detection.race_count
+                assert [race.pair() for race in left.detection.races] == [
+                    race.pair() for race in right.detection.races
+                ]
+
+    def test_empty_trace(self):
+        result = Session(SPEC_MATRIX).run(Trace([], name="empty"))
+        assert result.num_events == 0
+        for key in SPEC_MATRIX:
+            assert result[key].num_events == 0
+
+    def test_feed_batch_before_begin_raises(self):
+        session = Session(["hb+tc"])
+        try:
+            session.feed_batch([])
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("feed_batch before begin must raise")
