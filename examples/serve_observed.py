@@ -1,0 +1,107 @@
+"""Watch a live analysis service through the ``stats`` op — a dashboard.
+
+The observability counterpart of ``examples/serve_batch_corpus.py``: a
+real ``repro.serve`` TCP server (metrics registry enabled, as always in
+service mode) analyzes a batch of scenario traces while this script
+polls the ``stats`` protocol op — the same request behind
+``repro status --watch`` — and renders queue depth, in-flight jobs,
+per-worker RSS/jobs-done and throughput as the fleet drains the
+backlog.  At the end it prints the interesting slice of the server's
+metrics-registry snapshot: the per-outcome task counters and the
+protocol traffic this very script generated.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_observed.py
+    PYTHONPATH=src python examples/serve_observed.py --events 5000 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import threading
+import time
+
+from repro.gen.scenarios import SCENARIOS
+from repro.serve import ServeClient, TraceServer
+
+SPECS = ("hb+tc+detect", "shb+vc+detect")
+
+
+def format_bytes(value: object) -> str:
+    if not isinstance(value, (int, float)) or value <= 0:
+        return "-"
+    scaled = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if scaled < 1024 or unit == "GiB":
+            return f"{scaled:.0f}{unit}" if unit == "B" else f"{scaled:.1f}{unit}"
+        scaled /= 1024
+    return "-"
+
+
+def render(stats: dict) -> None:
+    """One dashboard block, the shape ``repro status --watch`` renders."""
+    queue = stats["queue"]
+    throughput = stats["throughput"]
+    print(
+        f"  up {stats['uptime_seconds']:6.1f}s  queue {queue['depth']:3d}  "
+        f"inflight {stats['inflight']}  done {stats['jobs']['done']:3d}  "
+        f"{throughput['jobs_per_second']:6.2f} jobs/s  "
+        f"rss {format_bytes(stats['rss_bytes'])}"
+    )
+    for row in stats["workers"]:
+        state = "alive" if row["alive"] else "DEAD"
+        task = row["current_task"] or "idle"
+        print(
+            f"    worker {row['worker_id']}: {state:5s} pid {row['pid']}  "
+            f"jobs {row['jobs_done']:3d}  rss {format_bytes(row.get('rss_bytes'))}  {task}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=2000, help="events per scenario trace")
+    parser.add_argument("--threads", type=int, default=8, help="threads per scenario trace")
+    parser.add_argument("--workers", type=int, default=2, help="worker processes")
+    parser.add_argument("--interval", type=float, default=0.25, help="poll interval (seconds)")
+    args = parser.parse_args()
+
+    corpus_dir = tempfile.mkdtemp(prefix="repro-observed-")
+    server = TraceServer(("127.0.0.1", 0), corpus_dir, workers=args.workers)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.address
+    print(f"server on {host}:{port}, corpus at {corpus_dir}")
+
+    try:
+        with ServeClient(host, port) as client:
+            print(f"submitting {len(SCENARIOS)} scenario traces x {len(SPECS)} specs ...")
+            for name, generate in SCENARIOS.items():
+                trace = generate(args.threads, args.events, 0)
+                client.submit_trace(trace, SPECS, name=name)
+
+            print("live service stats (the `stats` protocol op, polled):")
+            while True:
+                stats = client.stats(metrics=False)
+                render(stats)
+                jobs = stats["jobs"]
+                if jobs["pending"] == 0 and jobs["running"] == 0:
+                    break
+                time.sleep(args.interval)
+
+            final = client.stats()
+            done = final["jobs"]["done"]
+            failed = final["jobs"]["failed"]
+            expected = len(SCENARIOS) * len(SPECS)
+            print(f"all jobs completed: {done == expected and failed == 0} "
+                  f"({done} done, {failed} failed)")
+            print("registry snapshot, the interesting slice:")
+            for key, payload in sorted(final["metrics"].items()):
+                if key.startswith(("pool.tasks", "server.requests")):
+                    print(f"  {key}: {payload['value']}")
+    finally:
+        server.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Type
 
 from ..clocks.base import Clock, ClockContext, VectorTime, WorkCounter
 from ..clocks.tree_clock import TreeClock
+from ..obs import metrics as obs_metrics
 from ..trace.event import Event, OpKind
 from ..trace.io import DEFAULT_BATCH_SIZE
 from ..trace.trace import Trace
@@ -315,15 +316,28 @@ class PartialOrderAnalysis:
         if context is None:
             raise RuntimeError("finish() called before begin()")
         elapsed_ns = time.perf_counter_ns() - self._started_ns
+        clock_name = getattr(self.clock_class, "SHORT_NAME", self.clock_class.__name__)
+        detection = self._detection_summary()
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            # All engine metrics are emitted here, once per run — the
+            # per-event/per-batch hot loops above carry no obs code at
+            # all, keeping disabled mode free and enabled mode O(1)/run.
+            labels = {"order": self.PARTIAL_ORDER, "clock": clock_name}
+            registry.counter("engine.runs", **labels).inc()
+            registry.counter("engine.events_fed", **labels).inc(self._events_fed)
+            registry.histogram("engine.run_ns", **labels).observe(elapsed_ns)
+            if detection is not None:
+                registry.counter("engine.races_found", **labels).inc(detection.race_count)
         return AnalysisResult(
             partial_order=self.PARTIAL_ORDER,
-            clock_name=getattr(self.clock_class, "SHORT_NAME", self.clock_class.__name__),
+            clock_name=clock_name,
             trace_name=self._trace_name,
             num_events=self._events_fed,
             num_threads=context.num_threads,
             timestamps=self._timestamps,
             work=context.counter,
-            detection=self._detection_summary(),
+            detection=detection,
             elapsed_ns=elapsed_ns,
         )
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..clocks.base import VectorTime, WorkCounter
+from ..obs.timing import timing_fields
 
 
 @dataclass(frozen=True, slots=True)
@@ -155,9 +156,8 @@ class AnalysisResult:
             "trace": self.trace_name,
             "events": self.num_events,
             "threads": self.num_threads,
-            "elapsed_ns": self.elapsed_ns,
-            "elapsed_seconds": self.elapsed_seconds,
         }
+        payload.update(timing_fields(self.elapsed_ns))
         if self.timestamps is not None:
             payload["timestamps"] = [
                 {str(tid): value for tid, value in timestamp.items()}

@@ -34,6 +34,9 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 
 from ..analysis.engine import PartialOrderAnalysis
 from ..analysis.result import AnalysisResult, Race
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
+from ..obs.timing import timing_fields
 from ..trace.event import Event
 from .sources import DEFAULT_BATCH_SIZE, SourceLike, as_event_source, iter_event_batches
 from .spec import AnalysisSpec, SpecLike, coerce_spec
@@ -90,13 +93,10 @@ class SessionResult:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable representation of the whole session."""
-        return {
-            "trace": self.name,
-            "events": self.num_events,
-            "elapsed_ns": self.elapsed_ns,
-            "elapsed_seconds": self.elapsed_seconds,
-            "specs": {key: result.as_dict() for key, result in self.results.items()},
-        }
+        payload: Dict[str, object] = {"trace": self.name, "events": self.num_events}
+        payload.update(timing_fields(self.elapsed_ns))
+        payload["specs"] = {key: result.as_dict() for key, result in self.results.items()}
+        return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The :meth:`as_dict` payload rendered as a JSON document."""
@@ -156,6 +156,13 @@ class Session:
         self._events_fed = 0
         self._name = ""
         self._walk_started_ns = 0
+        # Observability bindings of the current walk (None while the
+        # default registry is disabled — the single attribute check the
+        # hot paths gate on).
+        self._obs: Optional[obs_metrics.MetricsRegistry] = None
+        self._obs_batches: Optional[obs_metrics.Counter] = None
+        self._obs_events: Optional[obs_metrics.Counter] = None
+        self._obs_feed_hists: List[obs_metrics.Histogram] = []
 
     # -- the incremental driver --------------------------------------------------------
 
@@ -174,6 +181,22 @@ class Session:
         self._elapsed_ns = [0] * len(self._runners)
         self._events_fed = 0
         self._name = name
+        # Bind the observability instruments once per walk: the feed hot
+        # paths then pay one `is None` check when disabled, and plain
+        # method calls (no registry lookups) when enabled.
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            self._obs = registry
+            self._obs_batches = registry.counter("session.batches")
+            self._obs_events = registry.counter("session.events_fed")
+            self._obs_feed_hists = [
+                registry.histogram("session.feed_ns", spec=spec.key) for spec in self.specs
+            ]
+        else:
+            self._obs = None
+            self._obs_batches = None
+            self._obs_events = None
+            self._obs_feed_hists = []
         self._walk_started_ns = time.perf_counter_ns()
 
     def feed(self, event: Event) -> None:
@@ -207,6 +230,8 @@ class Session:
                 analysis.feed(event)
                 elapsed[index] += perf() - started
         self._events_fed += 1
+        if self._obs is not None:
+            self._obs_events.inc()
 
     def feed_batch(self, events: Sequence[Event]) -> None:
         """Fan a whole batch out to every spec, timing each spec's share.
@@ -218,20 +243,46 @@ class Session:
         single-spec session skips the attribution entirely — the
         engine's own begin-to-finish timing is exact there, and the walk
         stays free of timer calls, matching a direct ``analysis.run``.
+
+        When the default :mod:`repro.obs.metrics` registry is enabled,
+        every spec's per-batch feed time is additionally observed into a
+        ``session.feed_ns{spec=...}`` histogram and the
+        ``session.batches`` / ``session.events_fed`` counters advance —
+        all at batch granularity, and all behind the one ``self._obs``
+        check that is this method's entire disabled-mode cost.
         """
         runners = self._runners
         if not runners:
             raise RuntimeError("feed_batch() called before begin()")
+        obs = self._obs
         if len(runners) == 1:
-            runners[0].feed_batch(events)
+            if obs is None:
+                runners[0].feed_batch(events)
+            else:
+                perf = time.perf_counter_ns
+                started = perf()
+                runners[0].feed_batch(events)
+                self._obs_feed_hists[0].observe(perf() - started)
         else:
             elapsed = self._elapsed_ns
             perf = time.perf_counter_ns
-            for index, analysis in enumerate(runners):
-                started = perf()
-                analysis.feed_batch(events)
-                elapsed[index] += perf() - started
+            if obs is None:
+                for index, analysis in enumerate(runners):
+                    started = perf()
+                    analysis.feed_batch(events)
+                    elapsed[index] += perf() - started
+            else:
+                hists = self._obs_feed_hists
+                for index, analysis in enumerate(runners):
+                    started = perf()
+                    analysis.feed_batch(events)
+                    delta = perf() - started
+                    elapsed[index] += delta
+                    hists[index].observe(delta)
         self._events_fed += len(events)
+        if obs is not None:
+            self._obs_batches.inc()
+            self._obs_events.inc(len(events))
 
     def finish(self) -> SessionResult:
         """Close the walk and collect every spec's result."""
@@ -249,6 +300,14 @@ class Session:
                 # alone.  (A single-spec walk keeps the engine's timing.)
                 result.elapsed_ns = elapsed_ns
             results[spec.key] = result
+        obs = self._obs
+        if obs is not None:
+            # Cold path: one registry lookup per spec per walk.
+            for key, result in results.items():
+                if result.detection is not None:
+                    obs.counter("session.races_found", spec=key).inc(
+                        result.detection.race_count
+                    )
         return SessionResult(
             name=self._name,
             num_events=self._events_fed,
@@ -270,11 +329,16 @@ class Session:
         feeds each batch whole via :meth:`feed_batch`.
         """
         event_source = as_event_source(source)
-        self.begin(threads=event_source.threads(), name=event_source.name)
-        feed_batch = self.feed_batch
-        for batch in iter_event_batches(event_source, batch_size):
-            feed_batch(batch)
-        return self.finish()
+        with obs_tracing.span(
+            "session.run", trace=event_source.name, specs=len(self.specs)
+        ) as walk_span:
+            self.begin(threads=event_source.threads(), name=event_source.name)
+            feed_batch = self.feed_batch
+            for batch in iter_event_batches(event_source, batch_size):
+                feed_batch(batch)
+            result = self.finish()
+            walk_span.set(events=result.num_events)
+        return result
 
     # -- introspection -----------------------------------------------------------------
 

@@ -33,7 +33,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from ..cli_util import package_version
+from ..cli_util import add_observability_args, configure_observability, package_version
 from .artifact import artifact_path, load_artifact, make_artifact, write_artifact
 from .compare import compare_artifacts, format_report
 from .runner import BenchConfig, run_suite
@@ -76,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="captured trace file (STD/CSV[.gz]) to add as a session case (repeatable)",
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-case progress output")
+    add_observability_args(run)
 
     compare = commands.add_parser("compare", help="diff two artifacts and fail on regression")
     compare.add_argument("baseline", help="baseline BENCH_<suite>.json")
@@ -195,6 +196,7 @@ def _command_list(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(list(argv) if argv is not None else None)
+    configure_observability(args)
     if args.command == "run":
         return _command_run(args)
     if args.command == "compare":

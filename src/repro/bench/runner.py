@@ -199,6 +199,56 @@ def _run_session_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
     )
 
 
+def _run_obs_session_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
+    """Observability overhead: the same walk with metrics off, then on.
+
+    The headline ``runs_ns`` is the *disabled* series — that is the
+    default CLI/library configuration, and comparing it against the
+    committed baseline is what catches instrumentation creeping onto the
+    hot path.  The enabled series rides in ``sub`` and the measured
+    enabled-vs-disabled delta in ``meta["enabled_overhead_pct"]``.
+    Both phases run the identical session and source under the same
+    warmup/repeat discipline; the registry is restored (and wiped of the
+    bench's instruments) afterwards.
+    """
+    from ..obs import metrics as obs_metrics
+
+    specs = [str(spec) for spec in case.params["specs"]]  # type: ignore[index]
+    source = _session_source(case.params)
+    session = Session(specs)
+    events = 0
+
+    def one_walk() -> None:
+        nonlocal events
+        events = session.run(source).num_events
+
+    registry = obs_metrics.get_registry()
+    was_enabled = registry.enabled
+    registry.disable()
+    try:
+        disabled = _timed_runs(one_walk, config)
+        registry.enable()
+        enabled = _timed_runs(one_walk, config)
+    finally:
+        registry.enabled = was_enabled
+        registry.reset()
+    overhead_pct = (min(enabled) - min(disabled)) / min(disabled) * 100.0
+    return BenchCaseResult(
+        name=case.name,
+        kind=case.kind,
+        params=case.params,
+        events=events,
+        runs_ns=disabled,
+        sub={"disabled": disabled, "enabled": enabled},
+        meta={
+            "specs": specs,
+            "enabled_overhead_pct": round(overhead_pct, 2),
+            "disabled_best_ns": min(disabled),
+            "enabled_best_ns": min(enabled),
+        },
+    )
+
+
 def _run_serve_jobs_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
     """End-to-end service throughput: (trace × spec) cells through a worker pool.
 
@@ -432,6 +482,7 @@ def _run_pipeline_walk_case(case: BenchCase, config: BenchConfig) -> BenchCaseRe
 _RUNNERS: Dict[str, Callable[[BenchCase, BenchConfig], BenchCaseResult]] = {
     "clock_ops": _run_clock_ops_case,
     "session": _run_session_case,
+    "obs_session": _run_obs_session_case,
     "serve_jobs": _run_serve_jobs_case,
     "serve_ingest": _run_serve_ingest_case,
     "decode": _run_decode_case,

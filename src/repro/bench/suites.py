@@ -38,6 +38,15 @@ Two suites ship by default:
     batching layer — and a regression in either shape is caught
     separately.
 
+``obs``
+    Observability-overhead benchmarks: the same multi-spec session walks
+    as the ``session`` suite, measured twice per case — once with the
+    default :mod:`repro.obs.metrics` registry disabled (the headline
+    ``runs_ns``, comparable against the committed baseline) and once
+    enabled (the ``sub`` series).  The case's ``meta`` reports
+    ``enabled_overhead_pct``; the contract is disabled ≈ free (one
+    attribute check per batch) and enabled within a few percent.
+
 Extra session cases over *captured* trace files can be appended with
 ``repro-bench run --trace FILE`` — the file is streamed lazily through a
 :class:`repro.api.FileSource`, so real recorded workloads ride the same
@@ -216,6 +225,34 @@ def serve_suite(
     return cases
 
 
+def obs_suite(
+    events: int = 2000,
+    scenarios: Sequence[str] = ("single_lock", "star_topology"),
+    thread_counts: Sequence[int] = (10,),
+    specs: Sequence[str] = DEFAULT_SESSION_SPECS,
+    seed: int = 0,
+) -> List[BenchCase]:
+    """The ``obs`` suite: session walks, metrics disabled vs enabled."""
+    spec_list = list(specs)
+    threads = int(thread_counts[0]) if thread_counts else 10
+    cases: List[BenchCase] = []
+    for scenario in scenarios:
+        cases.append(
+            BenchCase(
+                name=f"obs/session-{scenario}-t{threads}",
+                kind="obs_session",
+                params={
+                    "scenario": scenario,
+                    "threads": threads,
+                    "events": events,
+                    "seed": seed,
+                    "specs": spec_list,
+                },
+            )
+        )
+    return cases
+
+
 #: Decode formats exercised by the default ``pipeline`` suite.
 DEFAULT_PIPELINE_FORMATS: Tuple[str, ...] = ("std", "csv")
 
@@ -279,6 +316,7 @@ SUITES: Dict[str, Callable[..., List[BenchCase]]] = {
     "session": session_suite,
     "serve": serve_suite,
     "pipeline": pipeline_suite,
+    "obs": obs_suite,
 }
 
 

@@ -32,7 +32,7 @@ from typing import List, Optional, Sequence
 from ..analysis.graph import GraphOrder
 from ..analysis.result import AnalysisResult, Race
 from ..api import ORDERS, AnalysisSpec, CaptureSource, Session, SessionResult
-from ..cli_util import make_say
+from ..cli_util import add_observability_args, configure_observability, make_say
 from ..trace.io import infer_format, save_trace
 from ..trace.trace import Trace
 from ..trace.validation import validate_trace
@@ -89,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable JSON report on stdout (diagnostics on stderr)",
     )
+    add_observability_args(parser)
     return parser
 
 
@@ -113,6 +114,7 @@ def _race_line(race: Race, trace: Optional[Trace], locations: Optional[List[Opti
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_observability(args)
     script_args = list(args.script_args)
     if script_args and script_args[0] == "--":
         script_args = script_args[1:]

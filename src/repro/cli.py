@@ -50,7 +50,12 @@ from typing import List, Optional, Sequence
 
 from .api import CLOCKS, ORDERS, AnalysisSpec, FileSource, Session, TraceSource, parse_spec
 from .api.sources import EventSource
-from .cli_util import make_say, package_version
+from .cli_util import (
+    add_observability_args,
+    configure_observability,
+    make_say,
+    package_version,
+)
 from .clocks.render import render_clock
 from .trace import TraceBuilder, infer_format, load_trace
 from .trace.stats import compute_statistics
@@ -105,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable JSON report on stdout (diagnostics on stderr)",
     )
+    add_observability_args(parser)
     return parser
 
 
@@ -178,6 +184,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             module = importlib.import_module(module_name)
             return getattr(module, entry_name)(arguments[1:])
     args = build_parser().parse_args(arguments)
+    configure_observability(args)
 
     say = make_say(args.json)
 
@@ -227,6 +234,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload["statistics"] = {
                 str(key): value for key, value in stats.as_row().items()
             }
+        if args.obs_metrics:
+            from .obs import metrics as obs_metrics
+
+            payload["metrics"] = obs_metrics.get_registry().snapshot()
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -269,6 +280,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"clock of thread t{tid}:")
             for line in render_clock(primary.thread_clocks[tid]).splitlines():
                 print(f"  {line}")
+
+    if args.obs_metrics:
+        from .obs import metrics as obs_metrics
+
+        print("metrics:")
+        for name, payload in sorted(obs_metrics.get_registry().snapshot().items()):
+            kind = payload.get("type")
+            if kind == "histogram":
+                print(
+                    f"  {name}: count={payload['count']} "
+                    f"mean={payload['mean_ns']:.0f}ns max={payload['max_ns']}ns"
+                )
+            else:
+                print(f"  {name}: {payload.get('value')}")
 
     return 0
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Callable
 
@@ -38,3 +39,62 @@ def make_say(json_mode: bool) -> Callable[..., None]:
         print(*args, file=sys.stderr, **kwargs)
 
     return say
+
+
+def add_observability_args(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--log-level/--log-json/--obs-metrics/--obs-spans`` flags.
+
+    Every ``repro`` entry point (analyze, capture, bench, serve, submit,
+    status) carries these, so observability is switched on the same way
+    everywhere; :func:`configure_observability` applies them.
+    """
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error", "critical"),
+        default=None,
+        help="enable structured logging at this level (default: logging off)",
+    )
+    group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log records as JSON lines on stderr (implies --log-level warning)",
+    )
+    group.add_argument(
+        "--obs-metrics",
+        action="store_true",
+        help="enable the process-global metrics registry (repro.obs.metrics)",
+    )
+    group.add_argument(
+        "--obs-spans",
+        metavar="FILE",
+        default=None,
+        help="export repro-obs/1 spans as JSON lines to FILE ('-' for stderr)",
+    )
+
+
+def configure_observability(args: argparse.Namespace) -> None:
+    """Apply the :func:`add_observability_args` flags to the process.
+
+    Safe to call from every entry point — each knob is a no-op unless
+    its flag was given, so the default CLI behavior (no logging handler,
+    metrics disabled, tracing off) is untouched.
+    """
+    log_level = getattr(args, "log_level", None)
+    log_json = bool(getattr(args, "log_json", False))
+    if log_level is not None or log_json:
+        from .obs.logging import configure_logging
+
+        configure_logging(level=log_level or "warning", json_mode=log_json)
+    if getattr(args, "obs_metrics", False):
+        from .obs import metrics as obs_metrics
+
+        obs_metrics.get_registry().enable()
+    spans_target = getattr(args, "obs_spans", None)
+    if spans_target:
+        import atexit
+
+        from .obs.tracing import configure_tracing, shutdown_tracing
+
+        configure_tracing(sys.stderr if spans_target == "-" else spans_target)
+        atexit.register(shutdown_tracing)

@@ -1,4 +1,10 @@
-"""Work and timing metrics for comparing clock data structures."""
+"""Work and timing metrics for comparing clock data structures.
+
+The timing harness now lives in :mod:`repro.obs.timing` (one timing
+vocabulary for offline and online measurement); this package re-exports
+it unchanged, alongside the work-optimality measurements of
+:mod:`repro.metrics.work`.
+"""
 
 from .timing import (
     DEFAULT_REPETITIONS,
@@ -9,6 +15,7 @@ from .timing import (
     compare_clocks_session,
     geometric_mean,
     time_analysis,
+    timing_fields,
 )
 from .work import (
     TC_OPTIMALITY_FACTOR,
@@ -30,4 +37,5 @@ __all__ = [
     "is_vt_optimal",
     "measure_work",
     "time_analysis",
+    "timing_fields",
 ]

@@ -1,0 +1,73 @@
+"""``repro.obs`` — metrics, spans, logging and process introspection.
+
+The observability substrate of the reproduction: one place where every
+layer (session walk, engine, serve scheduler, worker pool, CLIs)
+reports what it is doing, cheaply enough to leave on in production.
+Four leaf modules:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket ns histograms with a process-global
+  default registry; *disabled* by default, and disabled mode costs the
+  instrumented hot paths a single attribute check.
+* :mod:`repro.obs.tracing` — lightweight nested spans with monotonic-ns
+  stamps and a ``repro-obs/1`` JSON-lines exporter, so a whole
+  ``repro analyze`` / ``repro serve`` run reconstructs offline.
+* :mod:`repro.obs.logging` — structured logging (``--log-json`` /
+  ``--log-level`` on every CLI entry point) under one ``repro``
+  namespace.
+* :mod:`repro.obs.proc` — RSS sampling via procfs for the serve fleet's
+  memory gauges.
+
+``repro.obs.timing`` additionally holds the offline timing harness
+(folded in from the old ``repro.metrics.timing``, which re-exports it);
+it is *not* imported here because it sits above the analysis engine,
+which itself instruments through :mod:`repro.obs.metrics` — import it
+explicitly as ``repro.obs.timing`` (or keep using ``repro.metrics``).
+
+The cardinal rule for new instrumentation (enforced by the ``obs``
+bench suite): **disabled mode must stay off the hot path** — gate every
+per-event or per-batch site on one cached attribute check and do
+nothing else when observability is off.
+"""
+
+from .logging import configure_logging, get_logger
+from .metrics import (
+    DEFAULT_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .proc import rss_bytes, sample_rss
+from .tracing import (
+    SCHEMA,
+    SpanExporter,
+    configure_tracing,
+    current_span,
+    read_spans,
+    shutdown_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "DEFAULT_NS_BUCKETS",
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanExporter",
+    "configure_logging",
+    "configure_tracing",
+    "current_span",
+    "get_logger",
+    "get_registry",
+    "read_spans",
+    "rss_bytes",
+    "sample_rss",
+    "shutdown_tracing",
+    "span",
+    "tracing_enabled",
+]

@@ -1,0 +1,96 @@
+"""Structured logging for the CLIs and the serve stack.
+
+A thin layer over :mod:`logging` with two shapes selected at the CLI:
+
+* human mode (default) — ``LEVEL name: message`` on stderr, terse;
+* ``--log-json`` — one JSON object per line (``ts``, ``level``,
+  ``logger``, ``message``, plus any ``extra`` fields), machine-parseable
+  alongside the span export of :mod:`repro.obs.tracing`.
+
+Every entry point calls :func:`configure_logging` exactly once (via
+:func:`repro.cli_util.configure_observability`); library code only ever
+does ``log = get_logger(__name__)`` and logs — whether anything is
+emitted, and in which shape, is the CLI's decision.  The default level
+is ``warning``, so library logging is silent in normal operation and in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional, TextIO
+
+#: The root of the package's logger namespace; every logger below hangs
+#: off it, so one handler configures the whole stack.
+ROOT_LOGGER = "repro"
+
+#: Accepted ``--log-level`` spellings.
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, ``extra`` fields carried through."""
+
+    #: LogRecord attributes that are plumbing, not payload.
+    _STANDARD = frozenset(
+        logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+    ) | {"message", "asctime", "taskName"}
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(time.time(), 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in self._STANDARD and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"), default=str)
+
+
+class HumanFormatter(logging.Formatter):
+    """Terse single-line human shape: ``LEVEL logger: message``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = f"{record.levelname.lower()} {record.name}: {record.getMessage()}"
+        if record.exc_info and record.exc_info[0] is not None:
+            base += "\n" + self.formatException(record.exc_info)
+        return base
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (module ``__name__`` works as-is)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: str = "warning",
+    json_mode: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """(Re)configure the package root logger; returns it.
+
+    Idempotent: repeated calls replace the previous handler rather than
+    stacking duplicates, so tests and long-lived embedders can
+    reconfigure freely.  Diagnostics go to stderr by default — stdout
+    stays reserved for the CLIs' machine-readable payloads.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LEVELS}")
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else HumanFormatter())
+    for existing in list(root.handlers):
+        root.removeHandler(existing)
+    root.addHandler(handler)
+    root.propagate = False
+    return root

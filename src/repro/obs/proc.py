@@ -1,0 +1,72 @@
+"""Process introspection: RSS sampling for the serve fleet's memory gauges.
+
+The serve pool monitor samples the parent and every worker process about
+once a second and publishes ``serve.pool.rss_bytes`` gauges; the
+``stats`` protocol op carries them to ``repro status --watch``, which is
+how memory growth of a long-lived fleet becomes visible *while it runs*
+(the prerequisite for the epoch-GC ROADMAP work — a memory ceiling you
+cannot see is not a ceiling).
+
+Linux exposes any process's RSS through ``/proc/<pid>/statm`` (free to
+read, no dependencies); other POSIX platforms can still report the
+*current* process via :func:`resource.getrusage`.  Where neither applies
+the samplers return ``None`` and the gauges simply stay unset — callers
+never need to branch on platform.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+try:  # pragma: no cover - platform probe
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (ValueError, OSError, AttributeError):  # pragma: no cover - non-POSIX
+    _PAGE_SIZE = 4096
+
+
+def rss_bytes(pid: Optional[int] = None) -> Optional[int]:
+    """Resident set size of ``pid`` (default: this process), or ``None``.
+
+    ``/proc/<pid>/statm`` column 2 is RSS in pages; a vanished pid (the
+    worker died between listing and sampling) reads as ``None``, not an
+    error — samplers race process exit by design.
+    """
+    target = pid if pid is not None else os.getpid()
+    try:
+        with open(f"/proc/{target}/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    if pid is None or pid == os.getpid():  # self-fallback without procfs
+        try:
+            import resource
+
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            # ru_maxrss is KiB on Linux, bytes on macOS; both are close
+            # enough for a gauge (and the /proc path wins on Linux).
+            scale = 1 if usage.ru_maxrss > 1 << 32 else 1024
+            return int(usage.ru_maxrss) * scale
+        except (ImportError, ValueError):  # pragma: no cover - minimal builds
+            return None
+    return None
+
+
+def sample_rss(
+    registry: MetricsRegistry,
+    pid: Optional[int] = None,
+    gauge: str = "proc.rss_bytes",
+    **labels: object,
+) -> Optional[int]:
+    """Sample one process's RSS into ``registry`` (no-op when unreadable).
+
+    Returns the sampled value so callers can reuse it without a second
+    procfs read.
+    """
+    value = rss_bytes(pid)
+    if value is not None:
+        registry.gauge(gauge, **labels).set(value)
+    return value

@@ -21,9 +21,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+import time
+from typing import Dict, Optional, Sequence
 
-from ..cli_util import make_say, package_version
+from ..cli_util import (
+    add_observability_args,
+    configure_observability,
+    make_say,
+    package_version,
+)
 from .client import ServeClient, ServeClientError
 from .protocol import DEFAULT_PORT
 from .server import serve
@@ -60,12 +66,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="per-job timeout; a job exceeding it is retried once on a fresh worker",
     )
     parser.add_argument("--shards", type=int, default=8, help="pending-queue shards")
+    add_observability_args(parser)
     return parser
 
 
 def main_serve(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``repro serve``; blocks until shutdown."""
     args = build_serve_parser().parse_args(argv)
+    configure_observability(args)
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
@@ -116,6 +124,7 @@ def build_submit_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=120.0, help="seconds to wait with --wait (default: 120)"
     )
     parser.add_argument("--json", action="store_true", help="emit the submission report as JSON on stdout")
+    add_observability_args(parser)
     return parser
 
 
@@ -126,6 +135,7 @@ def main_submit(argv: Optional[Sequence[str]] = None) -> int:
     1 = some job FAILED, 2 = connection/usage error.
     """
     args = build_submit_parser().parse_args(argv)
+    configure_observability(args)
     specs = args.spec if args.spec else ["shb+tc+detect"]
     say = make_say(args.json)
     failed_jobs = []
@@ -183,12 +193,89 @@ def build_status_parser() -> argparse.ArgumentParser:
     parser.add_argument("--detail", action="store_true", help="include the per-job list")
     parser.add_argument("--shutdown", action="store_true", help="ask the server to shut down")
     parser.add_argument("--json", action="store_true", help="emit the report as JSON on stdout")
+    parser.add_argument(
+        "--watch",
+        nargs="?",
+        const=2.0,
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="live dashboard: poll the 'stats' op and redraw every SECONDS "
+        "(default 2; Ctrl-C to stop)",
+    )
+    add_observability_args(parser)
     return parser
 
 
+def _format_bytes(value: object) -> str:
+    """``55.1MiB``-style rendering; ``-`` when the value is unknown."""
+    if not isinstance(value, (int, float)) or value <= 0:
+        return "-"
+    size = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024:
+            return f"{size:.1f}{unit}"
+        size /= 1024
+    return f"{size:.1f}TiB"
+
+
+def _render_stats(stats: Dict[str, object]) -> None:
+    """Print the operator view of one ``stats`` payload."""
+    queue = stats.get("queue", {})
+    throughput = stats.get("throughput", {})
+    pool = stats.get("pool", {})
+    print(
+        f"uptime {stats.get('uptime_seconds', 0):.1f}s  "
+        f"rss {_format_bytes(stats.get('rss_bytes'))}  "
+        f"queue {queue.get('depth', 0)}  inflight {stats.get('inflight', 0)}  "
+        f"results {stats.get('results', 0)}  "
+        f"throughput {throughput.get('jobs_per_second', 0):.2f} jobs/s"
+    )
+    print(
+        f"pool: {pool.get('jobs_done', 0)} done, {pool.get('jobs_failed', 0)} failed, "
+        f"{pool.get('crashes', 0)} crashes, {pool.get('timeouts', 0)} timeouts, "
+        f"{pool.get('retries', 0)} retries"
+    )
+    workers = stats.get("workers")
+    if workers:
+        print(f"{'  id':<6}{'pid':<9}{'alive':<7}{'jobs':<6}{'rss':<11}current")
+        for row in workers:
+            print(
+                f"  {row.get('worker_id', '?'):<4}"
+                f"{row.get('pid') or '-':<9}"
+                f"{'yes' if row.get('alive') else 'NO':<7}"
+                f"{row.get('jobs_done', 0):<6}"
+                f"{_format_bytes(row.get('rss_bytes')):<11}"
+                f"{row.get('current_task') or '-'}"
+            )
+
+
+def _watch_stats(client: ServeClient, address: str, interval: float, json_mode: bool) -> int:
+    """The ``--watch`` loop: poll ``stats`` and redraw until Ctrl-C."""
+    interval = max(0.05, interval)
+    try:
+        while True:
+            stats = client.stats(metrics=json_mode)
+            if json_mode:
+                # One compact JSON document per tick — a machine-tailable
+                # stream (`repro status addr --watch --json | jq ...`).
+                print(json.dumps(stats, separators=(",", ":")), flush=True)
+            else:
+                print(f"-- {address} at {time.strftime('%H:%M:%S')} --")
+                _render_stats(stats)
+                print(flush=True)
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def main_status(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of ``repro status``."""
+    """Entry point of ``repro status``.
+
+    Exit codes: 0 = reported, 2 = server unreachable / protocol error.
+    """
     args = build_status_parser().parse_args(argv)
+    configure_observability(args)
     say = make_say(args.json)
     try:
         with ServeClient.connect(args.address) as client:
@@ -198,8 +285,16 @@ def main_status(argv: Optional[Sequence[str]] = None) -> int:
                 if args.json:
                     print(json.dumps({"ok": True, "stopping": True}, indent=2))
                 return 0
+            if args.watch is not None:
+                return _watch_stats(client, args.address, args.watch, args.json)
             status = client.status(detail=args.detail)
             payload = {"status": status}
+            try:
+                payload["stats"] = client.stats()
+            except ServeClientError:
+                # Older server without the 'stats' op: the classic
+                # status report still works.
+                payload["stats"] = None
             if args.results is not None:
                 digest = args.results or None
                 payload["results"] = client.results(digest)
@@ -221,6 +316,15 @@ def main_status(argv: Optional[Sequence[str]] = None) -> int:
         f"{jobs['done']} done, {jobs['failed']} failed "
         f"(shard depths {scheduler['shards']})"
     )
+    if payload.get("stats"):
+        _render_stats(payload["stats"])
+    elif isinstance(scheduler.get("pool"), dict):
+        pool = scheduler["pool"]
+        print(
+            f"pool: {pool.get('jobs_done', 0)} done, {pool.get('jobs_failed', 0)} failed, "
+            f"{pool.get('crashes', 0)} crashes, {pool.get('timeouts', 0)} timeouts, "
+            f"{pool.get('retries', 0)} retries"
+        )
     if args.detail:
         for job in scheduler.get("job_list", []):
             error = f" error={job['error']}" if job.get("error") else ""

@@ -106,6 +106,16 @@ class ServeClient:
             request["jobs"] = list(jobs)
         return self.request(request)
 
+    def stats(self, metrics: bool = True) -> Dict[str, object]:
+        """The server's runtime-introspection payload (the ``stats`` op).
+
+        Returns the ``stats`` object: uptime, queue/shard depths,
+        per-worker rows, pool supervision tallies, throughput, and (with
+        ``metrics=True``) the metrics-registry snapshot.
+        """
+        response = self.request({"op": "stats", "metrics": metrics})
+        return response["stats"]  # type: ignore[return-value]
+
     def results(self, digest: Optional[str] = None) -> Dict[str, Dict[str, object]]:
         request: Dict[str, object] = {"op": "results"}
         if digest is not None:

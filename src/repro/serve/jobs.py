@@ -328,6 +328,10 @@ class Scheduler:
             "inflight": self._inflight,
             "workers": self.pool.alive_workers,
             "results": len(self.results),
+            # Supervision history: visible retries/crashes/timeouts were
+            # previously swallowed by the retry-once policy — a task that
+            # crashed and then succeeded looked identical to a clean run.
+            "pool": self.pool.counters(),
         }
         if job_ids is not None:
             with self._lock:

@@ -47,6 +47,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import proc as obs_proc
+
 #: A task is attempted at most this many times (first run + one retry).
 MAX_ATTEMPTS = 2
 
@@ -147,6 +150,7 @@ class _WorkerState:
     process: multiprocessing.process.BaseProcess
     inbox: "multiprocessing.Queue"
     current_task: Optional[str] = None
+    jobs_done: int = 0
 
 
 class WorkerPool:
@@ -194,6 +198,21 @@ class WorkerPool:
         self._monitor: Optional[threading.Thread] = None
         self._stopping = False
         self._started = False
+        # Supervision tallies — plain ints, always on (the ``serve
+        # status`` surface depends on them regardless of whether the
+        # metrics registry is enabled).  Guarded by self._lock.
+        self._counters: Dict[str, int] = {
+            "jobs_done": 0,
+            "jobs_failed": 0,
+            "crashes": 0,
+            "timeouts": 0,
+            "retries": 0,
+        }
+        # Metrics registry binding of the current run (None = disabled);
+        # bound once at start() so supervision paths pay one check.
+        self._obs: Optional[obs_metrics.MetricsRegistry] = None
+        self._rss_sample_interval = 1.0
+        self._last_rss_sample = 0.0
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -205,6 +224,8 @@ class WorkerPool:
         """
         if self._started:
             return self
+        registry = obs_metrics.get_registry()
+        self._obs = registry if registry.enabled else None
         self._result_queue = self._context.Queue()
         with self._lock:
             self._stopping = False
@@ -347,6 +368,66 @@ class WorkerPool:
         with self._lock:
             return sum(1 for state in self._workers.values() if state.process.is_alive())
 
+    def counters(self) -> Dict[str, int]:
+        """Supervision tallies since construction: ``jobs_done`` /
+        ``jobs_failed`` / ``crashes`` / ``timeouts`` / ``retries``.
+
+        Always maintained (no registry needed) — this is what
+        ``repro serve status`` renders, so a crashed-and-retried task is
+        visible even on a server that never enabled metrics.
+        """
+        with self._lock:
+            return dict(self._counters)
+
+    def worker_stats(self) -> List[Dict[str, object]]:
+        """One row per live worker: id, pid, liveness, current task, jobs done."""
+        with self._lock:
+            return [
+                {
+                    "worker_id": worker_id,
+                    "pid": state.process.pid,
+                    "alive": state.process.is_alive(),
+                    "current_task": state.current_task,
+                    "jobs_done": state.jobs_done,
+                }
+                for worker_id, state in sorted(self._workers.items())
+            ]
+
+    def _bump_obs_counter(self, outcome: str) -> None:
+        """Mirror one supervision event into the metrics registry (if enabled)."""
+        obs = self._obs
+        if obs is not None:
+            obs.counter("pool.tasks", outcome=outcome).inc()
+
+    def _sample_obs(self) -> None:
+        """~1 Hz registry gauges: fleet size, in-flight tasks, per-worker RSS.
+
+        Runs on the monitor thread between supervision sweeps; when the
+        registry is disabled this is one attribute check per poll tick.
+        """
+        obs = self._obs
+        if obs is None:
+            return
+        now = time.monotonic()
+        if now - self._last_rss_sample < self._rss_sample_interval:
+            return
+        self._last_rss_sample = now
+        with self._lock:
+            backlog = len(self._backlog)
+            inflight = len(self._tasks)
+            rows = [
+                (worker_id, state.process.pid, state.process.is_alive())
+                for worker_id, state in self._workers.items()
+            ]
+        obs.gauge("pool.backlog").set(backlog)
+        obs.gauge("pool.inflight").set(inflight)
+        obs.gauge("pool.workers_alive").set(sum(1 for _, _, alive in rows if alive))
+        for worker_id, pid, alive in rows:
+            if alive and pid is not None:
+                obs_proc.sample_rss(
+                    obs, pid=pid, gauge="pool.worker_rss_bytes", worker=str(worker_id)
+                )
+
     # -- supervision -------------------------------------------------------------------
 
     def _assign_work_locked(self) -> None:
@@ -391,6 +472,7 @@ class WorkerPool:
             self._check_workers()
             self._check_timeouts()
             self._fire_callbacks()
+            self._sample_obs()
 
     def _handle_message(self, message: Tuple) -> None:
         kind, worker_id, task_id, body = message
@@ -403,10 +485,15 @@ class WorkerPool:
                 self._assign_work_locked()
                 return
             if kind == "done":
+                self._counters["jobs_done"] += 1
+                if worker is not None:
+                    worker.jobs_done += 1
                 self._finish_locked(task_id, body, None)
             else:
                 # A Python exception is deterministic: no retry.
+                self._counters["jobs_failed"] += 1
                 self._finish_locked(task_id, None, body)
+            self._bump_obs_counter("done" if kind == "done" else "failed")
             self._assign_work_locked()
 
     def _check_workers(self) -> None:
@@ -416,6 +503,11 @@ class WorkerPool:
                     continue
                 orphaned = worker.current_task
                 del self._workers[worker_id]
+                if not self._stopping:
+                    # Any death outside shutdown is a crash (sentinel
+                    # exits only happen while stopping).
+                    self._counters["crashes"] += 1
+                    self._bump_obs_counter("crash")
                 if orphaned is not None:
                     self._retry_or_fail_locked(
                         orphaned,
@@ -447,6 +539,8 @@ class WorkerPool:
                         worker.process.join(1.0)
                     if not self._stopping:
                         self._spawn_worker_locked()
+                self._counters["timeouts"] += 1
+                self._bump_obs_counter("timeout")
                 self._retry_or_fail_locked(
                     task_id, f"task timed out after {self.task_timeout}s"
                 )
@@ -461,8 +555,12 @@ class WorkerPool:
         # During shutdown there is no fleet left to retry on — requeueing
         # would strand the task and keep the monitor alive forever.
         if state.attempts < MAX_ATTEMPTS and not self._stopping:
+            self._counters["retries"] += 1
+            self._bump_obs_counter("retry")
             self._backlog.append(state.task)
             return
+        self._counters["jobs_failed"] += 1
+        self._bump_obs_counter("failed")
         self._finish_locked(task_id, None, error)
 
     def _finish_locked(self, task_id: str, payload: Optional[Dict[str, object]], error: Optional[str]) -> None:

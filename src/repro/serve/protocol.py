@@ -18,6 +18,13 @@ handlers):
     the corpus, and one job per ``specs`` entry is queued.
 ``status`` / ``results``
     Scheduler counts / finished (trace × spec) payloads.
+``stats``
+    Runtime introspection for operators: uptime, queue depth per shard,
+    per-worker liveness/RSS/jobs-done, pool supervision tallies
+    (crashes, timeouts, retries), throughput, and — unless the request
+    carries ``metrics=false`` — a full snapshot of the server's metrics
+    registry (:mod:`repro.obs.metrics`).  This is what
+    ``repro serve status --watch`` polls.
 ``stream_begin`` / ``feed`` / ``stream_end``
     Streaming ingest: events arrive as STD lines (``line`` or a batched
     ``lines`` list), are fed into an incremental session while the

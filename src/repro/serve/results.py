@@ -51,7 +51,10 @@ class ResultsStore:
         self._results: Dict[str, Dict[str, object]] = {}
         self._lock = threading.RLock()
         self._dirty = False
-        self._last_save_monotonic = 0.0
+        # -inf, not 0.0: time.monotonic() counts from an arbitrary epoch
+        # (boot, on Linux), so on a freshly booted machine 0.0 would make
+        # the first record() look recent and throttle the initial save.
+        self._last_save_monotonic = float("-inf")
         if self.path is not None and self.path.exists():
             self._load()
 

@@ -38,6 +38,9 @@ from ..analysis.result import Race
 from ..api import QueueSource, Session
 from ..api.spec import coerce_spec
 from ..cli_util import package_version
+from ..obs import metrics as obs_metrics
+from ..obs import proc as obs_proc
+from ..obs.logging import get_logger
 from ..trace.event import Event
 from ..trace.io import StdParser, TraceFormatError, iter_csv, iter_std, std_line
 from .corpus import CorpusError, TraceCorpus
@@ -51,6 +54,8 @@ from .protocol import (
     write_message,
 )
 from .results import ResultsStore
+
+log = get_logger("serve")
 
 
 class _StreamState:
@@ -252,7 +257,13 @@ class ServeHandler(socketserver.StreamRequestHandler):
                 except (CorpusError, TraceFormatError, ValueError) as error:
                     response = error_response(str(error))
                 except Exception as error:  # noqa: BLE001 - keep the server alive
+                    log.warning("internal error handling %r: %s", op, error)
                     response = error_response(f"internal error: {type(error).__name__}: {error}")
+            registry = self.server.obs_registry
+            if registry is not None:
+                registry.counter("server.requests", op=str(op)).inc()
+                if not response.get("ok"):
+                    registry.counter("server.errors", op=str(op)).inc()
             try:
                 write_message(self.wfile, response)
             except (ConnectionError, OSError):
@@ -290,6 +301,46 @@ class ServeHandler(socketserver.StreamRequestHandler):
                 job_ids=[str(job_id) for job_id in job_ids] if job_ids is not None else None,
             ),
         )
+
+    def _op_stats(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Runtime introspection: queue, fleet, throughput, metrics snapshot.
+
+        The live-dashboard op behind ``repro serve status --watch``.
+        ``status`` stays the job-lifecycle view (what happened to *my*
+        submission); ``stats`` is the operator view (how is the service
+        doing) — queue depth per shard, per-worker liveness/RSS/jobs,
+        supervision tallies, request counters and, unless
+        ``metrics=false``, the full metrics-registry snapshot.
+        """
+        server = self.server
+        scheduler = server.scheduler
+        uptime = max(time.time() - server.started_unix, 1e-9)
+        pool_counters = scheduler.pool.counters()
+        shard_depths = scheduler.queue.depths()
+        workers = scheduler.pool.worker_stats()
+        for row in workers:
+            pid = row.get("pid")
+            row["rss_bytes"] = (
+                obs_proc.rss_bytes(int(pid)) if row.get("alive") and pid else None
+            )
+        stats: Dict[str, object] = {
+            "uptime_seconds": round(uptime, 3),
+            "pid": os.getpid(),
+            "rss_bytes": obs_proc.rss_bytes(),
+            "queue": {"depth": sum(shard_depths), "shards": shard_depths},
+            "jobs": scheduler.counts(),
+            "inflight": scheduler.pool.inflight,
+            "results": len(server.results),
+            "pool": pool_counters,
+            "workers": workers,
+            "throughput": {
+                "jobs_done": pool_counters["jobs_done"],
+                "jobs_per_second": round(pool_counters["jobs_done"] / uptime, 6),
+            },
+        }
+        if bool(request.get("metrics", True)):
+            stats["metrics"] = obs_metrics.get_registry().snapshot()
+        return ok_response(proto=PROTOCOL, stats=stats)
 
     def _op_results(self, request: Dict[str, object]) -> Dict[str, object]:
         digest = request.get("digest")
@@ -450,6 +501,14 @@ class TraceServer(socketserver.ThreadingTCPServer):
         task_timeout: Optional[float] = None,
         num_shards: int = 8,
     ) -> None:
+        # The server process is long-lived and its request rate is tiny
+        # next to the analysis work, so it runs with metrics on; worker
+        # processes are separate and keep their registries disabled,
+        # leaving the analysis hot path untouched.
+        registry = obs_metrics.get_registry()
+        self._registry_was_enabled = registry.enabled
+        registry.enable()
+        self.obs_registry: Optional[obs_metrics.MetricsRegistry] = registry
         self.corpus = TraceCorpus(corpus_dir)
         self.results = ResultsStore(self.corpus.root / "results.json")
         self.scheduler = Scheduler(
@@ -470,6 +529,13 @@ class TraceServer(socketserver.ThreadingTCPServer):
         except BaseException:
             self.scheduler.close(timeout=2.0)
             raise
+        log.info(
+            "listening on %s:%d (%d workers, corpus %s)",
+            self.address[0],
+            self.address[1],
+            workers,
+            self.corpus.root,
+        )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -493,6 +559,12 @@ class TraceServer(socketserver.ThreadingTCPServer):
             self.shutdown()
         self.scheduler.close(timeout=timeout)
         self.server_close()
+        log.info("server on %s:%d closed", self.address[0], self.address[1])
+        # Restore the registry's pre-server state so an in-process
+        # embedder (the tests, notebooks) doesn't come out of a server
+        # run with global metrics silently switched on.
+        if self.obs_registry is not None and not self._registry_was_enabled:
+            self.obs_registry.disable()
 
 
 def serve(

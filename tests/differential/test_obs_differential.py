@@ -1,0 +1,102 @@
+"""Differential check: observability never changes analysis results.
+
+Metrics and spans are only allowed to change *cost*, never output: the
+same trace walked with the default registry disabled, enabled, and
+enabled with span export active must produce bit-identical results —
+per-event vector timestamps, race records in order, detection counts,
+work counters.  An instrumentation site that mutates walk state (or
+reorders per-spec work to batch its own bookkeeping) fails here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session, TraceSource
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from util_traces import make_random_trace
+
+#: The evaluation spec matrix driven both ways (detect variants carry
+#: the race sets; timestamp variants carry the per-event clocks).
+SPECS = ["hb+tc+detect+timestamps", "hb+vc+detect", "shb+tc+detect", "maz+vc"]
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Restore the process-global obs state around every test."""
+    registry = obs_metrics.get_registry()
+    was_enabled = registry.enabled
+    obs_tracing.shutdown_tracing()
+    yield
+    registry.enabled = was_enabled
+    registry.reset()
+    obs_tracing.shutdown_tracing()
+
+
+def _walk(trace):
+    session = Session(SPECS)
+    return session.run(TraceSource(trace))
+
+
+def _observables(session_result):
+    """Everything a user can read from one walk, in comparable form."""
+    out = {}
+    for key, result in session_result.results.items():
+        races = None
+        if result.detection is not None:
+            races = [race.pair() for race in result.detection.races]
+        out[key] = {
+            "events": session_result.num_events,
+            "timestamps": (
+                [str(ts) for ts in result.timestamps]
+                if result.timestamps is not None
+                else None
+            ),
+            "races": races,
+            "work": result.work.as_row() if result.work is not None else None,
+        }
+    return out
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_results_identical_with_obs_disabled_enabled_and_traced(seed, tmp_path):
+    trace = make_random_trace(seed=seed, num_threads=8, num_locks=3, num_events=300)
+    registry = obs_metrics.get_registry()
+
+    registry.disable()
+    baseline = _observables(_walk(trace))
+
+    registry.enable()
+    with_metrics = _observables(_walk(trace))
+
+    obs_tracing.configure_tracing(tmp_path / "spans.jsonl")
+    with_spans = _observables(_walk(trace))
+    obs_tracing.shutdown_tracing()
+
+    assert with_metrics == baseline
+    assert with_spans == baseline
+
+
+def test_enabled_walk_actually_recorded_metrics():
+    """Guard the guard: the enabled leg must not silently skip recording
+    (otherwise the differential above would pass vacuously)."""
+    trace = make_random_trace(seed=5, num_threads=4, num_locks=2, num_events=200)
+    registry = obs_metrics.get_registry()
+    registry.enable()
+    _walk(trace)
+    snapshot = registry.snapshot()
+    fed = [v for k, v in snapshot.items() if k.startswith("session.events_fed")]
+    assert fed and all(entry["value"] == len(trace) for entry in fed)
+    assert any(k.startswith("engine.runs") for k in snapshot)
+
+
+def test_span_export_covers_the_walk(tmp_path):
+    trace = make_random_trace(seed=9, num_threads=4, num_locks=2, num_events=150)
+    obs_tracing.configure_tracing(tmp_path / "spans.jsonl")
+    result = _walk(trace)
+    obs_tracing.shutdown_tracing()
+    records = obs_tracing.read_spans(tmp_path / "spans.jsonl")
+    roots = [r for r in records if r["name"] == "session.run"]
+    assert len(roots) == 1
+    assert roots[0]["attrs"]["events"] == result.num_events

@@ -44,6 +44,16 @@ class TestExamples:
         assert completed.returncode == 0, completed.stderr
         assert "violations observed: 0" in completed.stdout
 
+    def test_serve_observed_example_runs(self):
+        completed = run_example(
+            "serve_observed.py", "--events", "600", "--threads", "4", "--workers", "2"
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "live service stats" in completed.stdout
+        assert "jobs/s" in completed.stdout
+        assert "all jobs completed: True" in completed.stdout
+        assert "pool.tasks{outcome=done}: 8" in completed.stdout
+
     def test_serve_batch_corpus_example_runs(self):
         completed = run_example(
             "serve_batch_corpus.py", "--events", "600", "--threads", "4", "--workers", "2"

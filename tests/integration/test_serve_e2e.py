@@ -405,3 +405,73 @@ class TestPoolTimeoutEndToEnd:
             assert pool.alive_workers == 1  # replacement worker is up
         finally:
             pool.terminate()
+
+
+class TestStatsRoundTrip:
+    """The ``stats`` protocol op: live operator metrics over the wire."""
+
+    def test_stats_reports_queue_fleet_and_throughput(self, tmp_path, trace_files):
+        server = TraceServer(("127.0.0.1", 0), tmp_path / "corpus", workers=2)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.address
+        try:
+            with ServeClient(host, port) as client:
+                for path in trace_files:
+                    client.submit_file(path, SPECS)
+                client.wait_idle(timeout=120)
+                stats = client.stats()
+
+                expected_done = len(trace_files) * len(SPECS)
+                assert stats["uptime_seconds"] > 0
+                assert stats["queue"]["depth"] == 0
+                assert sum(stats["queue"]["shards"]) == 0
+                assert stats["inflight"] == 0
+                assert stats["jobs"]["done"] == expected_done
+                assert stats["results"] == expected_done
+                assert stats["pool"]["jobs_done"] == expected_done
+                assert stats["pool"]["crashes"] == 0
+                assert stats["throughput"]["jobs_done"] == expected_done
+                assert stats["throughput"]["jobs_per_second"] > 0
+
+                workers = stats["workers"]
+                assert len(workers) == 2 and all(row["alive"] for row in workers)
+                assert sum(row["jobs_done"] for row in workers) == expected_done
+                # RSS gauges: procfs is available on the CI platform
+                assert all(row["rss_bytes"] > 0 for row in workers)
+                assert stats["rss_bytes"] > 0
+
+                # The server process enables the default registry, so the
+                # snapshot rides along unless explicitly declined.
+                snapshot = stats["metrics"]
+                assert any(key.startswith("server.requests") for key in snapshot)
+                assert "metrics" not in client.stats(metrics=False)
+        finally:
+            server.close()
+
+    def test_status_cli_renders_stats(self, tmp_path, trace_files, capsys):
+        server = TraceServer(("127.0.0.1", 0), tmp_path / "corpus", workers=1)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.address
+        address = f"{host}:{port}"
+        try:
+            assert main_submit([address, str(trace_files[0]), "--spec", "hb+tc+detect", "--wait"]) == 0
+            capsys.readouterr()
+            assert main_status([address, "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["stats"]["pool"]["jobs_done"] == 1
+            assert payload["stats"]["queue"]["depth"] == 0
+
+            # Human mode renders the live stats block (crash/retry tallies
+            # included — the supervision counters must reach the operator).
+            assert main_status([address]) == 0
+            rendered = capsys.readouterr().out
+            assert "jobs/s" in rendered
+            assert "crashes" in rendered
+        finally:
+            server.close()
+
+    def test_status_cli_exits_nonzero_when_unreachable(self, capsys):
+        # A dead server must be an error (exit 2), not an empty report.
+        assert main_status(["127.0.0.1:1", "--json"]) == 2
+        err = capsys.readouterr().err
+        assert err != ""

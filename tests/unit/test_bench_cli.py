@@ -74,14 +74,17 @@ class TestKernels:
 
 class TestSuites:
     def test_suite_names_are_stable(self):
-        assert suite_names() == ["clocks", "pipeline", "serve", "session"]
+        assert suite_names() == ["clocks", "obs", "pipeline", "serve", "session"]
 
     def test_case_names_are_unique_and_stable(self):
         for suite in suite_names():
             cases = suite_cases(suite, events=100)
             names = [case.name for case in cases]
             assert len(names) == len(set(names))
-            assert all(name.startswith(("clock_ops/", "session/", "serve/", "pipeline/")) for name in names)
+            assert all(
+                name.startswith(("clock_ops/", "session/", "serve/", "pipeline/", "obs/"))
+                for name in names
+            )
 
     def test_unknown_suite_raises(self):
         with pytest.raises(KeyError, match="unknown benchmark suite"):

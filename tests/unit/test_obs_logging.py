@@ -1,0 +1,111 @@
+"""Unit tests for structured logging and process introspection
+(:mod:`repro.obs.logging`, :mod:`repro.obs.proc`)."""
+
+import io
+import json
+import logging
+import os
+
+import pytest
+
+from repro.obs.logging import (
+    LEVELS,
+    ROOT_LOGGER,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.proc import rss_bytes, sample_rss
+
+
+@pytest.fixture(autouse=True)
+def restore_root_logger():
+    """Leave the package root logger unconfigured after each test."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestGetLogger:
+    def test_namespaces_bare_names(self):
+        assert get_logger("serve").name == "repro.serve"
+
+    def test_keeps_package_qualified_names(self):
+        assert get_logger("repro.serve.pool").name == "repro.serve.pool"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigureLogging:
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="chatty")
+        assert "warning" in LEVELS
+
+    def test_human_mode_shape(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        get_logger("serve").info("listening on %s", "127.0.0.1:7341")
+        assert stream.getvalue() == "info repro.serve: listening on 127.0.0.1:7341\n"
+
+    def test_json_mode_carries_extra_fields(self):
+        stream = io.StringIO()
+        configure_logging(level="info", json_mode=True, stream=stream)
+        get_logger("serve").info("job done", extra={"job_id": 7, "spec": "hb+tc"})
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.serve"
+        assert record["message"] == "job done"
+        assert record["job_id"] == 7 and record["spec"] == "hb+tc"
+        assert isinstance(record["ts"], float)
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging(level="error", stream=stream)
+        get_logger("serve").warning("dropped")
+        assert stream.getvalue() == ""
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        configure_logging(level="info", stream=stream)
+        get_logger("x").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_json_mode_records_exceptions(self):
+        stream = io.StringIO()
+        configure_logging(level="error", json_mode=True, stream=stream)
+        try:
+            raise ValueError("bad")
+        except ValueError:
+            get_logger("serve").exception("handler failed")
+        record = json.loads(stream.getvalue())
+        assert "ValueError: bad" in record["exception"]
+
+
+class TestProc:
+    def test_rss_of_this_process_is_positive(self):
+        value = rss_bytes()
+        assert value is not None and value > 0
+
+    def test_rss_of_vanished_pid_is_none(self):
+        # A pid beyond pid_max never exists; the sampler must not raise.
+        assert rss_bytes(2**31 - 1) is None
+
+    def test_sample_rss_sets_the_gauge(self):
+        registry = MetricsRegistry(enabled=True)
+        value = sample_rss(registry, gauge="pool.worker_rss_bytes", worker="0")
+        assert value is not None
+        gauge = registry.get("pool.worker_rss_bytes", worker="0")
+        assert gauge is not None and gauge.value == value
+
+    def test_sample_rss_of_vanished_pid_leaves_gauge_unset(self):
+        registry = MetricsRegistry(enabled=True)
+        assert sample_rss(registry, pid=2**31 - 1, gauge="g") is None
+        assert registry.get("g") is None
+
+    def test_explicit_self_pid_matches_default(self):
+        ours = rss_bytes(os.getpid())
+        assert ours is not None and ours > 0

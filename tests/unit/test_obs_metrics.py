@@ -1,0 +1,208 @@
+"""Unit tests for the metrics registry (:mod:`repro.obs.metrics`)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_NS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    instrument_key,
+)
+from repro.obs import metrics as obs_metrics
+
+
+class TestInstrumentKey:
+    def test_bare_name(self):
+        assert instrument_key("a.b", {}) == "a.b"
+
+    def test_labels_are_sorted(self):
+        assert instrument_key("n", {"b": 2, "a": 1}) == "n{a=1,b=2}"
+
+    def test_same_labels_same_key(self):
+        assert instrument_key("n", {"x": 1, "y": 2}) == instrument_key("n", {"y": 2, "x": 1})
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_as_dict_shape(self):
+        counter = Counter("c", {"spec": "hb+tc"})
+        counter.inc(2)
+        payload = counter.as_dict()
+        assert payload == {
+            "type": "counter",
+            "name": "c",
+            "value": 2,
+            "labels": {"spec": "hb+tc"},
+        }
+
+    def test_thread_hammer_totals_are_exact(self):
+        counter = Counter("hammer")
+        threads = 8
+        per_thread = 5000
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == threads * per_thread
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+    def test_as_dict_shape(self):
+        gauge = Gauge("g")
+        gauge.set(2.5)
+        assert gauge.as_dict() == {"type": "gauge", "name": "g", "value": 2.5}
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(10, 1))
+
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("h", buckets=(10, 100))
+        histogram.observe(5)
+        histogram.observe(50)
+        histogram.observe(500)  # overflow slot
+        payload = histogram.as_dict()
+        assert payload["counts"] == [1, 1, 1]
+        assert payload["count"] == 3
+        assert payload["sum_ns"] == 555
+        assert payload["min_ns"] == 5
+        assert payload["max_ns"] == 500
+        assert payload["mean_ns"] == pytest.approx(185.0)
+
+    def test_bucket_bounds_are_inclusive(self):
+        histogram = Histogram("h", buckets=(10, 100))
+        histogram.observe(10)
+        assert histogram.as_dict()["counts"] == [1, 0, 0]
+
+    def test_empty_histogram_snapshot(self):
+        payload = Histogram("h").as_dict()
+        assert payload["count"] == 0
+        assert payload["mean_ns"] == 0.0
+        assert payload["min_ns"] is None and payload["max_ns"] is None
+
+    def test_default_buckets_are_ascending_ns_decades(self):
+        assert list(DEFAULT_NS_BUCKETS) == sorted(DEFAULT_NS_BUCKETS)
+        assert DEFAULT_NS_BUCKETS[0] == 1_000
+
+    def test_thread_hammer_count_and_sum_exact(self):
+        histogram = Histogram("h")
+        threads, per_thread = 8, 2000
+
+        def work():
+            for value in range(per_thread):
+                histogram.observe(value)
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert histogram.count == threads * per_thread
+        assert histogram.sum == threads * sum(range(per_thread))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.counter("c", w=1) is registry.counter("c", w=1)
+        assert registry.counter("c") is not registry.counter("c", w=1)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_enable_disable_chain(self):
+        registry = MetricsRegistry()
+        assert not registry.enabled
+        assert registry.enable() is registry
+        assert registry.enabled
+        assert registry.disable() is registry
+        assert not registry.enabled
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.names() == []
+        assert registry.counter("c").value == 0
+
+    def test_snapshot_is_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs", worker=1).inc(3)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat").observe(123)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"jobs{worker=1}", "depth", "lat"}
+        assert snapshot["jobs{worker=1}"]["value"] == 3
+        assert snapshot["depth"]["value"] == 7
+        assert snapshot["lat"]["count"] == 1
+
+    def test_get_returns_registered_or_none(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", spec="hb")
+        assert registry.get("c", spec="hb") is counter
+        assert registry.get("missing") is None
+
+    def test_concurrent_get_or_create_single_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            seen.append(registry.counter("racy"))
+
+        workers = [threading.Thread(target=work) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert len(set(map(id, seen))) == 1
+
+
+class TestDefaultRegistry:
+    def test_module_helpers_target_default_registry(self):
+        registry = get_registry()
+        was_enabled = registry.enabled
+        try:
+            obs_metrics.enable()
+            assert obs_metrics.enabled() and registry.enabled
+            obs_metrics.disable()
+            assert not obs_metrics.enabled() and not registry.enabled
+        finally:
+            registry.enabled = was_enabled
+
+    def test_default_registry_starts_disabled(self):
+        # The process-global contract: nothing records unless opted in.
+        # (Other tests must restore the flag, so this also guards leaks.)
+        assert not get_registry().enabled

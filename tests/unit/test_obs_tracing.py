@@ -1,0 +1,160 @@
+"""Unit tests for spans and the JSON-lines exporter (:mod:`repro.obs.tracing`)."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import (
+    SCHEMA,
+    configure_tracing,
+    current_span,
+    iter_spans,
+    read_spans,
+    shutdown_tracing,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing_state():
+    """Every test starts and ends with tracing disabled."""
+    shutdown_tracing()
+    yield
+    shutdown_tracing()
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_shared_noop(self):
+        assert not tracing_enabled()
+        first, second = span("a"), span("b")
+        assert first is second  # the shared no-op, not fresh objects
+
+    def test_noop_supports_the_span_protocol(self):
+        with span("a", x=1) as live:
+            live.set(y=2)
+        assert current_span() is None
+
+
+class TestSpanExport:
+    def test_round_trip_through_a_file(self, tmp_path):
+        target = tmp_path / "spans.jsonl"
+        configure_tracing(target)
+        with span("outer", trace="demo") as outer:
+            with span("inner", batch=1):
+                pass
+            outer.set(events=42)
+        shutdown_tracing()
+
+        records = read_spans(target)
+        assert [r["name"] for r in records] == ["inner", "outer"]  # exported on exit
+        inner, outer = records
+        assert all(r["schema"] == SCHEMA for r in records)
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert outer["attrs"] == {"trace": "demo", "events": 42}
+        assert inner["dur_ns"] >= 0
+        assert outer["dur_ns"] >= inner["dur_ns"]
+
+    def test_exports_to_an_open_stream(self):
+        buffer = io.StringIO()
+        configure_tracing(buffer)
+        with span("s"):
+            pass
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert len(lines) == 1 and lines[0]["name"] == "s"
+
+    def test_error_spans_record_the_exception(self, tmp_path):
+        target = tmp_path / "spans.jsonl"
+        configure_tracing(target)
+        with pytest.raises(RuntimeError):
+            with span("failing"):
+                raise RuntimeError("boom")
+        shutdown_tracing()
+        (record,) = read_spans(target)
+        assert record["error"] == "RuntimeError: boom"
+
+    def test_shutdown_is_idempotent_and_disables(self, tmp_path):
+        configure_tracing(tmp_path / "spans.jsonl")
+        assert tracing_enabled()
+        shutdown_tracing()
+        shutdown_tracing()
+        assert not tracing_enabled()
+
+    def test_reconfigure_replaces_the_exporter(self, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        configure_tracing(first)
+        with span("one"):
+            pass
+        configure_tracing(second)
+        with span("two"):
+            pass
+        shutdown_tracing()
+        assert [r["name"] for r in read_spans(first)] == ["one"]
+        assert [r["name"] for r in read_spans(second)] == ["two"]
+
+
+class TestNesting:
+    def test_current_span_tracks_the_innermost(self, tmp_path):
+        configure_tracing(tmp_path / "spans.jsonl")
+        assert current_span() is None
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_sibling_threads_get_independent_parents(self, tmp_path):
+        target = tmp_path / "spans.jsonl"
+        configure_tracing(target)
+        ready = threading.Barrier(2)
+
+        def walk(label):
+            ready.wait()
+            with span("root", label=label):
+                with span("child", label=label):
+                    pass
+
+        threads = [threading.Thread(target=walk, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        shutdown_tracing()
+
+        records = read_spans(target)
+        roots = {r["attrs"]["label"]: r for r in records if r["name"] == "root"}
+        children = [r for r in records if r["name"] == "child"]
+        assert len(roots) == 2 and len(children) == 2
+        for child in children:
+            # Each child must nest under its own thread's root, never the
+            # sibling's — this is what contextvars buys over a global.
+            assert child["parent_id"] == roots[child["attrs"]["label"]]["span_id"]
+
+
+class TestReadSpans:
+    def test_rejects_non_schema_lines(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text('{"schema":"other/1"}\n')
+        with pytest.raises(ValueError, match="not a"):
+            read_spans(target)
+
+    def test_rejects_invalid_json(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_spans(target)
+
+    def test_skips_blank_lines(self, tmp_path):
+        target = tmp_path / "spans.jsonl"
+        configure_tracing(target)
+        with span("s"):
+            pass
+        shutdown_tracing()
+        with open(target, "a") as handle:
+            handle.write("\n")
+        assert len(list(iter_spans(target))) == 1

@@ -160,6 +160,83 @@ class TestWorkerPool:
             WorkerPool(workers=0)
 
 
+class TestPoolCounters:
+    """The supervision tallies behind ``repro serve status`` — always on,
+    registry or not (the bugfix: retries/crashes/timeouts used to be
+    swallowed by the retry machinery and never surfaced)."""
+
+    def test_clean_batch_counts_jobs_done(self, trace_file):
+        pool = WorkerPool(workers=2).start()
+        try:
+            pool.run_batch(
+                [
+                    WorkerTask(task_id=spec, trace_path=str(trace_file), spec=spec)
+                    for spec in ("hb+tc", "hb+vc", "shb+tc")
+                ],
+                timeout=60,
+            )
+            counters = pool.counters()
+            assert counters["jobs_done"] == 3
+            assert counters["crashes"] == 0 and counters["retries"] == 0
+            assert counters["timeouts"] == 0 and counters["jobs_failed"] == 0
+            stats = pool.worker_stats()
+            assert sum(row["jobs_done"] for row in stats) == 3
+            assert all(row["alive"] for row in stats)
+            assert all(row["current_task"] is None for row in stats)
+        finally:
+            assert pool.close(timeout=10)
+
+    def test_crash_retry_and_terminal_failure_are_counted(self, trace_file):
+        pool = WorkerPool(workers=2).start()
+        try:
+            pool.run_batch(
+                [
+                    WorkerTask(task_id="ok", trace_path=str(trace_file), spec="hb+tc"),
+                    WorkerTask(
+                        task_id="boom", trace_path=str(trace_file), spec="hb+tc", fault="exit"
+                    ),
+                ],
+                timeout=60,
+            )
+            counters = pool.counters()
+            # fault="exit" crashes on both attempts: retried once, then
+            # failed terminally.  The clean task completes normally.
+            assert counters["jobs_done"] == 1
+            assert counters["crashes"] == 2
+            assert counters["retries"] == 1
+            assert counters["jobs_failed"] == 1
+        finally:
+            assert pool.close(timeout=10)
+
+    def test_deterministic_exception_counts_failed_without_retry(self, tmp_path):
+        pool = WorkerPool(workers=1).start()
+        try:
+            pool.run_batch(
+                [WorkerTask(task_id="gone", trace_path=str(tmp_path / "nope.std"), spec="hb+tc")],
+                timeout=60,
+            )
+            counters = pool.counters()
+            assert counters["jobs_failed"] == 1
+            assert counters["retries"] == 0 and counters["crashes"] == 0
+        finally:
+            assert pool.close(timeout=10)
+
+    def test_status_snapshot_carries_pool_counters(self, tmp_path, racy_trace):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        entry, _ = corpus.ingest(racy_trace)
+        scheduler = Scheduler(corpus, ResultsStore(), workers=1).start()
+        try:
+            scheduler.submit(entry.digest, ["hb+tc"])
+            assert scheduler.wait_idle(timeout=60)
+            snapshot = scheduler.status_snapshot()
+            assert snapshot["pool"]["jobs_done"] == 1
+            assert set(snapshot["pool"]) == {
+                "jobs_done", "jobs_failed", "crashes", "timeouts", "retries",
+            }
+        finally:
+            scheduler.close()
+
+
 class TestScheduler:
     def test_submit_runs_cells_and_folds_results(self, tmp_path, racy_trace):
         corpus = TraceCorpus(tmp_path / "corpus")
