@@ -5,9 +5,10 @@ entry point tying the rest of the library together:
 
 * :class:`EventSource` — one protocol for every way events arrive: an
   in-memory :class:`~repro.trace.trace.Trace` (:class:`TraceSource`), a
-  CSV/STD[.gz] file streamed lazily (:class:`FileSource`), a live
-  capture recorder (:class:`CaptureSource`), or a synthetic generator
-  (:class:`GeneratorSource`).
+  STD/CSV[.gz] file streamed lazily (:class:`FileSource`), an mmap'd
+  colf container with upfront thread tables (:class:`ColfSource`), a
+  live capture recorder (:class:`CaptureSource`), or a synthetic
+  generator (:class:`GeneratorSource`).
 * :class:`AnalysisSpec` / :func:`parse_spec` — one evaluation-matrix
   cell (order × clock × components) as a value with a canonical string
   form, backed by open registries (:func:`register_order`,
@@ -44,6 +45,7 @@ from .session import Session, SessionResult, run_specs
 from .sources import (
     DEFAULT_BATCH_SIZE,
     CaptureSource,
+    ColfSource,
     EventSource,
     FileSource,
     GeneratorSource,
@@ -58,6 +60,7 @@ __all__ = [
     "AnalysisSpec",
     "CLOCKS",
     "CaptureSource",
+    "ColfSource",
     "DEFAULT_BATCH_SIZE",
     "EventSource",
     "FileSource",

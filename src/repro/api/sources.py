@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Prot
 
 from ..gen.random_trace import RandomTraceConfig, generate_trace
 from ..gen.suite import BenchmarkProfile
+from ..trace.colfmt import ColfReader, ColfSegment
 from ..trace.event import Event, OpKind
 from ..trace.io import DEFAULT_BATCH_SIZE, infer_format, iter_trace_chunks, iter_trace_file
 from ..trace.trace import Trace
@@ -140,13 +141,17 @@ class TraceSource:
 
 
 class FileSource:
-    """Source streaming a CSV/STD[.gz] trace file lazily from disk.
+    """Source streaming a trace file (STD/CSV[.gz] or colf) lazily from disk.
 
-    Nothing is materialized: events are parsed one line at a time via
+    Nothing is materialized: events are decoded incrementally via
     :func:`~repro.trace.io.iter_trace_file`, so a session over a
-    multi-gigabyte trace file runs in O(1) memory.  The thread universe
-    is not known upfront (that would require a full pass), so clocks
-    grow dynamically.  ``events()`` can be called repeatedly; each call
+    multi-gigabyte trace file runs in O(1) memory.  The format is
+    sniffed from content bytes when not given, so a colf container
+    handed to a ``FileSource`` already skips text parsing entirely —
+    ``event_batches()`` rides the binary segment decoder.  The thread
+    universe is not known upfront (that would require reading the
+    footer; use :class:`ColfSource` for that), so clocks grow
+    dynamically.  ``events()`` can be called repeatedly; each call
     re-reads the file.
     """
 
@@ -175,6 +180,67 @@ class FileSource:
         for batch in iter_trace_chunks(self.path, fmt=self.fmt, batch_size=batch_size):
             self.events_emitted += len(batch)
             yield batch
+
+
+class ColfSource:
+    """Source holding a colf container mmap'd: threads upfront, segment walks.
+
+    Where :class:`FileSource` re-opens and re-decodes its file on every
+    walk, a ``ColfSource`` keeps the container mapped for its lifetime
+    and decodes straight off the page cache:
+
+    * ``threads()`` comes from the footer thread table — the universe is
+      known *upfront*, so sessions allocate clocks at full size exactly
+      as they do for an in-memory :class:`TraceSource`.  No text source
+      can offer this without a full pre-pass.
+    * ``event_batches()`` materializes one segment at a time from the
+      mapped columns (three C-speed column passes per segment), never
+      touching a text parser.
+    * :meth:`segments` exposes the independently decodable
+      :class:`~repro.trace.colfmt.ColfSegment` windows — the unit the
+      roadmap's segment-parallel walks will fan out over.
+
+    The source holds an open file handle/mmap until :meth:`close` (it is
+    also a context manager).  ``events()`` can be called repeatedly.
+    """
+
+    def __init__(self, path: Union[str, Path], name: str = "") -> None:
+        self.path = path
+        self.name = name or str(path)
+        self.events_emitted = 0
+        self._reader = ColfReader(path)
+
+    def threads(self) -> Sequence[int]:
+        """The thread universe, read from the container footer."""
+        return self._reader.threads()
+
+    def segments(self) -> Sequence[ColfSegment]:
+        """The container's segments; each decodes independently."""
+        return self._reader.segments
+
+    def events(self) -> Iterator[Event]:
+        for batch in self._reader.iter_batches():
+            self.events_emitted += len(batch)
+            yield from batch
+
+    def event_batches(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[List[Event]]:
+        """Native batches: per-segment materialization from the mmap'd columns."""
+        for batch in self._reader.iter_batches(batch_size):
+            self.events_emitted += len(batch)
+            yield batch
+
+    def close(self) -> None:
+        """Release the mmap and underlying file handle."""
+        self._reader.close()
+
+    def __enter__(self) -> "ColfSource":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self._reader.num_events
 
 
 class GeneratorSource:
@@ -418,11 +484,15 @@ def as_event_source(source: SourceLike) -> EventSource:
     :class:`BenchmarkProfile` / :class:`RandomTraceConfig`, or a
     zero-argument callable returning a ``Trace``.
     """
-    if isinstance(source, (TraceSource, FileSource, GeneratorSource, CaptureSource, QueueSource)):
+    if isinstance(
+        source, (TraceSource, FileSource, ColfSource, GeneratorSource, CaptureSource, QueueSource)
+    ):
         return source
     if isinstance(source, Trace):
         return TraceSource(source)
     if isinstance(source, (str, Path)):
+        if infer_format(source) == "colf":
+            return ColfSource(source)
         return FileSource(source)
     from ..capture.recorder import TraceRecorder  # local import: capture imports api
 

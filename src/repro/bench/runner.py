@@ -383,6 +383,12 @@ def _run_decode_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
     hop), ``mode="events"`` drains the per-event
     :func:`repro.trace.io.iter_trace_file`.  Both parse the identical
     bytes, so the pair isolates the cost of the event-at-a-time shape.
+
+    For colf files a third ``mode="columns"`` decodes the
+    structure-of-arrays columns (kind codes, tid indices, target
+    indices) straight off the mmap *without* materializing Event
+    objects — the form the roadmap's segment-parallel consumers read,
+    and the ceiling Event construction cost keeps the other modes from.
     """
     import tempfile
     from pathlib import Path
@@ -409,8 +415,18 @@ def _run_decode_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
                 for _event in iter_trace_file(path, fmt=fmt):
                     pass
 
+        elif mode == "columns" and fmt == "colf":
+            from ..trace.colfmt import ColfReader
+
+            def one_decode() -> None:
+                with ColfReader(path) as reader:
+                    for segment in reader.segments:
+                        segment.kind_codes.tolist()
+                        segment.tid_indices.tolist()
+                        segment.target_indices.tolist()
+
         else:
-            raise ValueError(f"unknown decode mode {mode!r}")
+            raise ValueError(f"unknown decode mode {mode!r} for format {fmt!r}")
 
         runs = _timed_runs(one_decode, config)
     return BenchCaseResult(
@@ -430,9 +446,12 @@ def _run_decode_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
 def _run_pipeline_walk_case(case: BenchCase, config: BenchConfig) -> BenchCaseResult:
     """Multi-spec session walk: ``feed_batch`` (default) vs one event at a time.
 
-    Both modes drive the identical in-memory trace through the same
-    specs and produce the identical results (the differential tests
-    prove it); the pair measures exactly what batching buys the walk.
+    All modes drive the identical events through the same specs and
+    produce the identical results (the differential tests prove it);
+    the batched/events pair measures exactly what batching buys the
+    walk, and ``mode="colf-mmap"`` feeds the session straight from an
+    mmap'd colf container (packed outside the timed region), measuring
+    the walk with binary segment decode in place of in-memory slicing.
     """
     from ..api.sources import TraceSource, iter_event_batches
 
@@ -442,28 +461,53 @@ def _run_pipeline_walk_case(case: BenchCase, config: BenchConfig) -> BenchCaseRe
     trace = _scenario_trace(params)
     session = Session(specs)
 
-    if mode == "batched":
+    if mode == "colf-mmap":
+        import tempfile
+        from pathlib import Path
 
-        def one_walk() -> None:
-            session.begin(threads=trace.threads, name=trace.name)
-            feed_batch = session.feed_batch
-            for batch in iter_event_batches(TraceSource(trace)):
-                feed_batch(batch)
-            session.finish()
+        from ..api.sources import ColfSource
+        from ..trace.colfmt import write_colf
 
-    elif mode == "events":
+        with tempfile.TemporaryDirectory(prefix="repro-bench-walk-") as tmp:
+            path = Path(tmp) / "trace.colf"
+            write_colf(iter(trace), path)
+            source = ColfSource(path, name=trace.name)
+            threads = source.threads()
 
-        def one_walk() -> None:
-            session.begin(threads=trace.threads, name=trace.name)
-            feed = session.feed
-            for event in trace:
-                feed(event)
-            session.finish()
+            def one_walk() -> None:
+                session.begin(threads=threads, name=trace.name)
+                feed_batch = session.feed_batch
+                for batch in source.event_batches():
+                    feed_batch(batch)
+                session.finish()
 
+            try:
+                runs = _timed_runs(one_walk, config)
+            finally:
+                source.close()
     else:
-        raise ValueError(f"unknown pipeline walk mode {mode!r}")
+        if mode == "batched":
 
-    runs = _timed_runs(one_walk, config)
+            def one_walk() -> None:
+                session.begin(threads=trace.threads, name=trace.name)
+                feed_batch = session.feed_batch
+                for batch in iter_event_batches(TraceSource(trace)):
+                    feed_batch(batch)
+                session.finish()
+
+        elif mode == "events":
+
+            def one_walk() -> None:
+                session.begin(threads=trace.threads, name=trace.name)
+                feed = session.feed
+                for event in trace:
+                    feed(event)
+                session.finish()
+
+        else:
+            raise ValueError(f"unknown pipeline walk mode {mode!r}")
+
+        runs = _timed_runs(one_walk, config)
     return BenchCaseResult(
         name=case.name,
         kind=case.kind,

@@ -31,12 +31,15 @@ Two suites ship by default:
 
 ``pipeline``
     Event-pipeline benchmarks: decode **events/sec** of the chunked
-    file decoders vs the per-event iterators (STD and CSV), and
-    multi-spec session walks batched (``feed_batch``, the default) vs
-    fed one event at a time.  The batched/per-event case pairs share
-    identical workloads, so their ratio *is* the measured win of the
-    batching layer — and a regression in either shape is caught
-    separately.
+    file decoders vs the per-event iterators (STD, CSV and the binary
+    colf container — plus a ``colf-columns`` case that decodes the
+    structure-of-arrays columns without materializing events, the form
+    segment-parallel consumers read), and multi-spec session walks
+    batched (``feed_batch``, the default) vs fed one event at a time
+    vs fed straight from an mmap'd colf container (``colf-mmap``).
+    The batched/per-event case pairs share identical workloads, so
+    their ratio *is* the measured win of the batching layer — and a
+    regression in either shape is caught separately.
 
 ``obs``
     Observability-overhead benchmarks: the same multi-spec session walks
@@ -254,11 +257,12 @@ def obs_suite(
 
 
 #: Decode formats exercised by the default ``pipeline`` suite.
-DEFAULT_PIPELINE_FORMATS: Tuple[str, ...] = ("std", "csv")
+DEFAULT_PIPELINE_FORMATS: Tuple[str, ...] = ("std", "csv", "colf")
 
-#: Walk modes of the ``pipeline`` suite: the batched default vs the
-#: per-event reference path (same events, same specs, same results).
-PIPELINE_WALK_MODES: Tuple[str, ...] = ("batched", "events")
+#: Walk modes of the ``pipeline`` suite: the batched default, the
+#: per-event reference path, and the mmap'd colf fast path (same
+#: events, same specs, same results in every mode).
+PIPELINE_WALK_MODES: Tuple[str, ...] = ("batched", "events", "colf-mmap")
 
 
 def pipeline_suite(
@@ -274,7 +278,8 @@ def pipeline_suite(
     threads = int(thread_counts[0]) if thread_counts else 10
     cases: List[BenchCase] = []
     for fmt in formats:
-        for mode in PIPELINE_WALK_MODES:
+        decode_modes = ("batched", "events", "columns") if fmt == "colf" else ("batched", "events")
+        for mode in decode_modes:
             cases.append(
                 BenchCase(
                     name=f"pipeline/decode-{fmt}-{mode}",

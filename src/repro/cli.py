@@ -18,9 +18,11 @@ The ``capture`` subcommand records a trace from a *live* script instead
 of loading one from disk, running online race detection while the script
 executes (see :mod:`repro.capture.cli`).  The ``bench`` subcommand runs
 the reproducible benchmark suites and compares runs for performance
-regressions (see :mod:`repro.bench.cli`).  The ``serve`` / ``submit`` /
-``status`` subcommands run and talk to the concurrent trace-analysis
-service (see :mod:`repro.serve.cli`).
+regressions (see :mod:`repro.bench.cli`).  The ``trace`` subcommand
+packs, unpacks and inspects trace files — in particular the binary
+colf containers of :mod:`repro.trace.colfmt`.  The ``serve`` /
+``submit`` / ``status`` subcommands run and talk to the concurrent
+trace-analysis service (see :mod:`repro.serve.cli`).
 
 Examples
 --------
@@ -35,6 +37,8 @@ Examples
     repro capture --order HB --save bank.std.gz examples/capture_bank_race.py
     repro bench run --suite clocks --out artifacts/
     repro bench compare baseline/BENCH_clocks.json artifacts/BENCH_clocks.json
+    repro trace pack capture.std.gz capture.colf
+    repro trace inspect capture.colf --segments
     repro serve --corpus ./corpus --workers 4
     repro submit 127.0.0.1:7341 trace.std.gz --spec hb+tc+detect --wait
     repro status 127.0.0.1:7341 --results
@@ -166,6 +170,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     subcommands = {
         "capture": ("repro.capture.cli", "main"),
         "bench": ("repro.bench.cli", "main"),
+        "trace": ("repro.trace.cli", "main"),
         "serve": ("repro.serve.cli", "main_serve"),
         "submit": ("repro.serve.cli", "main_submit"),
         "status": ("repro.serve.cli", "main_status"),

@@ -2,27 +2,33 @@
 
 A corpus is a directory of ingested traces plus a JSON index of
 per-trace statistics.  Ingest is *content-addressed*: every incoming
-trace — an STD/CSV[.gz] file, an in-memory :class:`Trace`, or a raw
-event stream — is re-serialized to the canonical STD line form
-(:func:`repro.trace.io.std_line`) while a SHA-256 digest runs over those
-lines, so the digest depends only on the logical event sequence.  The
-same trace submitted twice (or once as CSV and once as gzipped STD)
-dedupes to one stored entry; the bytes on disk are always canonical
-gzipped STD under ``traces/<digest>.std.gz``.
+trace — an STD/CSV[.gz] or colf file, an in-memory :class:`Trace`, or a
+raw event stream — streams through a SHA-256 digest over its canonical
+STD line form (:func:`repro.trace.io.std_line`), so the digest depends
+only on the logical event sequence.  The same trace submitted twice (or
+once as CSV, once as gzipped STD, once as colf) dedupes to one stored
+entry.  The bytes on disk are a binary colf container
+(``traces/<digest>.colf``, format ``repro-trace/1``) — the digest is a
+*content* address, deliberately independent of the *storage* encoding,
+which lets the stored format evolve without invalidating a single
+digest.  Workers then feed sessions straight from the mmap'd segment
+columns instead of re-parsing text on every analysis job.
 
-The index (``index.json``, schema ``repro-serve-corpus/1``) carries the
+The index (``index.json``, schema ``repro-serve-corpus/2``) carries the
 per-trace statistics the scheduler and ``repro status`` report — event /
 thread / lock / variable counts and the sync-event share — plus
-free-form tags for corpus queries (``corpus.entries(tag="captured")``).
+free-form tags for corpus queries (``corpus.entries(tag="captured")``)
+and each entry's stored ``format``.  Version-1 indexes (whose traces
+are gzipped STD under ``<digest>.std.gz``) still load: their entries
+keep ``format: "std.gz"`` and are read through the text decoders.
 
 Ingest is streaming: events flow through a bounded-memory pipeline
-(hash + stats + gzip writer), so a multi-gigabyte trace file never
-materializes in memory.
+(hash + stats + colf segment writer), so a multi-gigabyte trace file
+never materializes in memory.
 """
 
 from __future__ import annotations
 
-import gzip
 import hashlib
 import itertools
 import json
@@ -35,12 +41,23 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..api.sources import FileSource
+from ..trace.colfmt import ColfWriter
 from ..trace.event import Event, OpKind
 from ..trace.io import TraceFormatError, infer_format, iter_trace_file, std_line
 from ..trace.trace import Trace
 
 #: Schema identifier of the corpus index; bumped on breaking layout changes.
-INDEX_SCHEMA = "repro-serve-corpus/1"
+INDEX_SCHEMA = "repro-serve-corpus/2"
+
+#: Older index schemas this corpus still loads (entries keep their
+#: original stored format; only new ingests use the current layout).
+COMPAT_SCHEMAS = ("repro-serve-corpus/1",)
+
+#: Stored-file format of entries from a version-1 index.
+_LEGACY_FORMAT = "std.gz"
+
+#: Stored-file format of freshly ingested entries.
+_NATIVE_FORMAT = "colf"
 
 #: Event kinds counted as synchronization for the per-trace statistics.
 _SYNC_KINDS = (OpKind.ACQUIRE, OpKind.RELEASE, OpKind.FORK, OpKind.JOIN)
@@ -55,8 +72,10 @@ class CorpusEntry:
     """One ingested trace: its digest, statistics and tags.
 
     ``digest`` is the SHA-256 over the canonical STD lines — the
-    content address and primary key; ``filename`` is the stored file
-    name relative to the corpus's ``traces/`` directory.
+    content address and primary key; ``format`` is the stored *encoding*
+    (``"colf"`` for native ingests, ``"std.gz"`` for entries carried
+    over from a version-1 index) and ``filename`` the stored file name
+    relative to the corpus's ``traces/`` directory.
     """
 
     digest: str
@@ -68,11 +87,17 @@ class CorpusEntry:
     sync_events: int
     tags: Tuple[str, ...] = ()
     ingested_unix: float = 0.0
+    format: str = _NATIVE_FORMAT
 
     @property
     def filename(self) -> str:
         """The canonical stored file name (relative to ``traces/``)."""
-        return f"{self.digest}.std.gz"
+        return f"{self.digest}.{self.format}"
+
+    @property
+    def trace_fmt(self) -> str:
+        """The :mod:`repro.trace.io` format key of the stored file."""
+        return "colf" if self.format == _NATIVE_FORMAT else "std"
 
     @property
     def sync_fraction(self) -> float:
@@ -91,11 +116,19 @@ class CorpusEntry:
             "sync_events": self.sync_events,
             "tags": list(self.tags),
             "ingested_unix": self.ingested_unix,
+            "format": self.format,
         }
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, object]) -> "CorpusEntry":
-        """Rebuild an entry from its index representation."""
+    def from_dict(
+        cls, payload: Dict[str, object], default_format: str = _NATIVE_FORMAT
+    ) -> "CorpusEntry":
+        """Rebuild an entry from its index representation.
+
+        ``default_format`` is the stored format assumed when the payload
+        carries none — version-1 indexes predate the field, so their
+        loader passes ``"std.gz"``.
+        """
         return cls(
             digest=str(payload["digest"]),
             name=str(payload.get("name", "")),
@@ -106,6 +139,7 @@ class CorpusEntry:
             sync_events=int(payload.get("sync_events", 0)),  # type: ignore[arg-type]
             tags=tuple(payload.get("tags", ())),  # type: ignore[arg-type]
             ingested_unix=float(payload.get("ingested_unix", 0.0)),  # type: ignore[arg-type]
+            format=str(payload.get("format", default_format)),
         )
 
 
@@ -141,13 +175,17 @@ class TraceCorpus:
         except json.JSONDecodeError as error:
             raise CorpusError(f"{self.index_path}: corrupt corpus index ({error})") from error
         schema = payload.get("schema")
-        if schema != INDEX_SCHEMA:
+        if schema == INDEX_SCHEMA:
+            default_format = _NATIVE_FORMAT
+        elif schema in COMPAT_SCHEMAS:
+            default_format = _LEGACY_FORMAT
+        else:
             raise CorpusError(
                 f"{self.index_path}: unsupported corpus index schema {schema!r} "
-                f"(expected {INDEX_SCHEMA!r})"
+                f"(expected {INDEX_SCHEMA!r} or one of {COMPAT_SCHEMAS!r})"
             )
         for digest, entry in payload.get("traces", {}).items():
-            self._entries[digest] = CorpusEntry.from_dict(entry)
+            self._entries[digest] = CorpusEntry.from_dict(entry, default_format=default_format)
 
     def _save_index(self) -> None:
         payload = {
@@ -168,13 +206,15 @@ class TraceCorpus:
     ) -> Tuple[CorpusEntry, bool]:
         """Ingest a trace; returns ``(entry, created)``.
 
-        ``source`` may be a trace file path (STD/CSV, ``.gz``-aware), an
-        in-memory :class:`Trace`, or any iterable of events.  A trace
-        whose canonical content is already stored dedupes to the existing
-        entry (``created`` is ``False``; new tags are merged in).
-        Corrupt or truncated files — bad gzip streams, malformed trace
-        lines — raise :class:`CorpusError` and leave the corpus
-        unchanged.
+        ``source`` may be a trace file path (STD/CSV/colf, ``.gz``-aware,
+        format sniffed from content), an in-memory :class:`Trace`, or any
+        iterable of events.  Whatever the input encoding, the stored file
+        is a colf container; the digest is over the canonical STD lines,
+        so a trace whose logical content is already stored dedupes to the
+        existing entry (``created`` is ``False``; new tags are merged in).
+        Corrupt or truncated files — bad gzip streams, torn colf
+        containers, malformed trace lines — raise :class:`CorpusError`
+        and leave the corpus unchanged.
         """
         if isinstance(source, (str, Path)):
             default_name = Path(source).name
@@ -204,16 +244,15 @@ class TraceCorpus:
         variables: set = set()
         temp_path = self.traces_dir / (
             f".ingest-{os.getpid()}-{threading.get_ident()}-"
-            f"{next(self._ingest_counter)}.tmp.gz"
+            f"{next(self._ingest_counter)}.tmp.colf"
         )
         try:
-            with gzip.open(temp_path, "wt", encoding="utf-8") as handle:
+            with ColfWriter(temp_path) as writer:
                 for event in events:
                     line = std_line(event)
                     hasher.update(line.encode("utf-8"))
                     hasher.update(b"\n")
-                    handle.write(line)
-                    handle.write("\n")
+                    writer.write(event)
                     num_events += 1
                     threads.add(event.tid)
                     kind = event.kind
@@ -299,12 +338,14 @@ class TraceCorpus:
     def open_source(self, digest: str) -> FileSource:
         """A lazy :class:`FileSource` over the stored trace (O(1) memory)."""
         entry = self.get(digest)
-        return FileSource(self.trace_path(digest), fmt="std", name=entry.name)
+        return FileSource(self.trace_path(digest), fmt=entry.trace_fmt, name=entry.name)
 
     def load(self, digest: str) -> Trace:
         """The stored trace, materialized in memory."""
         entry = self.get(digest)
-        return Trace(iter_trace_file(self.trace_path(digest), fmt="std"), name=entry.name)
+        return Trace(
+            iter_trace_file(self.trace_path(digest), fmt=entry.trace_fmt), name=entry.name
+        )
 
     def remove(self, digest: str) -> None:
         """Delete a stored trace and its index entry."""

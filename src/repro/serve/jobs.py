@@ -228,11 +228,12 @@ class Scheduler:
                     return
                 job.status = JobStatus.RUNNING
                 self._inflight += 1
+                entry = self.corpus.get(job.digest)
                 task = WorkerTask(
                     task_id=job.job_id,
                     trace_path=str(self.corpus.trace_path(job.digest)),
                     spec=job.spec,
-                    fmt="std",
+                    fmt=entry.trace_fmt,
                     trace_name=job.trace_name,
                     chunk_events=self.chunk_events,
                 )

@@ -63,7 +63,10 @@ class WorkerTask:
 
     Everything here crosses the process boundary, so fields are plain
     picklable values; the trace travels as a file path, never as events.
-    ``fault`` is test instrumentation for the crash-isolation and
+    ``fmt`` defaults to ``None`` — the worker then sniffs the format
+    from the file content (colf magic, gzip, CSV header, STD), which is
+    the right call for corpus-stored traces whatever encoding the store
+    uses.  ``fault`` is test instrumentation for the crash-isolation and
     timeout paths (``"exit"`` hard-kills the worker mid-task, ``"hang"``
     blocks it) — production schedulers never set it.
     """
@@ -71,7 +74,7 @@ class WorkerTask:
     task_id: str
     trace_path: str
     spec: str
-    fmt: str = "std"
+    fmt: Optional[str] = None
     trace_name: str = ""
     chunk_events: int = 2048
     fault: Optional[str] = None

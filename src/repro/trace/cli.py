@@ -1,0 +1,170 @@
+"""``repro trace`` — pack, unpack and inspect trace files.
+
+The container-management counterpart of the analysis CLI.  Three
+subcommands:
+
+``pack``
+    Convert any readable trace (STD/CSV, ``.gz``-aware, format sniffed
+    from content) into a ``repro-trace/1`` colf container.
+
+``unpack``
+    Convert a trace — typically a colf container — back to a text
+    format (STD by default, CSV with ``--format csv``, gzipped when the
+    output path ends in ``.gz``).
+
+``inspect``
+    Print a colf container's header, string tables and per-segment
+    stats without decoding any events; ``--json`` emits the structured
+    payload, ``--segments`` adds the per-segment table to the
+    human-readable form.
+
+Examples
+--------
+::
+
+    repro trace pack capture.std.gz capture.colf
+    repro trace pack big.csv big.colf --segment-events 131072
+    repro trace unpack capture.colf capture.std
+    repro trace inspect capture.colf
+    repro trace inspect capture.colf --segments
+    repro trace inspect capture.colf --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from ..cli_util import package_version
+from .colfmt import DEFAULT_SEGMENT_EVENTS, ColfReader, ColfWriter
+from .io import TraceFormatError, infer_format, iter_trace_chunks, save_trace, iter_trace_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro trace`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Pack, unpack and inspect trace files (colf containers and text formats).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {package_version()}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    pack = commands.add_parser("pack", help="convert a trace file into a colf container")
+    pack.add_argument("input", help="source trace file (STD/CSV[.gz] or colf; format sniffed)")
+    pack.add_argument("output", help="destination colf container path")
+    pack.add_argument(
+        "--segment-events",
+        type=int,
+        default=DEFAULT_SEGMENT_EVENTS,
+        metavar="N",
+        help=f"events per segment (default: {DEFAULT_SEGMENT_EVENTS}); smaller segments "
+        "decode in finer-grained independent windows",
+    )
+
+    unpack = commands.add_parser("unpack", help="convert a trace back to a text format")
+    unpack.add_argument("input", help="source trace file (any readable format)")
+    unpack.add_argument("output", help="destination path (gzipped when it ends in .gz)")
+    unpack.add_argument(
+        "--format",
+        choices=["std", "csv"],
+        default="std",
+        help="text format to write (default: std)",
+    )
+
+    inspect = commands.add_parser(
+        "inspect", help="show a colf container's header, tables and segment stats"
+    )
+    inspect.add_argument("input", help="colf container to inspect")
+    inspect.add_argument("--json", action="store_true", help="emit the structured payload")
+    inspect.add_argument(
+        "--segments", action="store_true", help="include the per-segment table"
+    )
+    return parser
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    import os
+
+    try:
+        fmt = infer_format(args.input)
+        with ColfWriter(args.output, segment_events=args.segment_events) as writer:
+            for chunk in iter_trace_chunks(args.input, fmt=fmt):
+                writer.write_batch(chunk)
+    except (TraceFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    out_bytes = os.path.getsize(args.output)
+    in_bytes = os.path.getsize(args.input)
+    ratio = f" ({in_bytes / out_bytes:.2f}x vs input)" if out_bytes else ""
+    print(
+        f"packed {writer.events_written} events ({fmt}) into {args.output}: "
+        f"{out_bytes} bytes{ratio}"
+    )
+    return 0
+
+
+def _cmd_unpack(args: argparse.Namespace) -> int:
+    try:
+        fmt = infer_format(args.input)
+        events = list(iter_trace_file(args.input, fmt=fmt))
+        save_trace(events, args.output, fmt=args.format)
+    except (TraceFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"unpacked {len(events)} events from {args.input} into {args.output} ({args.format})"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    try:
+        with ColfReader(args.input) as reader:
+            payload = reader.describe()
+    except (TraceFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    segments: List[dict] = payload["segments"]  # type: ignore[assignment]
+    threads: List[int] = payload["threads"]  # type: ignore[assignment]
+    strings: List[str] = payload["strings"]  # type: ignore[assignment]
+    print(f"{payload['source']}: {payload['format']} container")
+    print(f"  events:   {payload['events']}")
+    print(f"  segments: {len(segments)}")
+    thread_list = ", ".join(f"t{tid}" for tid in threads[:16])
+    thread_more = ", ..." if len(threads) > 16 else ""
+    print(f"  threads:  {len(threads)} ({thread_list}{thread_more})")
+    if strings:
+        shown = ", ".join(repr(s) for s in strings[:8])
+        string_more = ", ..." if len(strings) > 8 else ""
+        print(f"  strings:  {len(strings)} ({shown}{string_more})")
+    else:
+        print("  strings:  0")
+    if args.segments:
+        print(f"  {'seg':>4} {'offset':>10} {'bytes':>10} {'events':>8}  eids")
+        for seg in segments:
+            print(
+                f"  {seg['index']:>4} {seg['offset']:>10} {seg['bytes']:>10} "
+                f"{seg['events']:>8}  {seg['first_eid']}..{seg['last_eid']}"
+            )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.command == "pack":
+        return _cmd_pack(args)
+    if args.command == "unpack":
+        return _cmd_unpack(args)
+    return _cmd_inspect(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `repro trace`
+    sys.exit(main())

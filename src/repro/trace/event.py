@@ -13,8 +13,7 @@ order them exactly like a release/acquire pair on a dedicated lock.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 
 class OpKind(enum.Enum):
@@ -62,9 +61,17 @@ class ThreadId(int):
         return f"t{int(self)}"
 
 
-@dataclass(frozen=True, slots=True)
-class Event:
+class Event(NamedTuple):
     """A single event of a concurrent execution trace.
+
+    Events are immutable, hashable values.  The representation is a
+    :class:`~typing.NamedTuple` rather than a dataclass deliberately:
+    event construction is the floor under every decode and generation
+    path (millions of events flow through the batched pipeline per
+    walk), and tuple construction costs roughly half of what a frozen
+    dataclass ``__init__`` (four ``object.__setattr__`` calls) does.
+    The bulk decoders build events with ``map(Event, ...)`` over column
+    iterables, which keeps the whole construction loop in C.
 
     Attributes
     ----------

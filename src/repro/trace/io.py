@@ -1,6 +1,6 @@
 """Trace serialization.
 
-Two plain-text formats are supported:
+Three on-disk formats are supported.  Two are plain text:
 
 * the *STD format*, a line-oriented format modelled after the one used by
   the RAPID tool that the paper's artifact builds on
@@ -31,6 +31,18 @@ after the first occurrence a token costs one dict hit instead of a
 regex match, and equal targets are interned to one shared string.
 Everything downstream (``Session.feed_batch``, the serve workers, the
 bench pipeline suite) consumes these batches.
+
+The third format is binary: the ``repro-trace/1`` **columnar
+container** of :mod:`repro.trace.colfmt` (conventional suffix
+``.colf``), which stores interned tables plus fixed-width
+structure-of-arrays columns and decodes without any text parsing at
+all — the corpus of :mod:`repro.serve` stores traces this way.  The
+file-level entry points here (:func:`infer_format`,
+:func:`iter_trace_file`, :func:`iter_trace_chunks`, :func:`save_trace`,
+:func:`load_trace`) dispatch to it transparently, and
+:func:`infer_format` recognizes every format by **content** (colf
+magic, gzip magic, CSV header line), so misnamed files still decode
+correctly.
 """
 
 from __future__ import annotations
@@ -423,27 +435,124 @@ def loads_csv(text: str, name: str = "") -> Trace:
 
 # -- file helpers ----------------------------------------------------------------
 
+#: First two bytes of every gzip stream.
+_GZIP_MAGIC = b"\x1f\x8b"
+
+#: Bytes sniffed from the head of a file to recognize its format.
+_SNIFF_BYTES = 4096
+
 
 def _is_gzip_path(path: PathOrFile) -> bool:
     return isinstance(path, (str, Path)) and str(path).endswith(".gz")
 
 
-def infer_format(path: PathOrFile) -> str:
-    """Guess the trace format (``"std"`` or ``"csv"``) from a file name.
+def _read_prefix(path: Union[str, Path]) -> Optional[bytes]:
+    """The first :data:`_SNIFF_BYTES` of ``path``, or ``None`` if unreadable."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(_SNIFF_BYTES)
+    except OSError:
+        return None
 
-    A trailing ``.gz`` is stripped first, so ``trace.csv.gz`` is CSV and
-    anything else (``trace.std``, ``trace.std.gz``, unknown suffixes)
-    defaults to STD.
-    """
+
+def _infer_from_name(path: PathOrFile) -> str:
+    """Suffix-based format fallback (writing, pipes, unreadable paths)."""
     name = str(path)
     if name.endswith(".gz"):
         name = name[: -len(".gz")]
+    if name.endswith(".colf"):
+        return "colf"
     return "csv" if name.endswith(".csv") else "std"
+
+
+def _sniff_text(prefix: bytes) -> Optional[str]:
+    """Classify decompressed text head bytes as ``"std"`` / ``"csv"``."""
+    text = prefix.decode("utf-8", errors="replace")
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.lower().replace(" ", "").startswith("eid,tid,kind,target"):
+            return "csv"
+        return "std"
+    return None
+
+
+def sniff_format(prefix: bytes, name: str = "") -> Optional[str]:
+    """Classify the first bytes of a trace file by content.
+
+    Returns ``"colf"``, ``"std"`` or ``"csv"`` when the head bytes are
+    recognizable (a gzip stream is transparently peeked into), ``None``
+    when there is nothing to go on (e.g. an empty file).  A gzipped
+    colf container is rejected outright — colf files carry their own
+    layout and random-access index, wrapping them in gzip would destroy
+    the zero-copy contract, so that combination is always a mistake.
+    """
+    if not prefix:
+        return None
+    from .colfmt import is_colf_prefix  # local import: colfmt imports this module
+
+    if is_colf_prefix(prefix):
+        return "colf"
+    if prefix[:2] == _GZIP_MAGIC:
+        import zlib
+
+        try:
+            inner = zlib.decompressobj(wbits=31).decompress(prefix, _SNIFF_BYTES)
+        except zlib.error:
+            # Corrupt gzip head: let the decode path raise its canonical
+            # gzip error instead of guessing a format here.
+            return None
+        if is_colf_prefix(inner):
+            where = f"{name}: " if name else ""
+            raise TraceFormatError(
+                f"{where}gzipped colf containers are not supported — "
+                f"colf files must be stored uncompressed"
+            )
+        return _sniff_text(inner)
+    if prefix[:1] == _GZIP_MAGIC[:1]:
+        return None  # torn gzip magic: undecidable, fall back to the name
+    return _sniff_text(prefix)
+
+
+def infer_format(path: PathOrFile) -> str:
+    """Determine the trace format (``"std"``, ``"csv"`` or ``"colf"``).
+
+    For a readable file path the decision is **content-based**: the
+    head bytes are sniffed for the colf magic, the gzip magic (peeking
+    at the decompressed content) and the CSV header line, so a
+    misnamed trace — ``trace.std`` that is really CSV, a colf container
+    named ``.bin``, a gzip file without ``.gz`` — still decodes
+    correctly.  File-like objects, unreadable or not-yet-existing paths
+    fall back to the suffix convention (``.colf`` → colf, ``.csv[.gz]``
+    → CSV, anything else → STD).
+    """
+    if isinstance(path, (str, Path)):
+        prefix = _read_prefix(path)
+        if prefix:
+            sniffed = sniff_format(prefix, name=str(path))
+            if sniffed is not None:
+                return sniffed
+    return _infer_from_name(path)
+
+
+def _is_gzip_content(source: PathOrFile) -> bool:
+    """Whether ``source`` is a path whose bytes start with the gzip magic."""
+    if not isinstance(source, (str, Path)):
+        return False
+    try:
+        with open(source, "rb") as handle:
+            return handle.read(2) == _GZIP_MAGIC
+    except OSError:
+        return _is_gzip_path(source)
 
 
 def _open_for_read(source: PathOrFile):
     if isinstance(source, (str, Path)):
-        if _is_gzip_path(source):
+        # Decompression keys off the *content* (gzip magic), not the
+        # suffix, so a misnamed gzip trace still decodes; the suffix
+        # only matters when the file cannot be read yet.
+        if _is_gzip_content(source):
             # gzip.open(..., "rt") would hand the text layer the raw
             # GzipFile, whose small reads dominate decode time on big
             # captures; a wide BufferedReader in between turns that into
@@ -463,7 +572,17 @@ def _open_for_write(destination: PathOrFile):
 
 
 def save_trace(trace: Trace, destination: PathOrFile, fmt: str = "std") -> None:
-    """Write a trace to a file or file-like object in the given format."""
+    """Write a trace to a file or file-like object in the given format.
+
+    ``fmt="colf"`` writes the binary columnar container (see
+    :mod:`repro.trace.colfmt`); the destination must then be a path or
+    a *binary* file-like object, and ``.gz`` wrapping does not apply.
+    """
+    if fmt == "colf":
+        from .colfmt import write_colf
+
+        write_colf(iter(trace), destination)
+        return
     text = dumps_std(trace) if fmt == "std" else dumps_csv(trace) if fmt == "csv" else None
     if text is None:
         raise ValueError(f"unknown trace format {fmt!r}")
@@ -475,16 +594,22 @@ def save_trace(trace: Trace, destination: PathOrFile, fmt: str = "std") -> None:
             handle.close()
 
 
-def _iter_parsed(source: PathOrFile, fmt: Optional[str], std_parse, csv_parse):
+def _iter_parsed(source: PathOrFile, fmt: Optional[str], std_parse, csv_parse, colf_parse):
     """Open ``source``, run the per-format parser over its lines, close after.
 
     The shared scaffolding of :func:`iter_trace_file` and
-    :func:`iter_trace_chunks`: format inference, std/csv dispatch, lazy
-    open (buffered decompression for ``.gz`` paths) and guaranteed
-    close when the iteration is exhausted or discarded.
+    :func:`iter_trace_chunks`: format inference, std/csv/colf dispatch,
+    lazy open (buffered decompression for gzipped content) and
+    guaranteed close when the iteration is exhausted or discarded.
+    Binary colf containers never go through the text-open path —
+    ``colf_parse`` receives the raw source and reads it via
+    :mod:`repro.trace.colfmt` (mmap for paths).
     """
     if fmt is None:
         fmt = infer_format(source)
+    if fmt == "colf":
+        yield from colf_parse(source)
+        return
     if fmt == "std":
         parse = std_parse
     elif fmt == "csv":
@@ -505,12 +630,19 @@ def iter_trace_file(source: PathOrFile, fmt: Optional[str] = None) -> Iterator[E
     The file (or file-like object) is opened lazily when iteration
     starts, decompressed on the fly for ``.gz`` paths, parsed line by
     line, and closed when the iterator is exhausted or discarded.  With
-    ``fmt=None`` the format is inferred from the file name
+    ``fmt=None`` the format is inferred by content sniffing
     (:func:`infer_format`).  This is the reader behind the file-backed
     :class:`repro.api.FileSource`; memory use is O(1) in the trace
-    length.
+    length for the text formats and O(segment) for colf.
     """
-    return _iter_parsed(source, fmt, iter_std, iter_csv)
+
+    def _colf_events(src: PathOrFile) -> Iterator[Event]:
+        from .colfmt import ColfReader
+
+        with ColfReader(src) as reader:
+            yield from reader.iter_events()
+
+    return _iter_parsed(source, fmt, iter_std, iter_csv, _colf_events)
 
 
 def iter_trace_chunks(
@@ -540,11 +672,18 @@ def iter_trace_chunks(
         size = DEFAULT_BATCH_SIZE
     if size < 1:
         raise ValueError("chunk_events/batch_size must be >= 1")
+
+    def _colf_chunks(src: PathOrFile) -> Iterator[List[Event]]:
+        from .colfmt import iter_colf_batches
+
+        return iter_colf_batches(src, batch_size=size)
+
     return _iter_parsed(
         source,
         fmt,
         lambda handle: iter_std_batches(handle, batch_size=size),
         lambda handle: iter_csv_batches(handle, batch_size=size),
+        _colf_chunks,
     )
 
 

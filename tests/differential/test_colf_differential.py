@@ -1,0 +1,137 @@
+"""Differential check: the colf binary container ≡ canonical STD text.
+
+The colf format is only allowed to change *cost*, never content: any
+trace serialized to both STD text and a colf container must decode to
+the identical event sequence (eids, tids, kinds, targets), a session
+fed from a colf file must report the identical race sets and timestamps
+as one fed the text form, and decoding a container segment by segment
+must equal decoding it whole.  This module drives every generator
+scenario plus hypothesis-random traces through all three equivalences;
+a layout or interning bug that silently reorders, drops or retypes a
+single event fails here.
+"""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Session
+from repro.gen.scenarios import SCENARIOS
+from repro.trace.colfmt import ColfReader, write_colf
+from repro.trace.io import dumps_std, loads_std, save_trace
+from util_traces import make_random_trace
+
+#: Spec slice used for the session-equivalence checks: both clock
+#: classes, detection on, over the strongest and weakest orders.
+SESSION_SPECS = ["hb+tc+detect", "shb+vc+detect"]
+
+
+def colf_round_trip(events, segment_events=64):
+    """Serialize ``events`` to a colf container and decode it back."""
+    buffer = io.BytesIO()
+    write_colf(events, buffer, segment_events=segment_events)
+    with ColfReader(buffer.getvalue()) as reader:
+        return list(reader.iter_events())
+
+
+def std_round_trip(events):
+    """Serialize ``events`` to STD text and parse it back."""
+    return list(loads_std(dumps_std(events)))
+
+
+def assert_colf_equals_std(events):
+    via_std = std_round_trip(events)
+    via_colf = colf_round_trip(events)
+    assert via_colf == via_std, (
+        f"colf decode diverged from STD decode "
+        f"({len(via_colf)} vs {len(via_std)} events)"
+    )
+
+
+class TestDecodeEquivalence:
+    def test_all_generator_scenarios(self):
+        for name, factory in sorted(SCENARIOS.items()):
+            trace = factory(8, 600, 3)
+            assert_colf_equals_std(list(trace))
+
+    def test_fork_join_traces(self):
+        trace = make_random_trace(seed=11, num_events=400, include_fork_join=True)
+        assert_colf_equals_std(list(trace))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_traces(self, seed):
+        trace = make_random_trace(seed=seed, num_events=150)
+        assert_colf_equals_std(list(trace))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        segment_events=st.integers(min_value=1, max_value=97),
+    )
+    def test_any_segment_size_decodes_identically(self, seed, segment_events):
+        events = list(make_random_trace(seed=seed, num_events=120))
+        assert colf_round_trip(events, segment_events) == std_round_trip(events)
+
+
+class TestSegmentEquivalence:
+    def test_segment_sliced_decode_equals_whole_file(self):
+        for name, factory in sorted(SCENARIOS.items()):
+            events = list(factory(6, 500, 1))
+            buffer = io.BytesIO()
+            write_colf(events, buffer, segment_events=77)
+            with ColfReader(buffer.getvalue()) as reader:
+                whole = list(reader.iter_events())
+                sliced = [
+                    event for segment in reader.segments for event in segment.events()
+                ]
+                # Segments partition the ordinal space exactly.
+                bounds = [
+                    (segment.first_eid, segment.last_eid) for segment in reader.segments
+                ]
+            assert sliced == whole
+            assert bounds[0][0] == 0 and bounds[-1][1] == len(events) - 1
+            for (_, last), (first, _) in zip(bounds, bounds[1:]):
+                assert first == last + 1
+
+
+class TestSessionEquivalence:
+    def _session_result(self, source):
+        return Session(SESSION_SPECS).run(source)
+
+    def _race_sets(self, result):
+        return {
+            key: [race.pair() for race in analysis.detection.races]
+            for key, analysis in result
+        }
+
+    def test_colf_fed_session_equals_text_fed(self, tmp_path):
+        for name, factory in sorted(SCENARIOS.items()):
+            trace = factory(6, 500, 5)
+            events = list(trace)
+            std_path = tmp_path / f"{name}.std"
+            colf_path = tmp_path / f"{name}.colf"
+            save_trace(events, std_path, fmt="std")
+            write_colf(events, colf_path, segment_events=128)
+
+            from_text = self._session_result(str(std_path))
+            from_colf = self._session_result(str(colf_path))
+            assert from_colf.num_events == from_text.num_events == len(events)
+            assert self._race_sets(from_colf) == self._race_sets(from_text), name
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_trace_race_sets_match(self, seed, tmp_path_factory):
+        trace = make_random_trace(seed=seed, num_events=200)
+        events = list(trace)
+        root = tmp_path_factory.mktemp("colf-diff")
+        std_path = root / "t.std"
+        colf_path = root / "t.colf"
+        save_trace(events, std_path, fmt="std")
+        write_colf(events, colf_path, segment_events=31)
+        from_text = self._session_result(str(std_path))
+        from_colf = self._session_result(str(colf_path))
+        assert self._race_sets(from_colf) == self._race_sets(from_text)

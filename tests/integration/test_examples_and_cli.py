@@ -63,6 +63,13 @@ class TestExamples:
         assert "jobs/sec" in completed.stdout
         assert "all jobs completed: True" in completed.stdout
 
+    def test_pack_and_analyze_example_runs(self):
+        completed = run_example("pack_and_analyze.py", "--events", "3000", "--threads", "6")
+        assert completed.returncode == 0, completed.stderr
+        assert "repro-trace/1" in completed.stdout
+        assert "thread universe known upfront" in completed.stdout
+        assert "text-fed and colf-fed race counts match: True" in completed.stdout
+
 
 class TestCliEndToEnd:
     def test_module_invocation_runs_table2(self):

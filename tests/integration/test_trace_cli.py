@@ -1,0 +1,93 @@
+"""Integration tests: the ``repro trace`` pack/unpack/inspect subcommand."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.gen.scenarios import star_topology_trace
+from repro.trace import iter_trace_file, save_trace
+
+pytestmark = pytest.mark.slow
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+@pytest.fixture(scope="module")
+def sample_events():
+    return list(star_topology_trace(6, 2000, seed=3))
+
+
+class TestTraceCli:
+    def test_pack_inspect_unpack_round_trip(self, tmp_path, sample_events):
+        std_path = tmp_path / "t.std.gz"
+        colf_path = tmp_path / "t.colf"
+        out_path = tmp_path / "roundtrip.std"
+        save_trace(sample_events, std_path, fmt="std")
+
+        packed = run_cli(
+            "trace", "pack", str(std_path), str(colf_path), "--segment-events", "512"
+        )
+        assert packed.returncode == 0, packed.stderr
+        assert "packed 2000 events" in packed.stdout
+        assert colf_path.exists()
+
+        inspected = run_cli("trace", "inspect", str(colf_path), "--segments")
+        assert inspected.returncode == 0, inspected.stderr
+        assert "repro-trace/1 container" in inspected.stdout
+        assert "events:   2000" in inspected.stdout
+        assert "segments: 4" in inspected.stdout
+        assert "0..511" in inspected.stdout
+
+        as_json = run_cli("trace", "inspect", str(colf_path), "--json")
+        assert as_json.returncode == 0, as_json.stderr
+        payload = json.loads(as_json.stdout)
+        assert payload["format"] == "repro-trace/1"
+        assert payload["events"] == 2000
+        assert len(payload["segments"]) == 4
+
+        unpacked = run_cli("trace", "unpack", str(colf_path), str(out_path))
+        assert unpacked.returncode == 0, unpacked.stderr
+        assert list(iter_trace_file(out_path)) == list(iter_trace_file(std_path))
+
+    def test_packed_file_analyzes_like_the_text_original(self, tmp_path, sample_events):
+        std_path = tmp_path / "t.std"
+        colf_path = tmp_path / "t.colf"
+        save_trace(sample_events, std_path, fmt="std")
+        assert run_cli("trace", "pack", str(std_path), str(colf_path)).returncode == 0
+
+        from_text = run_cli(str(std_path), "--spec", "shb+vc+detect", "--json")
+        from_colf = run_cli(str(colf_path), "--spec", "shb+vc+detect", "--json")
+        assert from_text.returncode == 0, from_text.stderr
+        assert from_colf.returncode == 0, from_colf.stderr
+        specs_text = json.loads(from_text.stdout)["specs"]
+        specs_colf = json.loads(from_colf.stdout)["specs"]
+        assert [entry["detection"] for entry in specs_colf.values()] == [
+            entry["detection"] for entry in specs_text.values()
+        ]
+        assert json.loads(from_colf.stdout)["events"] == 2000
+
+    def test_inspect_rejects_non_colf_with_clean_error(self, tmp_path, sample_events):
+        std_path = tmp_path / "t.std"
+        save_trace(sample_events, std_path, fmt="std")
+        completed = run_cli("trace", "inspect", str(std_path))
+        assert completed.returncode == 2
+        assert "error:" in completed.stderr
+        assert "bad magic" in completed.stderr
+        assert "Traceback" not in completed.stderr
+
+    def test_pack_rejects_missing_input_with_clean_error(self, tmp_path):
+        completed = run_cli(
+            "trace", "pack", str(tmp_path / "nope.std"), str(tmp_path / "out.colf")
+        )
+        assert completed.returncode == 2
+        assert "error:" in completed.stderr
+        assert "Traceback" not in completed.stderr

@@ -13,11 +13,13 @@ from repro.trace.io import (
     dumps_std,
     infer_format,
     iter_trace_chunks,
+    iter_trace_file,
     load_trace,
     loads_csv,
     loads_std,
     parse_std_line,
     save_trace,
+    sniff_format,
     std_line,
 )
 
@@ -181,8 +183,69 @@ class TestInferFormat:
             ("mystery.bin", "std"),
         ],
     )
-    def test_inference_by_suffix(self, name, expected):
+    def test_inference_by_suffix_for_unreadable_paths(self, name, expected):
+        # The names above don't exist on disk: suffix inference is the
+        # fallback when there are no content bytes to sniff.
         assert infer_format(name) == expected
+
+
+class TestContentSniffing:
+    """``infer_format`` trusts magic/content bytes over the file name."""
+
+    def test_colf_magic_wins_over_std_suffix(self, tmp_path, sample_trace):
+        path = tmp_path / "misnamed.std"
+        save_trace(sample_trace, path, fmt="colf")
+        assert infer_format(path) == "colf"
+        assert list(iter_trace_file(path)) == list(sample_trace)
+
+    def test_gzip_magic_wins_over_plain_suffix(self, tmp_path, sample_trace):
+        path = tmp_path / "actually-gzipped.std"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(dumps_std(sample_trace))
+        assert infer_format(path) == "std"
+        assert list(iter_trace_file(path)) == list(sample_trace)
+
+    def test_csv_header_wins_over_std_suffix(self, tmp_path, sample_trace):
+        path = tmp_path / "actually-csv.std"
+        path.write_text(dumps_csv(sample_trace))
+        assert infer_format(path) == "csv"
+        assert list(iter_trace_file(path)) == list(sample_trace)
+
+    def test_std_content_wins_over_csv_suffix(self, tmp_path, sample_trace):
+        path = tmp_path / "actually-std.csv"
+        path.write_text(dumps_std(sample_trace))
+        assert infer_format(path) == "std"
+        assert list(iter_trace_file(path)) == list(sample_trace)
+
+    def test_gzipped_csv_sniffed_through_the_gzip_layer(self, tmp_path, sample_trace):
+        path = tmp_path / "mystery.bin"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(dumps_csv(sample_trace))
+        assert infer_format(path) == "csv"
+        assert list(iter_trace_file(path)) == list(sample_trace)
+
+    def test_gzipped_colf_rejected_cleanly(self, tmp_path, sample_trace):
+        buffer = io.BytesIO()
+        save_trace(sample_trace, buffer, fmt="colf")
+        path = tmp_path / "t.colf.gz"
+        with gzip.open(path, "wb") as handle:
+            handle.write(buffer.getvalue())
+        with pytest.raises(TraceFormatError, match="gzipped colf"):
+            infer_format(path)
+
+    def test_sniff_format_on_prefixes(self, sample_trace):
+        from repro.trace.colfmt import COLF_MAGIC
+
+        assert sniff_format(COLF_MAGIC + b"rest") == "colf"
+        assert sniff_format(dumps_std(sample_trace).encode()) == "std"
+        assert sniff_format(dumps_csv(sample_trace).encode()) == "csv"
+        assert sniff_format(b"\x1f") is None  # too short to judge
+        assert sniff_format(b"") is None
+
+    def test_empty_file_falls_back_to_suffix(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_bytes(b"")
+        assert infer_format(path) == "csv"
 
 
 class TestStdLine:

@@ -62,7 +62,7 @@ class TestContentAddressing:
         assert created_first and not created_second
         assert first.digest == second.digest
         assert len(corpus) == 1
-        stored = list(corpus.traces_dir.glob("*.std.gz"))
+        stored = list(corpus.traces_dir.glob("*.colf"))
         assert len(stored) == 1
 
     def test_digest_is_format_independent(self, tmp_path, sample_trace):
