@@ -1,0 +1,813 @@
+"""Segment-parallel race analysis over colf traces.
+
+A colf container already stores its events as independently decodable
+segments (:class:`~repro.trace.colfmt.ColfSegment`); this module runs
+the clock algorithms over *chunks* of consecutive segments concurrently
+and joins the per-chunk results at the chunk boundaries, producing race
+sets, check counts and timestamps that are event-for-event identical to
+the sequential walk (``tests/differential/test_parallel_differential.py``
+pins the equivalence).
+
+The run has three phases:
+
+**Scan (parallel).**  Each chunk is swept once over the *raw* mmap'd
+columns — no :class:`Event` objects are materialized — collecting, per
+chunk: per-thread event counts (the relative local times), a *symbolic*
+summary of every thread/lock clock touched by HB-relevant
+synchronization, last-writer / last-releaser anchors, and the
+access-epoch summaries that seed the detectors.  The symbolic clock
+summary of an object is a pair ``(S, D)``: ``S`` is the set of
+chunk-entry clocks joined into it wholly (``("T", tid)`` / ``("L",
+lock)`` keys) and ``D`` maps threads to the largest chunk-relative local
+time absorbed directly.  Every HB clock operation (acquire-join,
+release-copy, fork, join) is closed under this form, so a chunk's scan
+never needs any state from its predecessors.
+
+**Stitch (sequential, cheap).**  Chunk boundaries are resolved in
+order: per-thread event-count prefix sums turn relative times into
+absolute ones (``abs = offset[tid] + rel``), and each chunk's symbolic
+summaries are evaluated against the now-known entry state
+(``exit(obj) = ⊔_{key∈S} entry(key) ⊔ lift(D)`` — the lift commutes
+with the pointwise max, which is what makes the summary exact).  The
+detector epoch summaries compose by dictionary merge, preserving the
+first-access order the sequential detectors would have produced, so
+seeded detectors report the same races in the same order with the same
+check counts.  For SHB and MAZ the per-variable last-write/last-read
+clocks are not symbolically summarized; instead a single *order-only*
+bootstrap pass (vector clocks, detection off) walks the chunks
+sequentially and snapshots the clock state at each boundary — those
+orders therefore parallelize the detection, timestamping and
+materialization work while keeping one sequential clock pass.
+
+**Replay (parallel).**  Each chunk is re-run through the real
+incremental engine (``begin()/feed_batch()/finish()``): a fresh
+analysis per (chunk, spec) is seeded with the boundary state via
+``Clock.seed_vector_time`` — thread clocks anchored at their owner,
+lock clocks at the last releaser, last-write clocks at the last writer
+(the anchor choices that keep the tree-clock pruning rules sound on a
+seeded flat tree) — and the detectors with the composed access epochs.
+The chunk's segments are then materialized and fed exactly as the
+sequential walk would feed them.  Results join by concatenation (races,
+timestamps) and summation (checks, counts, work), in chunk order, which
+*is* trace order.
+
+Workers are threads: every chunk reads the same mmap zero-copy, and the
+per-worker CPU times (``time.thread_time_ns``) reported in
+:class:`ParallelReport` make the critical path — and therefore the
+modeled speedup — measurable even on machines where the GIL serializes
+the actual wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..clocks.vector_clock import VectorClock
+from ..obs import tracing as obs_tracing
+from ..trace.colfmt import _KIND_CODES, ColfReader, ColfSegment
+from ..trace.event import Event, OpKind
+from .detectors import _VariableAccessState
+from .engine import PartialOrderAnalysis
+from .maz import MAZAnalysis
+from .result import AnalysisResult, DetectionSummary, Race
+from .shb import SHBAnalysis
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an api cycle
+    from ..api.spec import AnalysisSpec
+
+#: Partial orders the parallel runner understands; anything else (a
+#: runtime-registered order with unknown clock rules) falls back to the
+#: sequential walk.
+PARALLEL_ORDERS = frozenset({"HB", "SHB", "MAZ"})
+
+# The stable on-disk op-kind codes, resolved once from the format table
+# so the raw-column scan cannot drift from the writer.
+_READ = _KIND_CODES[OpKind.READ]
+_WRITE = _KIND_CODES[OpKind.WRITE]
+_ACQUIRE = _KIND_CODES[OpKind.ACQUIRE]
+_RELEASE = _KIND_CODES[OpKind.RELEASE]
+_FORK = _KIND_CODES[OpKind.FORK]
+_JOIN = _KIND_CODES[OpKind.JOIN]
+
+VectorTime = Dict[int, int]
+
+
+def supports_parallel(specs: Sequence["AnalysisSpec"], segments: Sequence[ColfSegment]) -> bool:
+    """Whether the parallel runner applies: >1 segment, all orders known."""
+    return len(segments) > 1 and all(spec.order in PARALLEL_ORDERS for spec in specs)
+
+
+@dataclass
+class ParallelReport:
+    """Phase timing and shape of one segment-parallel run.
+
+    ``scan_ns`` / ``replay_ns`` hold per-chunk worker *CPU* times
+    (:func:`time.thread_time_ns`), so :attr:`critical_path_ns` models
+    the wall time of the run on a machine with ``workers`` free cores:
+    the slowest scan, plus the sequential stitch, plus the slowest
+    replay.  :attr:`modeled_speedup` relates that to the total CPU the
+    same work costs sequentially.
+    """
+
+    requested: int
+    workers: int
+    segments: int
+    chunks: int
+    events: int
+    scan_ns: List[int] = field(default_factory=list)
+    stitch_ns: int = 0
+    replay_ns: List[int] = field(default_factory=list)
+
+    @property
+    def critical_path_ns(self) -> int:
+        """CPU time of the slowest path through the three phases."""
+        return max(self.scan_ns, default=0) + self.stitch_ns + max(self.replay_ns, default=0)
+
+    @property
+    def total_cpu_ns(self) -> int:
+        """CPU time summed over every worker and the stitch."""
+        return sum(self.scan_ns) + self.stitch_ns + sum(self.replay_ns)
+
+    def modeled_speedup(self, sequential_ns: int) -> float:
+        """``sequential_ns`` over the critical path (1.0 when unknowable)."""
+        critical = self.critical_path_ns
+        return sequential_ns / critical if critical else 1.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requested": self.requested,
+            "workers": self.workers,
+            "segments": self.segments,
+            "chunks": self.chunks,
+            "events": self.events,
+            "scan_ns": list(self.scan_ns),
+            "stitch_ns": self.stitch_ns,
+            "replay_ns": list(self.replay_ns),
+            "critical_path_ns": self.critical_path_ns,
+            "total_cpu_ns": self.total_cpu_ns,
+        }
+
+
+# -- chunk planning ------------------------------------------------------------------
+
+
+@dataclass
+class _Chunk:
+    index: int
+    segments: List[ColfSegment]
+    events: int
+
+
+def _plan_chunks(segments: Sequence[ColfSegment], workers: int) -> List[_Chunk]:
+    """Group segments into ``<= workers`` contiguous, event-balanced chunks."""
+    count = min(workers, len(segments))
+    total = sum(segment.count for segment in segments)
+    chunks: List[_Chunk] = []
+    cursor = 0
+    placed = 0
+    for index in range(count):
+        if index == count - 1:
+            group = list(segments[cursor:])
+            cursor = len(segments)
+        else:
+            remaining_chunks = count - index
+            budget = (total - placed) / remaining_chunks
+            group = [segments[cursor]]
+            events = segments[cursor].count
+            cursor += 1
+            # Extend while under the even share, always leaving at least
+            # one segment for every chunk still to be formed.
+            while (
+                cursor < len(segments)
+                and len(segments) - cursor >= remaining_chunks
+                and events + segments[cursor].count / 2 < budget
+            ):
+                events += segments[cursor].count
+                group.append(segments[cursor])
+                cursor += 1
+        events = sum(segment.count for segment in group)
+        placed += events
+        chunks.append(_Chunk(index=index, segments=group, events=events))
+    return chunks
+
+
+# -- phase A: the raw-column scan ----------------------------------------------------
+
+
+class _ChunkScan:
+    """Everything a chunk contributes to the stitch, in chunk-relative times."""
+
+    __slots__ = (
+        "counts",
+        "children",
+        "tsum",
+        "lsum",
+        "lock_anchor",
+        "var_write",
+        "readers",
+        "accesses",
+        "cpu_ns",
+    )
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+        self.children: Set[int] = set()
+        #: tid -> (S, D) symbolic summary of the thread clock (HB only).
+        self.tsum: Dict[int, Tuple[Set[object], Dict[int, int]]] = {}
+        #: lock -> (S, D) summary; present only for locks *released* in the chunk.
+        self.lsum: Dict[object, Tuple[Set[object], Dict[int, int]]] = {}
+        #: lock -> tid of its last release in the chunk.
+        self.lock_anchor: Dict[object, int] = {}
+        #: variable -> (tid, rel) of its last write in the chunk.
+        self.var_write: Dict[object, Tuple[int, int]] = {}
+        #: variable -> ordered {tid: rel} of reads since the last in-chunk write.
+        self.readers: Dict[object, Dict[int, int]] = {}
+        #: variable -> ordered {tid: rel} of all accesses (MAZ pair detector).
+        self.accesses: Dict[object, Dict[int, int]] = {}
+        self.cpu_ns = 0
+
+
+def _scan_chunk(
+    reader: ColfReader,
+    chunk: _Chunk,
+    *,
+    need_hb: bool,
+    need_race: bool,
+    need_pair: bool,
+    need_writers: bool,
+) -> _ChunkScan:
+    """One pass over the chunk's raw columns; no events are materialized."""
+    started = time.thread_time_ns()
+    scan = _ChunkScan()
+    counts = scan.counts
+    children = scan.children
+    tsum = scan.tsum
+    lsum = scan.lsum
+    track_write = need_race or need_pair or need_writers
+    var_write = scan.var_write
+    readers = scan.readers
+    accesses = scan.accesses
+    thread_values = reader._thread_values
+    pool_values = reader._pool_values
+    for segment in chunk.segments:
+        codes = segment.kind_codes.tolist()
+        tid_cells = segment.tid_indices
+        target_cells = segment.target_indices
+        if not isinstance(tid_cells, list):
+            tid_cells = tid_cells.tolist()
+            target_cells = target_cells.tolist()
+        for i, code in enumerate(codes):
+            tid = thread_values[tid_cells[i]]
+            rel = counts.get(tid, 0) + 1
+            counts[tid] = rel
+            if code <= _WRITE:
+                if not track_write:
+                    continue
+                variable = pool_values[target_cells[i]]
+                if code == _WRITE:
+                    if track_write:
+                        var_write[variable] = (tid, rel)
+                    if need_race:
+                        # A write resets the reads-since-last-write set.
+                        readers.pop(variable, None)
+                    if need_pair:
+                        accessed = accesses.get(variable)
+                        if accessed is None:
+                            accesses[variable] = {tid: rel}
+                        else:
+                            accessed[tid] = rel
+                else:
+                    if need_race:
+                        read = readers.get(variable)
+                        if read is None:
+                            readers[variable] = {tid: rel}
+                        else:
+                            read[tid] = rel
+                    if need_pair:
+                        accessed = accesses.get(variable)
+                        if accessed is None:
+                            accesses[variable] = {tid: rel}
+                        else:
+                            accessed[tid] = rel
+                continue
+            if code == _ACQUIRE:
+                if need_hb:
+                    lock = pool_values[target_cells[i]]
+                    summary = tsum.get(tid)
+                    if summary is None:
+                        summary = ({("T", tid)}, {})
+                        tsum[tid] = summary
+                    lock_summary = lsum.get(lock)
+                    if lock_summary is None:
+                        # The lock still carries its chunk-entry clock.
+                        summary[0].add(("L", lock))
+                    else:
+                        summary[0].update(lock_summary[0])
+                        own = summary[1]
+                        for other_tid, value in lock_summary[1].items():
+                            if value > own.get(other_tid, 0):
+                                own[other_tid] = value
+            elif code == _RELEASE:
+                if need_hb:
+                    lock = pool_values[target_cells[i]]
+                    summary = tsum.get(tid)
+                    if summary is None:
+                        summary = ({("T", tid)}, {})
+                        tsum[tid] = summary
+                    summary[1][tid] = rel  # refresh own entry before the copy
+                    lsum[lock] = (set(summary[0]), dict(summary[1]))
+                scan.lock_anchor[pool_values[target_cells[i]]] = tid
+            elif code == _FORK:
+                child = int(pool_values[target_cells[i]])  # type: ignore[arg-type]
+                children.add(child)
+                if need_hb:
+                    summary = tsum.get(tid)
+                    if summary is None:
+                        summary = ({("T", tid)}, {})
+                        tsum[tid] = summary
+                    summary[1][tid] = rel
+                    child_summary = tsum.get(child)
+                    if child_summary is None:
+                        child_summary = ({("T", child)}, {})
+                        tsum[child] = child_summary
+                    child_rel = counts.get(child, 0)
+                    if child_rel:
+                        child_summary[1][child] = child_rel
+                    child_summary[0].update(summary[0])
+                    own = child_summary[1]
+                    for other_tid, value in summary[1].items():
+                        if value > own.get(other_tid, 0):
+                            own[other_tid] = value
+            elif code == _JOIN:
+                child = int(pool_values[target_cells[i]])  # type: ignore[arg-type]
+                children.add(child)
+                if need_hb:
+                    child_summary = tsum.get(child)
+                    if child_summary is None:
+                        child_summary = ({("T", child)}, {})
+                        tsum[child] = child_summary
+                    child_rel = counts.get(child, 0)
+                    if child_rel:
+                        child_summary[1][child] = child_rel
+                    summary = tsum.get(tid)
+                    if summary is None:
+                        summary = ({("T", tid)}, {})
+                        tsum[tid] = summary
+                    summary[0].update(child_summary[0])
+                    own = summary[1]
+                    for other_tid, value in child_summary[1].items():
+                        if value > own.get(other_tid, 0):
+                            own[other_tid] = value
+            # BEGIN / END only advance local time.
+    if need_hb:
+        # Finalize: a thread's own entry is its event count, refreshed
+        # lazily (it is only read when the summary is copied or merged).
+        for tid, rel in counts.items():
+            summary = tsum.get(tid)
+            if summary is None:
+                tsum[tid] = ({("T", tid)}, {tid: rel})
+            else:
+                summary[1][tid] = rel
+    scan.cpu_ns = time.thread_time_ns() - started
+    return scan
+
+
+# -- phase B: the sequential stitch --------------------------------------------------
+
+
+class _OrderSeed:
+    """Chunk-entry clock state of one partial order (shared by TC and VC)."""
+
+    __slots__ = ("threads", "locks", "writes", "reads", "readers")
+
+    def __init__(self) -> None:
+        self.threads: Dict[int, VectorTime] = {}
+        self.locks: Dict[object, Tuple[VectorTime, int]] = {}
+        self.writes: Dict[object, Tuple[VectorTime, int]] = {}
+        self.reads: Dict[Tuple[int, object], VectorTime] = {}
+        self.readers: Dict[object, Set[int]] = {}
+
+
+class _ChunkSeed:
+    """Everything needed to begin a chunk's replay mid-trace."""
+
+    __slots__ = ("orders", "race_states", "pair_states")
+
+    def __init__(self) -> None:
+        self.orders: Dict[str, _OrderSeed] = {}
+        #: variable -> (write_tid, write_clk, ordered {tid: clk} reads).
+        self.race_states: Dict[object, Tuple[int, int, Dict[int, int]]] = {}
+        #: variable -> (write_tid, write_clk, ordered {tid: clk} accesses).
+        self.pair_states: Dict[object, Tuple[int, int, Dict[int, int]]] = {}
+
+
+def _resolve_hb(
+    chunks: Sequence[_Chunk],
+    scans: Sequence[_ChunkScan],
+    offsets: Sequence[Dict[int, int]],
+    seeds: Sequence[_ChunkSeed],
+) -> None:
+    """Evaluate the symbolic HB summaries chunk by chunk, recording seeds."""
+    state: Dict[object, VectorTime] = {}
+    anchors: Dict[object, int] = {}
+    for index, scan in enumerate(scans):
+        if index > 0:
+            seed = _OrderSeed()
+            for key, vector_time in state.items():
+                if not vector_time:
+                    continue
+                tag, obj = key
+                if tag == "T":
+                    seed.threads[obj] = dict(vector_time)
+                else:
+                    seed.locks[obj] = (dict(vector_time), anchors[("L", obj)])
+            seeds[index - 1].orders["HB"] = seed
+        offset = offsets[index]
+        resolved: Dict[object, VectorTime] = {}
+        for obj_key, (sources, deltas) in list(scan.tsum.items()) + [
+            (("L", lock), summary) for lock, summary in scan.lsum.items()
+        ]:
+            key = ("T", obj_key) if not isinstance(obj_key, tuple) else obj_key
+            out: VectorTime = {}
+            for source in sources:
+                base = state.get(source)
+                if base:
+                    for tid, value in base.items():
+                        if value > out.get(tid, 0):
+                            out[tid] = value
+            for tid, rel in deltas.items():
+                value = offset.get(tid, 0) + rel
+                if value > out.get(tid, 0):
+                    out[tid] = value
+            resolved[key] = out
+        state.update(resolved)
+        for lock, tid in scan.lock_anchor.items():
+            anchors[("L", lock)] = tid
+
+
+def _bootstrap_order(
+    order: str,
+    reader: ColfReader,
+    chunks: Sequence[_Chunk],
+    scans: Sequence[_ChunkScan],
+    offsets: Sequence[Dict[int, int]],
+    seeds: Sequence[_ChunkSeed],
+    universe: Sequence[int],
+) -> None:
+    """Sequential order-only clock pass for SHB/MAZ boundary snapshots.
+
+    Runs the real analysis (vector clocks, detection/timestamps/work
+    off) over the chunks in order and snapshots the per-thread, lock,
+    last-write (and for MAZ last-read / readers-set) state at every
+    chunk boundary.  Clock *values* are identical between VC and TC —
+    the paper's pinned equivalence — so one pass seeds both.
+    """
+    analysis = (SHBAnalysis if order == "SHB" else MAZAnalysis)(VectorClock)
+    analysis.begin(threads=universe, trace_name="")
+    write_anchor: Dict[object, int] = {}
+    lock_anchor: Dict[object, int] = {}
+    for index, chunk in enumerate(chunks):
+        if index > 0:
+            seed = _OrderSeed()
+            for tid, clock in analysis.thread_clocks.items():
+                vector_time = clock.as_dict()
+                if vector_time:
+                    seed.threads[tid] = vector_time
+            for lock, clock in analysis.lock_clocks.items():
+                vector_time = clock.as_dict()
+                if vector_time:
+                    seed.locks[lock] = (vector_time, lock_anchor[lock])
+            for variable, clock in analysis._last_write_clocks.items():
+                vector_time = clock.as_dict()
+                if vector_time:
+                    seed.writes[variable] = (vector_time, write_anchor[variable])
+            if order == "MAZ":
+                for key, clock in analysis._last_read_clocks.items():
+                    vector_time = clock.as_dict()
+                    if vector_time:
+                        seed.reads[key] = vector_time
+                for variable, tids in analysis._readers_since_write.items():
+                    if tids:
+                        seed.readers[variable] = set(tids)
+            seeds[index - 1].orders[order] = seed
+        for segment in chunk.segments:
+            analysis.feed_batch(reader._materialize(segment))
+        scan = scans[index]
+        offset = offsets[index]
+        for variable, (tid, rel) in scan.var_write.items():
+            write_anchor[variable] = tid
+        for lock, tid in scan.lock_anchor.items():
+            lock_anchor[lock] = tid
+
+
+def _compose_epochs(
+    scans: Sequence[_ChunkScan],
+    offsets: Sequence[Dict[int, int]],
+    seeds: Sequence[_ChunkSeed],
+    *,
+    pairs: bool,
+) -> None:
+    """Compose per-chunk detector summaries into boundary seeds.
+
+    ``pairs=False`` composes the HB/SHB :class:`RaceDetector` state
+    (write epoch + reads since last write); ``pairs=True`` the MAZ
+    :class:`ReversiblePairDetector` state (write epoch + last access of
+    every thread).  Dict merge order reproduces the sequential
+    first-access insertion order, which the detectors' iteration (and
+    therefore race order and check counts) depends on.
+    """
+    running: Dict[object, Tuple[int, int, Dict[int, int]]] = {}
+    for index, scan in enumerate(scans):
+        if index > 0:
+            target = seeds[index - 1]
+            snapshot = {
+                variable: (wtid, wclk, dict(entries))
+                for variable, (wtid, wclk, entries) in running.items()
+            }
+            if pairs:
+                target.pair_states = snapshot
+            else:
+                target.race_states = snapshot
+        offset = offsets[index]
+        chunk_entries = scan.accesses if pairs else scan.readers
+        for variable in set(scan.var_write) | set(chunk_entries):
+            write = scan.var_write.get(variable)
+            state = running.get(variable)
+            entries = chunk_entries.get(variable)
+            if pairs or write is None:
+                # Merge into the existing map (first-seen order preserved).
+                merged = state[2] if state is not None else {}
+            else:
+                # A write resets the reads-since-last-write map.
+                merged = {}
+            if entries:
+                for tid, rel in entries.items():
+                    merged[tid] = offset.get(tid, 0) + rel
+            if write is not None:
+                wtid, wrel = write
+                running[variable] = (wtid, offset.get(wtid, 0) + wrel, merged)
+            else:
+                prior = state if state is not None else (0, 0, merged)
+                running[variable] = (prior[0], prior[1], merged)
+
+
+# -- phase C: the seeded replay ------------------------------------------------------
+
+
+def _seed_analysis(
+    analysis: PartialOrderAnalysis,
+    order: str,
+    detect: bool,
+    seed: _ChunkSeed,
+) -> None:
+    """Restore one chunk's entry state into a freshly begun analysis."""
+    order_seed = seed.orders.get(order)
+    if order_seed is not None:
+        for tid, vector_time in order_seed.threads.items():
+            analysis.clock_of_thread(tid).seed_vector_time(vector_time, anchor=tid)
+        for lock, (vector_time, anchor) in order_seed.locks.items():
+            analysis.clock_of_lock(lock).seed_vector_time(vector_time, anchor=anchor)
+        if order in ("SHB", "MAZ"):
+            for variable, (vector_time, anchor) in order_seed.writes.items():
+                analysis.last_write_clock(variable).seed_vector_time(
+                    vector_time, anchor=anchor
+                )
+        if order == "MAZ":
+            for (tid, variable), vector_time in order_seed.reads.items():
+                analysis.last_read_clock(tid, variable).seed_vector_time(
+                    vector_time, anchor=tid
+                )
+            for variable, tids in order_seed.readers.items():
+                analysis.readers_since_write(variable).update(tids)
+    if not detect:
+        return
+    detector = analysis._detector  # type: ignore[attr-defined]
+    states = detector._states
+    if order == "MAZ":
+        for variable, (wtid, wclk, accesses) in seed.pair_states.items():
+            states[variable] = _VariableAccessState(
+                write_tid=wtid, write_clk=wclk, last_access=dict(accesses)
+            )
+        return
+    for variable, (wtid, wclk, readers) in seed.race_states.items():
+        if not readers:
+            state = _VariableAccessState(write_tid=wtid, write_clk=wclk)
+        elif len(readers) == 1:
+            tid, clk = next(iter(readers.items()))
+            state = _VariableAccessState(
+                write_tid=wtid, write_clk=wclk, read_tid=tid, read_clk=clk
+            )
+        else:
+            state = _VariableAccessState(
+                write_tid=wtid, write_clk=wclk, reads=dict(readers)
+            )
+        states[variable] = state
+
+
+class _ChunkRun:
+    __slots__ = ("results", "elapsed_ns", "cpu_ns")
+
+    def __init__(self, results: List[AnalysisResult], elapsed_ns: List[int], cpu_ns: int) -> None:
+        self.results = results
+        self.elapsed_ns = elapsed_ns
+        self.cpu_ns = cpu_ns
+
+
+def _replay_chunk(
+    reader: ColfReader,
+    chunk: _Chunk,
+    specs: Sequence["AnalysisSpec"],
+    forced_keep: Sequence[bool],
+    seed: Optional[_ChunkSeed],
+    universe: Sequence[int],
+    name: str,
+    locate: Optional[Callable[[Event], Optional[str]]],
+) -> _ChunkRun:
+    """Replay one chunk through every spec on a freshly seeded engine."""
+    started = time.thread_time_ns()
+    with obs_tracing.span(
+        "session.parallel_chunk",
+        chunk=chunk.index,
+        events=chunk.events,
+        segments=len(chunk.segments),
+    ):
+        analyses: List[PartialOrderAnalysis] = []
+        for spec, force in zip(specs, forced_keep):
+            build_spec = spec.with_updates(keep_races=True) if force else spec
+            analysis = build_spec.build(on_race=None, locate=locate)
+            analysis.begin(threads=universe, trace_name=name)
+            if seed is not None:
+                _seed_analysis(analysis, spec.order, spec.detect, seed)
+            analyses.append(analysis)
+        elapsed = [0] * len(analyses)
+        perf = time.perf_counter_ns
+        for segment in chunk.segments:
+            events = reader._materialize(segment)
+            for index, analysis in enumerate(analyses):
+                feed_started = perf()
+                analysis.feed_batch(events)
+                elapsed[index] += perf() - feed_started
+        results = [analysis.finish() for analysis in analyses]
+    return _ChunkRun(results, elapsed, time.thread_time_ns() - started)
+
+
+# -- the driver ----------------------------------------------------------------------
+
+
+def run_parallel(
+    specs: Sequence["AnalysisSpec"],
+    reader: ColfReader,
+    segments: Sequence[ColfSegment],
+    *,
+    workers: int,
+    name: str = "",
+    base_threads: Sequence[int] = (),
+    on_race: Optional[Callable[[Race], None]] = None,
+    locate: Optional[Callable[[Event], Optional[str]]] = None,
+) -> Tuple[Dict[str, AnalysisResult], ParallelReport]:
+    """Run ``specs`` over ``segments`` with up to ``workers`` concurrent chunks.
+
+    Returns the per-spec merged :class:`AnalysisResult`\\ s (keyed by
+    ``spec.key``, event-for-event identical to the sequential walk) and
+    the :class:`ParallelReport` describing the run.  Work counters are
+    the one exception to exact equivalence: they sum the per-chunk
+    engine work, which for tree clocks depends on the (seeded) tree
+    shapes.
+    """
+    chunks = _plan_chunks(segments, workers)
+    worker_count = len(chunks)
+    orders = {spec.order for spec in specs}
+    need_hb = "HB" in orders
+    need_race = any(spec.detect and spec.order in ("HB", "SHB") for spec in specs)
+    need_pair = any(spec.detect and spec.order == "MAZ" for spec in specs)
+    need_writers = bool(orders & {"SHB", "MAZ"})
+
+    with ThreadPoolExecutor(max_workers=worker_count) as executor:
+        scans = list(
+            executor.map(
+                lambda chunk: _scan_chunk(
+                    reader,
+                    chunk,
+                    need_hb=need_hb,
+                    need_race=need_race,
+                    need_pair=need_pair,
+                    need_writers=need_writers,
+                ),
+                chunks,
+            )
+        )
+
+        stitch_started = time.thread_time_ns()
+        # Per-chunk entry offsets: events of each thread before the chunk.
+        offsets: List[Dict[int, int]] = []
+        totals: Dict[int, int] = {}
+        for scan in scans:
+            offsets.append(dict(totals))
+            for tid, count in scan.counts.items():
+                totals[tid] = totals.get(tid, 0) + count
+        universe_set: Set[int] = set(base_threads) | set(totals)
+        for scan in scans:
+            universe_set |= scan.children
+        universe = sorted(universe_set)
+        seeds = [_ChunkSeed() for _ in range(len(chunks) - 1)]
+        if need_hb:
+            _resolve_hb(chunks, scans, offsets, seeds)
+        for order in ("SHB", "MAZ"):
+            if order in orders:
+                _bootstrap_order(order, reader, chunks, scans, offsets, seeds, universe)
+        if need_race:
+            _compose_epochs(scans, offsets, seeds, pairs=False)
+        if need_pair:
+            _compose_epochs(scans, offsets, seeds, pairs=True)
+        stitch_ns = time.thread_time_ns() - stitch_started
+
+        # The session narrator contract: the on_race callback belongs to
+        # the first detecting spec only.  Chunks run with no callback
+        # (delivery order would interleave); the join replays the merged
+        # race list through it instead, forcing race recording on for
+        # that spec when it would otherwise only count.
+        narrator_index = -1
+        if on_race is not None:
+            for index, spec in enumerate(specs):
+                if spec.detect:
+                    narrator_index = index
+                    break
+        forced_keep = [
+            index == narrator_index and not spec.keep_races
+            for index, spec in enumerate(specs)
+        ]
+
+        runs = list(
+            executor.map(
+                lambda chunk: _replay_chunk(
+                    reader,
+                    chunk,
+                    specs,
+                    forced_keep,
+                    seeds[chunk.index - 1] if chunk.index > 0 else None,
+                    universe,
+                    name,
+                    locate,
+                ),
+                chunks,
+            )
+        )
+
+    total_events = sum(chunk.events for chunk in chunks)
+    results: Dict[str, AnalysisResult] = {}
+    for index, spec in enumerate(specs):
+        chunk_results = [run.results[index] for run in runs]
+        detection: Optional[DetectionSummary] = None
+        if spec.detect:
+            detection = DetectionSummary()
+            for chunk_result in chunk_results:
+                summary = chunk_result.detection
+                assert summary is not None
+                detection.races.extend(summary.races)
+                detection.checks += summary.checks
+                detection.total_reported += summary.total_reported
+            if index == narrator_index and on_race is not None:
+                for race in detection.races:
+                    on_race(race)
+            if forced_keep[index]:
+                detection.races.clear()
+        timestamps = None
+        if spec.timestamps:
+            timestamps = []
+            for chunk_result in chunk_results:
+                assert chunk_result.timestamps is not None
+                timestamps.extend(chunk_result.timestamps)
+        work = None
+        if spec.work:
+            for chunk_result in chunk_results:
+                assert chunk_result.work is not None
+                work = (
+                    chunk_result.work
+                    if work is None
+                    else work.merged_with(chunk_result.work)
+                )
+        results[spec.key] = AnalysisResult(
+            partial_order=spec.order,
+            clock_name=chunk_results[0].clock_name,
+            trace_name=name,
+            num_events=total_events,
+            num_threads=len(universe),
+            timestamps=timestamps,
+            work=work,
+            detection=detection,
+            elapsed_ns=sum(run.elapsed_ns[index] for run in runs),
+        )
+    report = ParallelReport(
+        requested=workers,
+        workers=worker_count,
+        segments=len(segments),
+        chunks=len(chunks),
+        events=total_events,
+        scan_ns=[scan.cpu_ns for scan in scans],
+        stitch_ns=stitch_ns,
+        replay_ns=[run.cpu_ns for run in runs],
+    )
+    return results, report

@@ -288,6 +288,67 @@ class TreeClock:
         if counter is not None:
             counter.record_copy(processed=processed, updated=updated)
 
+    def seed_vector_time(self, vector_time: VectorTime, anchor: Optional[int] = None) -> None:
+        """Overwrite this clock with an absolute vector-time snapshot.
+
+        Used by the segment-parallel runner to reconstruct mid-trace
+        clock state inside a worker before replaying a chunk.  The
+        result is a *flat* tree: a root ``(anchor, vector_time[anchor])``
+        with every other non-zero entry as a direct child carrying
+        ``aclk = root.clk``.
+
+        ``anchor`` must be the thread whose clock snapshot this vector
+        time is (the owning thread for thread clocks — the default —
+        the last releasing thread for lock clocks, the last writer for
+        last-write clocks).  That choice is what keeps the tree-clock
+        pruning rules sound on the seeded state: any clock that knows
+        ``(anchor, root.clk)`` can only have learned it from the
+        anchor's state at that local time, which contains every seeded
+        entry — exactly the snapshot property ``join`` relies on.  The
+        flat shape is structurally valid (equal child ``aclk`` values
+        satisfy the descending-order invariant) and, because all
+        children share ``aclk = root.clk``, indirect monotonicity never
+        fires unless the whole clock is already known, so replayed
+        vector times are identical to the sequential run's.
+
+        Seeding is state restoration, not analysis work: no work-counter
+        events are recorded.
+        """
+        for node in list(self._nodes.values()):
+            self._recycle(node)
+        self._nodes = {}
+        self._root = None
+        if anchor is None:
+            anchor = self.owner
+        if anchor is None:
+            if vector_time:
+                raise ValueError(
+                    "seeding a non-empty vector time into an un-owned tree clock "
+                    "requires an anchor thread"
+                )
+            return
+        context = self.context
+        if anchor not in context.index_of:
+            context.add_thread(anchor)
+        root = TreeClockNode(anchor, vector_time.get(anchor, 0), None)
+        self._root = root
+        self._nodes[anchor] = root
+        free = context.tc_free
+        for tid, clk in vector_time.items():
+            if tid == anchor or not clk:
+                continue
+            if tid not in context.index_of:
+                context.add_thread(tid)
+            if free:
+                node = free.pop()
+                node.tid = tid
+            else:
+                node = TreeClockNode(tid)
+            node.clk = clk
+            node.aclk = root.clk
+            self._nodes[tid] = node
+            self._push_child(node, root)
+
     # -- snapshots and introspection ------------------------------------------------------
 
     def as_dict(self) -> VectorTime:

@@ -121,6 +121,30 @@ class VectorClock:
         other_values = other._values
         return all(value <= other_values[index] for index, value in enumerate(self._values))
 
+    def seed_vector_time(self, vector_time: VectorTime, anchor: Optional[int] = None) -> None:
+        """Overwrite this clock with an absolute vector-time snapshot.
+
+        Used by the segment-parallel runner to reconstruct mid-trace
+        clock state inside a worker before replaying a chunk.  Every
+        thread named in ``vector_time`` is registered with the context
+        if needed; entries not named are reset to 0.  Seeding is state
+        *restoration*, not analysis work, so no work-counter events are
+        recorded.  ``anchor`` is accepted for signature parity with
+        :meth:`TreeClock.seed_vector_time` (vector clocks have no
+        structural root, so it is ignored).
+        """
+        context = self.context
+        for tid in vector_time:
+            if tid not in context.index_of:
+                context.add_thread(tid)
+        self._grow()
+        values = self._values
+        for index in range(len(values)):
+            values[index] = 0
+        index_of = context.index_of
+        for tid, clk in vector_time.items():
+            values[index_of[tid]] = clk
+
     # -- snapshots and debugging -----------------------------------------------------
 
     def as_dict(self) -> VectorTime:

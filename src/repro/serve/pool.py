@@ -49,6 +49,9 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import metrics as obs_metrics
 from ..obs import proc as obs_proc
+from ..obs.logging import get_logger
+
+_log = get_logger(__name__)
 
 #: A task is attempted at most this many times (first run + one retry).
 MAX_ATTEMPTS = 2
@@ -69,6 +72,12 @@ class WorkerTask:
     uses.  ``fault`` is test instrumentation for the crash-isolation and
     timeout paths (``"exit"`` hard-kills the worker mid-task, ``"hang"``
     blocks it) — production schedulers never set it.
+
+    ``parallel`` asks the worker to run the analysis segment-parallel
+    with that many threads (:meth:`Session.run` with ``parallel=N``);
+    it only engages for multi-segment colf traces and silently falls
+    back to the sequential walk everywhere else, so schedulers may set
+    it purely on trace size.
     """
 
     task_id: str
@@ -77,7 +86,21 @@ class WorkerTask:
     fmt: Optional[str] = None
     trace_name: str = ""
     chunk_events: int = 2048
+    parallel: int = 1
     fault: Optional[str] = None
+
+
+def _is_colf_file(path: str, fmt: Optional[str]) -> bool:
+    """Whether the trace file is a colf container (declared or sniffed)."""
+    if fmt is not None:
+        return fmt == "colf"
+    from ..trace.colfmt import is_colf_prefix
+
+    try:
+        with open(path, "rb") as handle:
+            return is_colf_prefix(handle.read(8))
+    except OSError:
+        return False
 
 
 def execute_task(task: WorkerTask) -> Dict[str, object]:
@@ -98,11 +121,21 @@ def execute_task(task: WorkerTask) -> Dict[str, object]:
 
     spec = coerce_spec(task.spec)
     session = Session([spec])
-    session.begin(name=task.trace_name or task.trace_path)
-    feed_batch = session.feed_batch
-    for chunk in iter_trace_chunks(task.trace_path, fmt=task.fmt, batch_size=task.chunk_events):
-        feed_batch(chunk)
-    result = session.finish()
+    if task.parallel > 1 and _is_colf_file(task.trace_path, task.fmt):
+        # Segment-parallel walk over the mmap'd container.  Session.run
+        # falls back to the sequential walk itself when the container
+        # has one segment or the spec's order is not stitchable, so the
+        # scheduler only needs a size heuristic, not format internals.
+        from ..api.sources import ColfSource
+
+        with ColfSource(task.trace_path, name=task.trace_name or task.trace_path) as source:
+            result = session.run(source, batch_size=task.chunk_events, parallel=task.parallel)
+    else:
+        session.begin(name=task.trace_name or task.trace_path)
+        feed_batch = session.feed_batch
+        for chunk in iter_trace_chunks(task.trace_path, fmt=task.fmt, batch_size=task.chunk_events):
+            feed_batch(chunk)
+        result = session.finish()
     analysis = result[spec]
 
     payload: Dict[str, object] = {
@@ -112,6 +145,13 @@ def execute_task(task: WorkerTask) -> Dict[str, object]:
         "elapsed_ns": analysis.elapsed_ns,
         "worker_pid": os.getpid(),
     }
+    if result.parallel is not None:
+        payload["parallel"] = {
+            "workers": result.parallel.workers,
+            "chunks": result.parallel.chunks,
+            "segments": result.parallel.segments,
+            "critical_path_ns": result.parallel.critical_path_ns,
+        }
     if analysis.detection is not None:
         payload["race_count"] = analysis.detection.race_count
         payload["races"] = sorted(race.pair() for race in analysis.detection.races)
@@ -210,6 +250,7 @@ class WorkerPool:
             "crashes": 0,
             "timeouts": 0,
             "retries": 0,
+            "callback_errors": 0,
         }
         # Metrics registry binding of the current run (None = disabled);
         # bound once at start() so supervision paths pay one check.
@@ -373,7 +414,8 @@ class WorkerPool:
 
     def counters(self) -> Dict[str, int]:
         """Supervision tallies since construction: ``jobs_done`` /
-        ``jobs_failed`` / ``crashes`` / ``timeouts`` / ``retries``.
+        ``jobs_failed`` / ``crashes`` / ``timeouts`` / ``retries`` /
+        ``callback_errors``.
 
         Always maintained (no registry needed) — this is what
         ``repro serve status`` renders, so a crashed-and-retried task is
@@ -595,7 +637,19 @@ class WorkerPool:
             try:
                 self._on_result(task_id, payload, error, attempts)
             except Exception:  # noqa: BLE001 - a callback bug must not kill the monitor
-                pass
+                # ...but it must not be silent either: a broken watcher
+                # means results are being dropped on the floor.  Tally it
+                # (``serve status`` renders the counters) and log it.
+                with self._lock:
+                    self._counters["callback_errors"] += 1
+                obs = self._obs
+                if obs is not None:
+                    obs.counter("pool.callback_errors").inc()
+                _log.warning(
+                    "result callback raised for task %s; completion dropped",
+                    task_id,
+                    exc_info=True,
+                )
 
 
 def run_batch(

@@ -425,6 +425,12 @@ class ColfReader:
                 raw: Union[mmap.mmap, bytes] = self._mmap
             except ValueError:  # zero-length file: cannot mmap, and invalid anyway
                 raw = self._file.read()
+            except BaseException:
+                # mmap itself failed (e.g. an OSError on an exotic fs):
+                # the file handle must not leak with no reader to own it.
+                handle, self._file = self._file, None
+                handle.close()
+                raise
         elif isinstance(source, (bytes, bytearray)):
             raw = bytes(source)
         else:
@@ -484,13 +490,19 @@ class ColfReader:
                 f"footer offset {footer_offset} at byte offset {trailer_offset} is "
                 f"outside the file body ({_HEADER.size}..{trailer_offset})"
             )
-        footer = data[footer_offset:trailer_offset]
+        # The footer is copied out of the container buffer before any
+        # further validation: a TraceFormatError raised mid-parse keeps
+        # the cursor's sub-views alive in the traceback, and sub-views of
+        # the mmap would make ``close()`` (run by __init__'s error path)
+        # impossible until the traceback is released.  A bytes copy of a
+        # few KB keeps error paths independent of the mmap lifecycle.
+        footer = bytes(data[footer_offset:trailer_offset])
         if zlib.crc32(footer) != footer_crc:
             self._fail(
                 f"footer checksum mismatch at byte offset {footer_offset} — "
                 f"the file is corrupt"
             )
-        cursor = _FooterCursor(footer, footer_offset, self.name)
+        cursor = _FooterCursor(memoryview(footer), footer_offset, self.name)
 
         thread_count = cursor.u32("thread-table count")
         self.thread_table: Tuple[int, ...] = tuple(
@@ -580,9 +592,11 @@ class ColfReader:
             tids = [threads[cell] for cell in tid_cells]
         except IndexError:
             bad = next(i for i, cell in enumerate(tid_cells) if cell >= len(threads))
+            cell_value = int(tid_cells[bad])
+            tid_cells = None  # release the column view before raising
             self._fail(
                 f"segment {segment.index} event {segment.first_eid + bad} references "
-                f"thread-table index {tid_cells[bad]} (table has {len(threads)} "
+                f"thread-table index {cell_value} (table has {len(threads)} "
                 f"entries) at byte offset {offset + count + 4 * bad}"
             )
         pool = self._pool_values
@@ -591,9 +605,11 @@ class ColfReader:
             targets = [pool[cell] for cell in target_cells]
         except IndexError:
             bad = next(i for i, cell in enumerate(target_cells) if cell >= len(pool))
+            cell_value = int(target_cells[bad])
+            tid_cells = target_cells = None  # release the column views before raising
             self._fail(
                 f"segment {segment.index} event {segment.first_eid + bad} references "
-                f"target-pool index {target_cells[bad]} (pool has {len(pool)} "
+                f"target-pool index {cell_value} (pool has {len(pool)} "
                 f"entries) at byte offset {offset + 5 * count + 4 * bad}"
             )
         first = segment.first_eid
@@ -655,17 +671,34 @@ class ColfReader:
     # -- lifecycle ---------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the underlying mmap / file handle."""
+        """Release the underlying mmap / file handle.
+
+        Safe to call at any point of the lifecycle, including from the
+        constructor's error path and repeatedly.  If column sub-views
+        are still exported (e.g. held by the traceback of a decode
+        error), releasing the buffer would raise ``BufferError``; the
+        buffer is then left for the garbage collector, but the file
+        handle is **always** closed — a corrupt container must never
+        leak an open file or mask its ``TraceFormatError``.
+        """
         data = getattr(self, "_data", None)
-        if data is not None:
-            data.release()
-            self._data = None  # type: ignore[assignment]
-        if self._mmap is not None:
-            self._mmap.close()
-            self._mmap = None
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        self._data = None  # type: ignore[assignment]
+        mapped, self._mmap = self._mmap, None
+        handle, self._file = self._file, None
+        try:
+            if data is not None:
+                try:
+                    data.release()
+                except BufferError:
+                    pass
+            if mapped is not None:
+                try:
+                    mapped.close()
+                except BufferError:
+                    pass
+        finally:
+            if handle is not None:
+                handle.close()
 
     def __enter__(self) -> "ColfReader":
         return self

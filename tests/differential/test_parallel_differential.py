@@ -1,0 +1,185 @@
+"""Differential check: segment-parallel analysis ≡ the sequential walk.
+
+The segment-parallel runner (:mod:`repro.analysis.parallel`) is only
+allowed to change *where the work runs*, never what it computes: for
+every spec the merged race list (same races, same order), the detector
+check counts, the per-event timestamps and the event totals must be
+identical to the ordinary sequential walk over the same colf container.
+This module pins that contract across the full order × clock matrix,
+every generator scenario, fork/join traces and hypothesis-random
+traces, at several worker counts and segment sizes — a boundary-merge
+bug that shifts one clock entry or reorders one race fails here.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Session
+from repro.api.sources import ColfSource
+from repro.gen.scenarios import SCENARIOS
+from repro.trace.colfmt import write_colf
+from util_traces import make_random_trace, trace_strategy
+
+#: The full order × clock sweep, detection on everywhere, timestamps on
+#: the vector-clock side so boundary clock values are compared exactly.
+MATRIX_SPECS = [
+    "hb+tc+detect",
+    "hb+vc+detect+ts",
+    "shb+tc+detect",
+    "shb+vc+detect+ts",
+    "maz+tc+detect",
+    "maz+vc+detect+ts",
+]
+
+#: Shorter slice for the many-trace sweeps.
+SESSION_SPECS = ["hb+tc+detect", "shb+vc+detect", "maz+tc+detect"]
+
+
+def write_container(events, tmp_path, segment_events=128):
+    path = tmp_path / "trace.colf"
+    with open(path, "wb") as handle:
+        write_colf(events, handle, segment_events=segment_events)
+    return path
+
+
+def run_both(events, tmp_path, specs, *, parallel=4, segment_events=128):
+    path = write_container(events, tmp_path, segment_events=segment_events)
+    with ColfSource(path) as source:
+        sequential = Session(specs).run(source)
+    with ColfSource(path) as source:
+        parallel_result = Session(specs).run(source, parallel=parallel)
+    return sequential, parallel_result
+
+
+def assert_equivalent(sequential, parallel_result, *, expect_parallel=True):
+    if expect_parallel:
+        assert parallel_result.parallel is not None, "parallel walk did not engage"
+    assert parallel_result.num_events == sequential.num_events
+    assert set(parallel_result.results) == set(sequential.results)
+    for key in sequential.results:
+        seq_result = sequential[key]
+        par_result = parallel_result[key]
+        assert par_result.num_events == seq_result.num_events, key
+        if seq_result.detection is not None:
+            seq_races = [race.pair() for race in seq_result.detection.races]
+            par_races = [race.pair() for race in par_result.detection.races]
+            assert par_races == seq_races, f"{key}: race sets diverge"
+            assert par_result.detection.checks == seq_result.detection.checks, key
+            assert (
+                par_result.detection.total_reported
+                == seq_result.detection.total_reported
+            ), key
+        if seq_result.timestamps is not None:
+            assert par_result.timestamps == seq_result.timestamps, (
+                f"{key}: timestamps diverge"
+            )
+
+
+class TestMatrixEquivalence:
+    def test_full_order_clock_matrix(self, tmp_path):
+        events = list(make_random_trace(11, num_events=1500, include_fork_join=True))
+        sequential, parallel_result = run_both(events, tmp_path, MATRIX_SPECS)
+        assert_equivalent(sequential, parallel_result)
+
+    @pytest.mark.parametrize("workers", [2, 3, 8])
+    def test_worker_counts(self, tmp_path, workers):
+        events = list(make_random_trace(5, num_events=900))
+        sequential, parallel_result = run_both(
+            events, tmp_path, MATRIX_SPECS, parallel=workers
+        )
+        assert_equivalent(sequential, parallel_result)
+        assert parallel_result.parallel.chunks <= workers
+
+    @pytest.mark.parametrize("segment_events", [16, 64, 257])
+    def test_segment_sizes(self, tmp_path, segment_events):
+        events = list(make_random_trace(23, num_events=800, include_fork_join=True))
+        sequential, parallel_result = run_both(
+            events, tmp_path, MATRIX_SPECS, segment_events=segment_events
+        )
+        assert_equivalent(sequential, parallel_result)
+
+
+class TestScenarioEquivalence:
+    def test_all_generator_scenarios(self, tmp_path):
+        for name, factory in sorted(SCENARIOS.items()):
+            events = list(factory(8, 1200, 3))
+            sequential, parallel_result = run_both(events, tmp_path, SESSION_SPECS)
+            assert_equivalent(sequential, parallel_result)
+
+    def test_fork_join_heavy(self, tmp_path):
+        events = list(
+            make_random_trace(41, num_threads=10, num_events=1000, include_fork_join=True)
+        )
+        sequential, parallel_result = run_both(events, tmp_path, MATRIX_SPECS)
+        assert_equivalent(sequential, parallel_result)
+
+    def test_sync_free_trace(self, tmp_path):
+        events = list(make_random_trace(13, num_events=600, sync_bias=0.0))
+        sequential, parallel_result = run_both(events, tmp_path, MATRIX_SPECS)
+        assert_equivalent(sequential, parallel_result)
+
+    def test_sync_heavy_trace(self, tmp_path):
+        events = list(make_random_trace(17, num_events=600, sync_bias=0.9))
+        sequential, parallel_result = run_both(events, tmp_path, MATRIX_SPECS)
+        assert_equivalent(sequential, parallel_result)
+
+
+class TestCallbackEquivalence:
+    def test_on_race_sees_merged_order(self, tmp_path):
+        events = list(make_random_trace(3, num_events=700, sync_bias=0.2))
+        path = write_container(events, tmp_path)
+        sequential_races, parallel_races = [], []
+        with ColfSource(path) as source:
+            Session(SESSION_SPECS, on_race=sequential_races.append).run(source)
+        with ColfSource(path) as source:
+            result = Session(SESSION_SPECS, on_race=parallel_races.append).run(
+                source, parallel=4
+            )
+        assert result.parallel is not None
+        assert [race.pair() for race in parallel_races] == [
+            race.pair() for race in sequential_races
+        ]
+
+    def test_countonly_narrator(self, tmp_path):
+        """keep_races=False + on_race: callbacks fire, races stay trimmed."""
+        events = list(make_random_trace(9, num_events=500, sync_bias=0.2))
+        path = write_container(events, tmp_path)
+        seen = []
+        with ColfSource(path) as source:
+            result = Session(
+                ["hb+tc+detect+countonly"], on_race=seen.append
+            ).run(source, parallel=3)
+        assert result.parallel is not None
+        summary = result.primary.detection
+        assert summary.races == []
+        assert summary.total_reported == len(seen)
+        assert len(seen) > 0
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(trace=trace_strategy(max_events=120, include_fork_join=True), data=st.data())
+    def test_random_traces(self, tmp_path_factory, trace, data):
+        events = list(trace)
+        if not events:
+            return
+        workers = data.draw(st.integers(min_value=2, max_value=6))
+        segment_events = data.draw(st.sampled_from([8, 16, 32]))
+        tmp_path = tmp_path_factory.mktemp("parallel-hyp")
+        sequential, parallel_result = run_both(
+            events,
+            tmp_path,
+            SESSION_SPECS,
+            parallel=workers,
+            segment_events=segment_events,
+        )
+        assert_equivalent(
+            sequential,
+            parallel_result,
+            expect_parallel=len(events) > segment_events,
+        )

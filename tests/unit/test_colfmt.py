@@ -266,3 +266,69 @@ class TestGoldenLayout:
         assert pack_bytes(small_events(), segment_events=3) == base64.b64decode(
             GOLDEN_V1_BASE64
         )
+
+
+class TestReaderResourceLifecycle:
+    """Error-path regression tests: a failing reader must never leak its
+    file handle or let dangling column views mask the real error."""
+
+    def _opened_handles(self, monkeypatch):
+        import builtins
+
+        handles = []
+        real_open = builtins.open
+
+        def tracking_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            handles.append(handle)
+            return handle
+
+        monkeypatch.setattr(builtins, "open", tracking_open)
+        return handles
+
+    def test_mmap_failure_closes_file(self, tmp_path, monkeypatch):
+        import mmap as mmap_module
+
+        path = tmp_path / "t.colf"
+        path.write_bytes(pack_bytes(small_events()))
+        handles = self._opened_handles(monkeypatch)
+
+        def failing_mmap(*args, **kwargs):
+            raise OSError("mmap unsupported on this filesystem")
+
+        monkeypatch.setattr(mmap_module, "mmap", failing_mmap)
+        with pytest.raises(OSError, match="mmap unsupported"):
+            ColfReader(path)
+        assert len(handles) == 1 and handles[0].closed
+
+    def test_corrupt_file_closes_handle_and_raises_cleanly(self, tmp_path, monkeypatch):
+        blob = bytearray(pack_bytes(small_events()))
+        blob[-9] ^= 0xFF  # flip a footer-CRC byte
+        path = tmp_path / "corrupt.colf"
+        path.write_bytes(bytes(blob))
+        handles = self._opened_handles(monkeypatch)
+        with pytest.raises(TraceFormatError, match="checksum mismatch"):
+            ColfReader(path)
+        assert len(handles) == 1 and handles[0].closed
+
+    def test_close_tolerates_exported_column_views(self, tmp_path, monkeypatch):
+        path = tmp_path / "t.colf"
+        path.write_bytes(pack_bytes(small_events(), segment_events=3))
+        handles = self._opened_handles(monkeypatch)
+        reader = ColfReader(path)
+        view = reader.segments[0].kind_codes  # pins the mapped buffer
+        reader.close()  # must not raise BufferError...
+        assert handles[-1].closed  # ...and must still close the file
+        reader.close()  # idempotent
+        assert view[0] is not None  # the exported view stays readable
+
+    def test_truncated_footer_then_close_is_clean(self, tmp_path):
+        # A mid-footer TraceFormatError keeps cursor sub-views in the
+        # traceback; the reader copies the footer to bytes so close()
+        # (run by __init__'s error path) still releases the mmap.
+        blob = bytearray(pack_bytes(small_events()))
+        struct.pack_into("<I", blob, len(blob) - 16, 2**31)  # absurd footer offset
+        path = tmp_path / "trunc.colf"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError):
+            ColfReader(path)

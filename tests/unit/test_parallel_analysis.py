@@ -1,0 +1,290 @@
+"""Unit tests for the segment-parallel runner and its session surface.
+
+The equivalence contract lives in
+``tests/differential/test_parallel_differential.py``; this module pins
+the *mechanics*: chunk planning, the fallback gates, the boundary edge
+cases the stitch must survive (ragged final segments, a lock handed
+across a chunk boundary, more workers than segments), clock seeding,
+and the upfront parameter validation on :meth:`Session.run`.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.analysis.parallel import (
+    PARALLEL_ORDERS,
+    ParallelReport,
+    _plan_chunks,
+    run_parallel,
+    supports_parallel,
+)
+from repro.api import Session
+from repro.api.sources import ColfSource
+from repro.api.spec import coerce_spec
+from repro.clocks.base import ClockContext
+from repro.clocks.tree_clock import TreeClock
+from repro.clocks.vector_clock import VectorClock
+from repro.trace import Trace
+from repro.trace import event as ev
+from repro.trace.colfmt import ColfReader, write_colf
+
+
+def make_reader(events, segment_events=8):
+    buffer = io.BytesIO()
+    write_colf(events, buffer, segment_events=segment_events)
+    return ColfReader(buffer.getvalue())
+
+
+def write_container(events, tmp_path, segment_events=8):
+    path = tmp_path / "trace.colf"
+    with open(path, "wb") as handle:
+        write_colf(events, handle, segment_events=segment_events)
+    return path
+
+
+def sequential_result(spec, path):
+    """The sequential-walk reference, over the same container."""
+    with ColfSource(path) as source:
+        return Session([spec]).run(source)[spec]
+
+
+def race_pairs(result):
+    return [race.pair() for race in result.detection.races]
+
+
+class TestChunkPlanning:
+    def test_balances_event_counts(self):
+        events = [ev.write(1 + (i % 3), f"x{i % 5}") for i in range(200)]
+        with make_reader(events, segment_events=7) as reader:
+            chunks = _plan_chunks(reader.segments, 4)
+            assert len(chunks) == 4
+            assert sum(chunk.events for chunk in chunks) == 200
+            # Contiguous and exhaustive: chunk segments tile the container.
+            indices = [seg.index for chunk in chunks for seg in chunk.segments]
+            assert indices == list(range(len(reader.segments)))
+            # Reasonably balanced: no chunk more than twice the even share.
+            assert max(chunk.events for chunk in chunks) <= 2 * 200 / 4 + 7
+
+    def test_workers_capped_by_segments(self):
+        events = [ev.write(1, "x") for _ in range(20)]
+        with make_reader(events, segment_events=8) as reader:
+            assert len(reader.segments) == 3
+            chunks = _plan_chunks(reader.segments, 16)
+            assert len(chunks) == 3
+            assert all(len(chunk.segments) == 1 for chunk in chunks)
+
+    def test_single_worker_single_chunk(self):
+        events = [ev.write(1, "x") for _ in range(20)]
+        with make_reader(events, segment_events=4) as reader:
+            chunks = _plan_chunks(reader.segments, 1)
+            assert len(chunks) == 1
+            assert chunks[0].events == 20
+
+
+class TestGates:
+    def test_supports_parallel(self):
+        events = [ev.write(1, "x") for _ in range(20)]
+        specs = [coerce_spec("hb+tc"), coerce_spec("maz+vc+detect")]
+        with make_reader(events, segment_events=4) as reader:
+            assert supports_parallel(specs, reader.segments)
+        with make_reader(events, segment_events=64) as reader:
+            # One segment: nothing to parallelize.
+            assert not supports_parallel(specs, reader.segments)
+        class ExoticSpec:
+            order = "XO"  # a runtime-registered order the runner can't stitch
+
+        with make_reader(events, segment_events=4) as reader:
+            assert not supports_parallel([ExoticSpec()], reader.segments)
+        assert PARALLEL_ORDERS == {"HB", "SHB", "MAZ"}
+
+    def test_single_segment_falls_back_to_sequential(self, tmp_path):
+        events = [ev.write(1 + (i % 2), "x") for i in range(30)]
+        path = write_container(events, tmp_path, segment_events=1024)
+        with ColfSource(path) as source:
+            result = Session(["hb+tc+detect"]).run(source, parallel=4)
+        assert result.parallel is None
+        assert result.num_events == 30
+        assert result.primary.detection.race_count > 0
+
+    def test_non_colf_source_falls_back(self):
+        events = [ev.write(1 + (i % 2), "x") for i in range(30)]
+        result = Session(["hb+tc+detect"]).run(Trace(events, name="mem"), parallel=4)
+        assert result.parallel is None
+        assert result.num_events == 30
+
+
+class TestBoundaryEdgeCases:
+    def test_ragged_final_segment(self, tmp_path):
+        """65 events over segment_events=16: a 1-event final segment."""
+        events = [
+            ev.write(1 + (i % 3), f"x{i % 4}") if i % 2 else ev.read(1 + (i % 3), f"x{i % 4}")
+            for i in range(65)
+        ]
+        path = write_container(events, tmp_path, segment_events=16)
+        with ColfSource(path) as source:
+            assert [seg.count for seg in source.segments()] == [16, 16, 16, 16, 1]
+            parallel = Session(["shb+tc+detect"]).run(source, parallel=5)
+        assert parallel.parallel is not None
+        sequential = sequential_result("shb+tc+detect", path)
+        assert race_pairs(parallel.primary) == race_pairs(sequential)
+        assert parallel.primary.detection.checks == sequential.detection.checks
+
+    def test_lock_pair_split_across_boundary(self, tmp_path):
+        """Acquire in one chunk, release in the next: the lock clock must
+        carry the holder's entry state across the boundary."""
+        events = []
+        events.append(ev.acquire(1, "m"))
+        events.append(ev.write(1, "x"))
+        events.extend(ev.read(1, "pad") for _ in range(6))  # chunk boundary inside
+        events.append(ev.release(1, "m"))
+        events.append(ev.acquire(2, "m"))
+        events.append(ev.write(2, "x"))  # ordered via m: no race
+        events.append(ev.release(2, "m"))
+        events.append(ev.write(3, "x"))  # unordered: races with both writes
+        path = write_container(events, tmp_path, segment_events=4)
+        with ColfSource(path) as source:
+            assert len(source.segments()) > 2
+            parallel = Session(["hb+tc+detect", "hb+vc+detect"]).run(source, parallel=4)
+        assert parallel.parallel is not None
+        sequential = sequential_result("hb+tc+detect", path)
+        assert race_pairs(sequential) == race_pairs(parallel["hb+tc+detect"])
+        assert race_pairs(sequential) == race_pairs(parallel["hb+vc+detect"])
+        racing_tids = {race.event_tid for race in parallel["hb+tc+detect"].detection.races}
+        assert racing_tids == {3}
+
+    def test_fork_join_split_across_boundary(self, tmp_path):
+        events = [ev.fork(1, 2)]
+        events.extend(ev.write(2, "pad") for _ in range(9))
+        events.append(ev.write(2, "x"))
+        events.append(ev.join(1, 2))  # lands in a later chunk
+        events.append(ev.write(1, "x"))  # ordered via join: no race
+        events.append(ev.write(3, "x"))  # unordered: races
+        path = write_container(events, tmp_path, segment_events=4)
+        with ColfSource(path) as source:
+            parallel = Session(["hb+tc+detect"]).run(source, parallel=4)
+        assert parallel.parallel is not None
+        sequential = sequential_result("hb+tc+detect", path)
+        assert race_pairs(parallel.primary) == race_pairs(sequential)
+        racing_tids = {race.event_tid for race in parallel.primary.detection.races}
+        assert racing_tids == {3}
+
+    def test_workers_exceed_segments(self, tmp_path):
+        events = [ev.write(1 + (i % 2), "x") for i in range(24)]
+        path = write_container(events, tmp_path, segment_events=8)
+        with ColfSource(path) as source:
+            assert len(source.segments()) == 3
+            parallel = Session(["hb+tc+detect"]).run(source, parallel=64)
+        report = parallel.parallel
+        assert report is not None
+        assert report.requested == 64
+        assert report.workers == report.chunks == 3
+        sequential = sequential_result("hb+tc+detect", path)
+        assert race_pairs(parallel.primary) == race_pairs(sequential)
+
+    def test_thread_first_seen_mid_trace(self, tmp_path):
+        """A thread whose first event is in a late chunk still resolves."""
+        events = [ev.write(1, "x") for _ in range(12)]
+        events.append(ev.write(9, "x"))  # brand-new thread, final segment
+        path = write_container(events, tmp_path, segment_events=4)
+        with ColfSource(path) as source:
+            parallel = Session(["shb+vc+detect+ts"]).run(source, parallel=3)
+        sequential = sequential_result("shb+vc+detect+ts", path)
+        assert race_pairs(parallel.primary) == race_pairs(sequential)
+        assert parallel.primary.timestamps == sequential.timestamps
+
+
+class TestRunParallelDirect:
+    def test_work_counters_merge(self):
+        events = [ev.write(1 + (i % 3), f"x{i % 2}") for i in range(60)]
+        specs = [coerce_spec("hb+tc+work")]
+        with make_reader(events, segment_events=16) as reader:
+            results, report = run_parallel(
+                specs, reader, reader.segments, workers=3, base_threads=reader.threads()
+            )
+        work = results[specs[0].key].work
+        assert work is not None
+        assert work.increments == 60  # one per event, exact under merging
+        assert report.events == 60
+        assert len(report.scan_ns) == report.chunks == len(report.replay_ns)
+
+    def test_report_shape(self):
+        report = ParallelReport(
+            requested=4,
+            workers=2,
+            segments=5,
+            chunks=2,
+            events=100,
+            scan_ns=[10, 30],
+            stitch_ns=5,
+            replay_ns=[50, 20],
+        )
+        assert report.critical_path_ns == 30 + 5 + 50
+        assert report.total_cpu_ns == 115
+        assert report.modeled_speedup(170) == 2.0
+        payload = report.as_dict()
+        assert payload["critical_path_ns"] == 85
+        assert payload["chunks"] == 2
+
+
+class TestSessionValidation:
+    @pytest.mark.parametrize("kwargs", [{"batch_size": 0}, {"batch_size": -5}])
+    def test_rejects_bad_batch_size(self, kwargs):
+        session = Session(["hb+tc"])
+        with pytest.raises(ValueError, match="batch_size"):
+            session.run(Trace([ev.write(1, "x")]), **kwargs)
+
+    @pytest.mark.parametrize("kwargs", [{"parallel": 0}, {"parallel": -1}])
+    def test_rejects_bad_parallel(self, kwargs):
+        session = Session(["hb+tc"])
+        with pytest.raises(ValueError, match="parallel"):
+            session.run(Trace([ev.write(1, "x")]), **kwargs)
+
+    def test_session_reusable_after_rejection(self):
+        """Validation fires before begin(): no half-built walk state."""
+        session = Session(["hb+tc+detect"])
+        events = [ev.write(1, "x"), ev.write(2, "x")]
+        with pytest.raises(ValueError):
+            session.run(Trace(events), parallel=0)
+        assert session.analyses == {} or all(
+            analysis is not None for analysis in session.analyses.values()
+        )
+        result = session.run(Trace(events))
+        assert result.num_events == 2
+        assert result.primary.detection.race_count == 1
+
+
+class TestClockSeeding:
+    @pytest.mark.parametrize("clock_class", [VectorClock, TreeClock])
+    def test_seed_round_trips_vector_time(self, clock_class):
+        context = ClockContext(threads=[1, 2, 3])
+        clock = clock_class(context, owner=1)
+        clock.seed_vector_time({1: 7, 2: 3}, anchor=1)
+        assert clock.as_dict() == {1: 7, 2: 3}
+        assert clock.get(3) == 0
+
+    @pytest.mark.parametrize("clock_class", [VectorClock, TreeClock])
+    def test_seed_registers_unknown_threads(self, clock_class):
+        context = ClockContext(threads=[1])
+        clock = clock_class(context, owner=1)
+        clock.seed_vector_time({1: 2, 8: 5}, anchor=1)
+        assert 8 in context.index_of
+        assert clock.get(8) == 5
+
+    @pytest.mark.parametrize("clock_class", [VectorClock, TreeClock])
+    def test_seeded_clock_joins_like_sequential(self, clock_class):
+        context = ClockContext(threads=[1, 2])
+        seeded = clock_class(context, owner=1)
+        seeded.seed_vector_time({1: 4, 2: 2}, anchor=1)
+        other = clock_class(context, owner=2)
+        other.seed_vector_time({1: 1, 2: 6}, anchor=2)
+        seeded.join(other)
+        assert seeded.as_dict() == {1: 4, 2: 6}
+
+    def test_tree_clock_seed_requires_anchor_presence(self):
+        context = ClockContext(threads=[1, 2])
+        clock = TreeClock(context, owner=None)
+        with pytest.raises(ValueError):
+            clock.seed_vector_time({1: 3, 2: 1})  # anchorless auxiliary clock

@@ -1,5 +1,7 @@
 """Unit tests for the sharded job queue, scheduler and worker pool."""
 
+import time
+
 import pytest
 
 from repro import Session, TraceBuilder
@@ -232,6 +234,7 @@ class TestPoolCounters:
             assert snapshot["pool"]["jobs_done"] == 1
             assert set(snapshot["pool"]) == {
                 "jobs_done", "jobs_failed", "crashes", "timeouts", "retries",
+                "callback_errors",
             }
         finally:
             scheduler.close()
@@ -359,3 +362,123 @@ class TestResultsStore:
         scheduler.close()
         reopened = ResultsStore(tmp_path / "results.json")
         assert len(reopened) == 2
+
+
+class TestCallbackErrorAccounting:
+    """A raising on_result callback must not kill the monitor thread, and
+    the dropped completion must be visible in the counters (the bugfix:
+    it used to vanish without a trace)."""
+
+    def test_raising_callback_is_counted_and_survived(self, trace_file):
+        failures = []
+
+        def exploding_callback(task_id, payload, error, attempts):
+            failures.append(task_id)
+            raise RuntimeError("subscriber bug")
+
+        pool = WorkerPool(workers=1, on_result=exploding_callback).start()
+        try:
+            tasks = [
+                WorkerTask(task_id=f"t{i}", trace_path=str(trace_file), spec="hb+tc")
+                for i in range(3)
+            ]
+            for task in tasks:
+                pool.submit(task)
+            assert pool.wait(timeout=60)
+            # Callback delivery is asynchronous to wait(): give the
+            # monitor a beat to drain the completion queue.
+            deadline = time.monotonic() + 30
+            while len(failures) < 3 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            # Every completion reached the callback despite each raising.
+            assert sorted(failures) == ["t0", "t1", "t2"]
+            counters = pool.counters()
+            assert counters["callback_errors"] == 3
+            assert counters["jobs_done"] == 3
+        finally:
+            assert pool.close(timeout=10)
+
+    def test_healthy_callback_counts_zero_errors(self, trace_file):
+        seen = []
+        pool = WorkerPool(
+            workers=1, on_result=lambda *args: seen.append(args[0])
+        ).start()
+        try:
+            pool.submit(WorkerTask(task_id="ok", trace_path=str(trace_file), spec="hb+tc"))
+            assert pool.wait(timeout=60)
+            deadline = time.monotonic() + 30
+            while not seen and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert seen == ["ok"]
+            assert pool.counters()["callback_errors"] == 0
+        finally:
+            assert pool.close(timeout=10)
+
+
+class TestParallelTasks:
+    """Segment-parallel execution through the serve surface."""
+
+    @pytest.fixture
+    def colf_trace_file(self, tmp_path):
+        from repro.trace.colfmt import write_colf
+        from util_traces import make_random_trace
+
+        trace = make_random_trace(19, num_events=600, include_fork_join=True)
+        path = tmp_path / "big.colf"
+        with open(path, "wb") as handle:
+            write_colf(iter(trace), handle, segment_events=64)
+        return path
+
+    def test_parallel_task_matches_sequential(self, colf_trace_file):
+        sequential = execute_task(
+            WorkerTask(task_id="s", trace_path=str(colf_trace_file), spec="hb+tc+detect")
+        )
+        parallel = execute_task(
+            WorkerTask(
+                task_id="p",
+                trace_path=str(colf_trace_file),
+                spec="hb+tc+detect",
+                parallel=4,
+            )
+        )
+        assert "parallel" in parallel and parallel["parallel"]["workers"] == 4
+        assert "parallel" not in sequential
+        assert parallel["events"] == sequential["events"]
+        assert parallel["race_count"] == sequential["race_count"]
+        assert parallel["races"] == sequential["races"]
+
+    def test_parallel_on_text_trace_falls_back(self, trace_file):
+        payload = execute_task(
+            WorkerTask(
+                task_id="t", trace_path=str(trace_file), spec="hb+tc+detect", parallel=4
+            )
+        )
+        assert "parallel" not in payload
+        assert payload["race_count"] == 1
+
+    def test_scheduler_sets_parallel_for_large_colf_entries(self, tmp_path):
+        from util_traces import make_random_trace
+
+        corpus = TraceCorpus(tmp_path / "corpus")
+        results = ResultsStore(tmp_path / "results.json")
+        scheduler = Scheduler(
+            corpus,
+            results,
+            workers=1,
+            parallel_workers=4,
+            parallel_threshold_events=100,
+        )
+        big, _ = corpus.ingest(make_random_trace(1, num_events=400), name="big")
+        small, _ = corpus.ingest(make_random_trace(2, num_events=40), name="small")
+        submitted = []
+        scheduler.pool.submit = submitted.append  # capture without running
+        scheduler.pool.start = lambda: scheduler.pool
+        scheduler.start()
+        scheduler.submit(big.digest, ["hb+tc+detect"])
+        scheduler.submit(small.digest, ["hb+tc+detect"])
+        by_digest = {task.task_id.split(":")[0]: task for task in submitted}
+        assert len(submitted) == 2
+        assert by_digest[big.digest[:12]].parallel == 4 or any(
+            task.parallel == 4 for task in submitted
+        )
+        assert any(task.parallel == 1 for task in submitted)
