@@ -66,6 +66,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..clocks.vector_clock import VectorClock
+from ..obs import context as obs_context
 from ..obs import tracing as obs_tracing
 from ..trace.colfmt import _KIND_CODES, ColfReader, ColfSegment
 from ..trace.event import Event, OpKind
@@ -684,44 +685,71 @@ def run_parallel(
     need_race = any(spec.detect and spec.order in ("HB", "SHB") for spec in specs)
     need_pair = any(spec.detect and spec.order == "MAZ" for spec in specs)
     need_writers = bool(orders & {"SHB", "MAZ"})
+    # Executor threads start with empty contextvars; pin the caller's
+    # trace context so chunk spans parent under the session span instead
+    # of starting orphan traces.
+    parent_ctx = obs_context.active_context()
 
-    with ThreadPoolExecutor(max_workers=worker_count) as executor:
-        scans = list(
-            executor.map(
-                lambda chunk: _scan_chunk(
+    def _scan(chunk: _Chunk) -> _ChunkScan:
+        with obs_context.use_context(parent_ctx):
+            with obs_tracing.span(
+                "session.parallel_scan",
+                chunk=chunk.index,
+                events=chunk.events,
+                segments=len(chunk.segments),
+            ):
+                return _scan_chunk(
                     reader,
                     chunk,
                     need_hb=need_hb,
                     need_race=need_race,
                     need_pair=need_pair,
                     need_writers=need_writers,
-                ),
-                chunks,
+                )
+
+    def _replay(chunk: _Chunk) -> _ChunkRun:
+        with obs_context.use_context(parent_ctx):
+            return _replay_chunk(
+                reader,
+                chunk,
+                specs,
+                forced_keep,
+                seeds[chunk.index - 1] if chunk.index > 0 else None,
+                universe,
+                name,
+                locate,
             )
-        )
+
+    with ThreadPoolExecutor(max_workers=worker_count) as executor:
+        scans = list(executor.map(_scan, chunks))
 
         stitch_started = time.thread_time_ns()
-        # Per-chunk entry offsets: events of each thread before the chunk.
-        offsets: List[Dict[int, int]] = []
-        totals: Dict[int, int] = {}
-        for scan in scans:
-            offsets.append(dict(totals))
-            for tid, count in scan.counts.items():
-                totals[tid] = totals.get(tid, 0) + count
-        universe_set: Set[int] = set(base_threads) | set(totals)
-        for scan in scans:
-            universe_set |= scan.children
-        universe = sorted(universe_set)
-        seeds = [_ChunkSeed() for _ in range(len(chunks) - 1)]
-        if need_hb:
-            _resolve_hb(chunks, scans, offsets, seeds)
-        for order in ("SHB", "MAZ"):
-            if order in orders:
-                _bootstrap_order(order, reader, chunks, scans, offsets, seeds, universe)
-        if need_race:
-            _compose_epochs(scans, offsets, seeds, pairs=False)
-        if need_pair:
-            _compose_epochs(scans, offsets, seeds, pairs=True)
+        with obs_tracing.span(
+            "session.parallel_stitch", chunks=len(chunks), segments=len(segments)
+        ):
+            # Per-chunk entry offsets: events of each thread before the chunk.
+            offsets: List[Dict[int, int]] = []
+            totals: Dict[int, int] = {}
+            for scan in scans:
+                offsets.append(dict(totals))
+                for tid, count in scan.counts.items():
+                    totals[tid] = totals.get(tid, 0) + count
+            universe_set: Set[int] = set(base_threads) | set(totals)
+            for scan in scans:
+                universe_set |= scan.children
+            universe = sorted(universe_set)
+            seeds = [_ChunkSeed() for _ in range(len(chunks) - 1)]
+            if need_hb:
+                _resolve_hb(chunks, scans, offsets, seeds)
+            for order in ("SHB", "MAZ"):
+                if order in orders:
+                    _bootstrap_order(
+                        order, reader, chunks, scans, offsets, seeds, universe
+                    )
+            if need_race:
+                _compose_epochs(scans, offsets, seeds, pairs=False)
+            if need_pair:
+                _compose_epochs(scans, offsets, seeds, pairs=True)
         stitch_ns = time.thread_time_ns() - stitch_started
 
         # The session narrator contract: the on_race callback belongs to
@@ -740,21 +768,7 @@ def run_parallel(
             for index, spec in enumerate(specs)
         ]
 
-        runs = list(
-            executor.map(
-                lambda chunk: _replay_chunk(
-                    reader,
-                    chunk,
-                    specs,
-                    forced_keep,
-                    seeds[chunk.index - 1] if chunk.index > 0 else None,
-                    universe,
-                    name,
-                    locate,
-                ),
-                chunks,
-            )
-        )
+        runs = list(executor.map(_replay, chunks))
 
     total_events = sum(chunk.events for chunk in chunks)
     results: Dict[str, AnalysisResult] = {}

@@ -22,7 +22,9 @@ regressions (see :mod:`repro.bench.cli`).  The ``trace`` subcommand
 packs, unpacks and inspects trace files — in particular the binary
 colf containers of :mod:`repro.trace.colfmt`.  The ``serve`` /
 ``submit`` / ``status`` subcommands run and talk to the concurrent
-trace-analysis service (see :mod:`repro.serve.cli`).
+trace-analysis service (see :mod:`repro.serve.cli`).  The ``obs``
+subcommand reconstructs distributed job timelines from exported span
+files (see :mod:`repro.obs.cli`).
 
 Examples
 --------
@@ -174,6 +176,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": ("repro.serve.cli", "main_serve"),
         "submit": ("repro.serve.cli", "main_submit"),
         "status": ("repro.serve.cli", "main_status"),
+        "obs": ("repro.obs.cli", "main"),
     }
     if arguments and arguments[0] in subcommands:
         # Subcommand names win over file names (git-style), except in the

@@ -18,6 +18,14 @@ Four leaf modules:
 * :mod:`repro.obs.proc` — RSS sampling via procfs for the serve fleet's
   memory gauges.
 
+Distributed tracing sits on top: :mod:`repro.obs.context` carries a
+W3C-``traceparent``-style :class:`TraceContext` across protocol messages
+and process boundaries, :mod:`repro.obs.merge` gathers the per-process
+span files of one job back together, and :mod:`repro.obs.report` (via
+``repro obs timeline`` / ``repro obs export``, see
+:mod:`repro.obs.cli`) reconstructs the end-to-end lifecycle — phase
+totals, critical path, ASCII gantt, Chrome/Perfetto export.
+
 ``repro.obs.timing`` additionally holds the offline timing harness
 (folded in from the old ``repro.metrics.timing``, which re-exports it);
 it is *not* imported here because it sits above the analysis engine,
@@ -30,6 +38,18 @@ per-event or per-batch site on one cached attribute check and do
 nothing else when observability is off.
 """
 
+from .context import (
+    TraceContext,
+    active_context,
+    attach_context,
+    context_from_message,
+    current_context,
+    detach_context,
+    new_context,
+    parse_traceparent,
+    stamp_message,
+    use_context,
+)
 from .logging import configure_logging, get_logger
 from .metrics import (
     DEFAULT_NS_BUCKETS,
@@ -45,6 +65,7 @@ from .tracing import (
     SpanExporter,
     configure_tracing,
     current_span,
+    export_span,
     read_spans,
     shutdown_tracing,
     span,
@@ -59,15 +80,26 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SpanExporter",
+    "TraceContext",
+    "active_context",
+    "attach_context",
     "configure_logging",
     "configure_tracing",
+    "context_from_message",
+    "current_context",
     "current_span",
+    "detach_context",
+    "export_span",
     "get_logger",
     "get_registry",
+    "new_context",
+    "parse_traceparent",
     "read_spans",
     "rss_bytes",
     "sample_rss",
     "shutdown_tracing",
     "span",
+    "stamp_message",
     "tracing_enabled",
+    "use_context",
 ]

@@ -1,0 +1,121 @@
+"""Merge multi-process span files into one per-trace span set.
+
+A distributed job leaves its spans scattered: the client wrote
+``client.submit`` into its own ``--obs-spans`` file, the server wrote
+``serve.op.*`` / ``job.queue_wait`` / ``job.persist`` into the job-scoped
+obs directory, and each worker process wrote ``spans-<pid>.jsonl``
+beside them.  This module gathers those files back into one flat record
+list keyed by ``trace_id`` — the input both the timeline reconstruction
+(:mod:`repro.obs.report`) and the chrome-trace export consume.
+
+Merging is deliberately dumb: no clock reconciliation (monotonic stamps
+on one machine share CLOCK_MONOTONIC, and cross-host ordering falls back
+to ``start_unix_ns``), no dedup, and torn lines from crashed writers are
+counted, not fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .tracing import iter_spans
+
+PathLike = Union[str, Path]
+
+
+def find_span_files(paths: Sequence[PathLike]) -> List[Path]:
+    """Expand files-or-directories into the concrete ``*.jsonl`` span files.
+
+    Directories are walked recursively (worker files live under
+    ``obs/<job-id>/``), files are taken as given, and the result is
+    sorted for deterministic merge order.
+    """
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(sorted(p for p in path.rglob("*.jsonl") if p.is_file()))
+        elif path.is_file():
+            found.append(path)
+        else:
+            raise FileNotFoundError(f"no span file or directory at {path}")
+    # De-dup while keeping order (a dir walk may re-find an explicit file).
+    seen: Dict[Path, None] = {}
+    for path in found:
+        seen.setdefault(path.resolve(), None)
+    return list(seen)
+
+
+@dataclass
+class MergedSpans:
+    """The result of merging span files: records plus merge bookkeeping."""
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    files: List[Path] = field(default_factory=list)
+    corrupt_lines: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids present, most spans first."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            trace_id = record.get("trace_id")
+            if isinstance(trace_id, str) and trace_id:
+                counts[trace_id] = counts.get(trace_id, 0) + 1
+        return sorted(counts, key=lambda tid: (-counts[tid], tid))
+
+    def for_trace(self, trace_id: str) -> List[Dict[str, object]]:
+        """The records of one trace, sorted by start stamp."""
+        picked = [r for r in self.records if r.get("trace_id") == trace_id]
+        picked.sort(key=lambda r: r.get("start_ns", 0))
+        return picked
+
+
+def _normalize(record: Dict[str, object]) -> Dict[str, object]:
+    """Backfill distributed-trace fields on legacy ``repro-obs/1`` records.
+
+    PR 6-era records carry only integer ``span_id``/``parent_id``; give
+    them synthetic per-pid hex ids so old files still render (as a
+    single-process tree with no trace id to merge on).
+    """
+    if record.get("sid"):
+        return record
+    pid = record.get("pid", 0)
+    record = dict(record)
+    record["sid"] = f"legacy-{pid}-{record.get('span_id')}"
+    parent_id = record.get("parent_id")
+    record["psid"] = f"legacy-{pid}-{parent_id}" if parent_id is not None else None
+    record.setdefault("trace_id", "")
+    return record
+
+
+def load_spans(
+    paths: Sequence[PathLike],
+    trace_id: Optional[str] = None,
+) -> MergedSpans:
+    """Read every span file under ``paths`` into one :class:`MergedSpans`.
+
+    When ``trace_id`` is given only that trace's records are kept (other
+    traces still count toward ``trace_ids`` discovery via a pre-pass is
+    *not* done — filter early, merge cheap).
+    """
+    merged = MergedSpans(files=find_span_files(paths))
+    for path in merged.files:
+        errors: List[str] = []
+        for record in iter_spans(path, errors=errors):
+            record = _normalize(record)
+            if trace_id is not None and record.get("trace_id") != trace_id:
+                continue
+            merged.records.append(record)
+        merged.corrupt_lines += len(errors)
+        merged.errors.extend(errors)
+    merged.records.sort(key=lambda r: (r.get("start_unix_ns", 0), r.get("start_ns", 0)))
+    return merged
+
+
+def iter_all_spans(paths: Sequence[PathLike]) -> Iterable[Dict[str, object]]:
+    """Convenience: every normalized record under ``paths``, unfiltered."""
+    return load_spans(paths).records

@@ -19,6 +19,15 @@ every finished span on disk, and a whole ``repro analyze`` /
 ``repro serve`` run can be reconstructed offline by reading the file
 back (:func:`read_spans`) and re-nesting on ``parent_id``.
 
+Every span also belongs to a *distributed trace*: it carries a
+128-bit hex ``trace_id`` plus hex ``sid``/``psid`` span ids from
+:mod:`repro.obs.context`.  A root span (no live local parent) first
+consults the ambient :class:`~repro.obs.context.TraceContext` — the one
+a serve worker attached after parsing the ``traceparent`` off its task —
+and parents under it, which is what stitches client, server, and worker
+span files into one tree.  The legacy integer ``span_id``/``parent_id``
+fields remain for single-process nesting.
+
 Tracing is *disabled* unless an exporter is configured
 (:func:`configure_tracing`); a disabled :func:`span` call returns a
 shared no-op context manager and touches no clocks, so leaving span
@@ -36,6 +45,8 @@ import time
 from contextvars import ContextVar
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, TextIO, Union
+
+from . import context as obs_context
 
 #: Schema identifier stamped on every exported line.
 SCHEMA = "repro-obs/1"
@@ -55,29 +66,46 @@ def _new_span_id() -> int:
 
 
 class SpanExporter:
-    """Append-only JSON-lines span sink (thread-safe, flush per record)."""
+    """Append-only JSON-lines span sink (thread-safe, multi-writer safe).
+
+    Path targets are opened ``O_APPEND`` and every record goes out as one
+    :func:`os.write` of one encoded line, which POSIX guarantees lands as
+    a contiguous append — so several processes (serve handler threads in
+    the parent, N workers) can share one file without ever interleaving
+    partial JSON.  Stream targets (stderr, ``StringIO``) keep the old
+    lock + write + flush path.
+    """
 
     def __init__(self, target: Union[str, Path, TextIO]) -> None:
-        if isinstance(target, (str, Path)):
-            self._file: TextIO = open(target, "a", encoding="utf-8")
-            self._owns_file = True
-            self.path: Optional[Path] = Path(target)
-        else:
-            self._file = target
-            self._owns_file = False
-            self.path = None
         self._lock = threading.Lock()
+        if isinstance(target, (str, Path)):
+            self.path: Optional[Path] = Path(target)
+            self._fd: Optional[int] = os.open(
+                str(target), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            self._file: Optional[TextIO] = None
+        else:
+            self.path = None
+            self._fd = None
+            self._file = target
 
     def export(self, record: Dict[str, object]) -> None:
-        line = json.dumps(record, separators=(",", ":"))
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        if self._fd is not None:
+            # One atomic append; no lock needed for correctness, but the
+            # write itself is already a single syscall so none is taken.
+            os.write(self._fd, line.encode("utf-8"))
+            return
         with self._lock:
-            self._file.write(line + "\n")
-            self._file.flush()
+            if self._file is not None:
+                self._file.write(line)
+                self._file.flush()
 
     def close(self) -> None:
-        if self._owns_file:
-            with self._lock:
-                self._file.close()
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
 
 
 class _TracingState:
@@ -116,15 +144,32 @@ def tracing_enabled() -> bool:
 class Span:
     """One live timed region; use via ``with span(...)`` (re-entrant safe)."""
 
-    __slots__ = ("name", "attrs", "span_id", "parent_id", "start_ns", "end_ns", "_token", "error")
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "sid",
+        "psid",
+        "start_ns",
+        "end_ns",
+        "start_unix_ns",
+        "_token",
+        "error",
+    )
 
     def __init__(self, name: str, attrs: Dict[str, object]) -> None:
         self.name = name
         self.attrs = attrs
         self.span_id = _new_span_id()
         self.parent_id: Optional[int] = None
+        self.trace_id = ""
+        self.sid = ""
+        self.psid: Optional[str] = None
         self.start_ns = 0
         self.end_ns = 0
+        self.start_unix_ns = 0
         self.error: Optional[str] = None
         self._token = None
 
@@ -133,10 +178,27 @@ class Span:
         self.attrs.update(attrs)
         return self
 
+    def context(self) -> obs_context.TraceContext:
+        """This span's position as a propagatable :class:`TraceContext`."""
+        return obs_context.TraceContext(trace_id=self.trace_id, span_id=self.sid)
+
     def __enter__(self) -> "Span":
         parent = _CURRENT.get()
-        self.parent_id = parent.span_id if parent is not None else None
+        self.sid = obs_context.new_span_id()
+        if parent is not None:
+            self.parent_id = parent.span_id
+            self.trace_id = parent.trace_id
+            self.psid = parent.sid
+        else:
+            remote = obs_context.current_context()
+            if remote is not None:
+                self.trace_id = remote.trace_id
+                self.psid = remote.span_id
+            else:
+                self.trace_id = obs_context.new_trace_id()
+                self.psid = None
         self._token = _CURRENT.set(self)
+        self.start_unix_ns = time.time_ns()
         self.start_ns = time.monotonic_ns()
         return self
 
@@ -158,9 +220,13 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "sid": self.sid,
+            "psid": self.psid,
             "start_ns": self.start_ns,
             "end_ns": self.end_ns,
             "dur_ns": self.end_ns - self.start_ns,
+            "start_unix_ns": self.start_unix_ns,
             "pid": os.getpid(),
             "thread": threading.get_ident(),
         }
@@ -205,13 +271,75 @@ def current_span() -> Optional[Span]:
     return _CURRENT.get()
 
 
-def read_spans(path: Union[str, Path]) -> List[Dict[str, object]]:
-    """Load an exported span file back (offline reconstruction / tests)."""
-    return list(iter_spans(path))
+def export_span(
+    name: str,
+    start_ns: int,
+    end_ns: int,
+    *,
+    trace_id: str,
+    parent_sid: Optional[str] = None,
+    start_unix_ns: Optional[int] = None,
+    **attrs: object,
+) -> Optional[Dict[str, object]]:
+    """Export a *synthetic* span whose interval was measured elsewhere.
+
+    Used for intervals nobody is "inside" as code — a job's queue wait is
+    measured between ``submit`` and ``dispatch``, then exported here as a
+    first-class span of the job's trace.  Returns the record (or ``None``
+    when tracing is disabled).
+    """
+    exporter = _STATE.exporter
+    if exporter is None:
+        return None
+    record: Dict[str, object] = {
+        "schema": SCHEMA,
+        "kind": "span",
+        "name": name,
+        "span_id": _new_span_id(),
+        "parent_id": None,
+        "trace_id": trace_id,
+        "sid": obs_context.new_span_id(),
+        "psid": parent_sid,
+        "start_ns": start_ns,
+        "end_ns": end_ns,
+        "dur_ns": end_ns - start_ns,
+        "start_unix_ns": (
+            start_unix_ns
+            if start_unix_ns is not None
+            else time.time_ns() - (time.monotonic_ns() - start_ns)
+        ),
+        "pid": os.getpid(),
+        "thread": threading.get_ident(),
+    }
+    if attrs:
+        record["attrs"] = attrs
+    exporter.export(record)
+    return record
 
 
-def iter_spans(path: Union[str, Path]) -> Iterator[Dict[str, object]]:
-    """Lazily parse a ``repro-obs/1`` JSON-lines span file."""
+def read_spans(
+    path: Union[str, Path],
+    *,
+    strict: bool = False,
+    errors: Optional[List[str]] = None,
+) -> List[Dict[str, object]]:
+    """Load an exported span file back (offline reconstruction / tests).
+
+    Corrupt or foreign lines are *skipped* by default — a span file may
+    legitimately end in a torn line if a worker died mid-write — and
+    described into ``errors`` when a list is supplied.  ``strict=True``
+    restores the raising behavior for tests that pin the format.
+    """
+    return list(iter_spans(path, strict=strict, errors=errors))
+
+
+def iter_spans(
+    path: Union[str, Path],
+    *,
+    strict: bool = False,
+    errors: Optional[List[str]] = None,
+) -> Iterator[Dict[str, object]]:
+    """Lazily parse a ``repro-obs/1`` JSON-lines span file (lenient by default)."""
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             text = line.strip()
@@ -220,9 +348,19 @@ def iter_spans(path: Union[str, Path]) -> Iterator[Dict[str, object]]:
             try:
                 record = json.loads(text)
             except json.JSONDecodeError as error:
-                raise ValueError(f"{path}:{line_number}: not valid JSON: {error}") from error
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: not valid JSON: {error}"
+                    ) from error
+                if errors is not None:
+                    errors.append(f"{path}:{line_number}: not valid JSON")
+                continue
             if not isinstance(record, dict) or record.get("schema") != SCHEMA:
-                raise ValueError(
-                    f"{path}:{line_number}: not a {SCHEMA!r} record: {text[:80]}"
-                )
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: not a {SCHEMA!r} record: {text[:80]}"
+                    )
+                if errors is not None:
+                    errors.append(f"{path}:{line_number}: not a {SCHEMA!r} record")
+                continue
             yield record

@@ -66,6 +66,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="per-job timeout; a job exceeding it is retried once on a fresh worker",
     )
     parser.add_argument("--shards", type=int, default=8, help="pending-queue shards")
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="record distributed job spans (server + one file per worker pid) "
+        "into DIR; reconstruct with 'repro obs timeline DIR'",
+    )
     add_observability_args(parser)
     return parser
 
@@ -84,6 +91,7 @@ def main_serve(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         task_timeout=args.job_timeout,
         num_shards=args.shards,
+        obs_dir=args.obs_dir,
     )
     host, port = server.address
     # The first stdout line is machine-readable on purpose: wrappers (and
@@ -236,6 +244,13 @@ def _render_stats(stats: Dict[str, object]) -> None:
         f"{pool.get('crashes', 0)} crashes, {pool.get('timeouts', 0)} timeouts, "
         f"{pool.get('retries', 0)} retries"
     )
+    wait = queue.get("wait") if isinstance(queue, dict) else None
+    if isinstance(wait, dict) and wait.get("count"):
+        print(
+            f"queue wait: {wait['count']} dispatches, "
+            f"mean {wait.get('mean_ns', 0) / 1e6:.2f}ms, "
+            f"max {(wait.get('max_ns') or 0) / 1e6:.2f}ms"
+        )
     workers = stats.get("workers")
     if workers:
         print(f"{'  id':<6}{'pid':<9}{'alive':<7}{'jobs':<6}{'rss':<11}current")

@@ -18,6 +18,14 @@ Streaming ingest gets its own small handle::
 
 Every helper raises :class:`ServeClientError` on an error response, so
 call sites read straight-line.
+
+Every outgoing request is stamped with the active distributed trace
+context (:mod:`repro.obs.context`) as a ``trace`` field; the submission
+helpers mint a fresh context when none is active and echo its
+``trace_id`` in their response, so a caller can later reconstruct the
+job with ``repro obs timeline --trace <id>``.  With client-side tracing
+enabled (``--obs-spans``), submissions additionally record a
+``client.submit`` span that becomes the root of the merged trace tree.
 """
 
 from __future__ import annotations
@@ -27,6 +35,8 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..obs import context as obs_context
+from ..obs import tracing as obs_tracing
 from ..trace.event import Event
 from ..trace.io import infer_format, iter_trace_file, std_line
 from ..trace.trace import Trace
@@ -81,7 +91,13 @@ class ServeClient:
     # -- plumbing ----------------------------------------------------------------------
 
     def request(self, payload: Dict[str, object]) -> Dict[str, object]:
-        """Send one request, read one response; raises on error responses."""
+        """Send one request, read one response; raises on error responses.
+
+        The single stamp point for trace propagation: whatever context
+        is active (an open client span, or one attached by a submission
+        helper) rides out as the message's ``trace`` field.
+        """
+        obs_context.stamp_message(payload)
         try:
             write_message(self._wfile, payload)
             response = read_message(self._rfile)
@@ -145,7 +161,12 @@ class ServeClient:
         }
         if name is not None:
             request["name"] = name
-        return self.request(request)
+        ctx = obs_context.active_context() or obs_context.new_context()
+        with obs_context.use_context(ctx):
+            with obs_tracing.span("client.submit", trace=name or "", specs=len(specs)):
+                response = self.request(request)
+        response.setdefault("trace_id", ctx.trace_id)
+        return response
 
     def submit_trace(
         self,
@@ -165,9 +186,14 @@ class ServeClient:
         self, digest: str, specs: Sequence[str], force: bool = False
     ) -> Dict[str, object]:
         """Queue (trace × spec) jobs for a trace already in the server's corpus."""
-        return self.request(
-            {"op": "analyze", "digest": digest, "specs": list(specs), "force": force}
-        )
+        ctx = obs_context.active_context() or obs_context.new_context()
+        with obs_context.use_context(ctx):
+            with obs_tracing.span("client.submit", op="analyze", digest=digest[:12]):
+                response = self.request(
+                    {"op": "analyze", "digest": digest, "specs": list(specs), "force": force}
+                )
+        response.setdefault("trace_id", ctx.trace_id)
+        return response
 
     #: Traces whose canonical STD serialization exceeds this many bytes
     #: are submitted through the streaming path instead of one
@@ -196,42 +222,61 @@ class ServeClient:
         shape is the same either way.
         """
         resolved_name = name or Path(path).name
-        lines = (std_line(event) for event in iter_trace_file(path, fmt=infer_format(path)))
-        buffered: List[str] = []
-        buffered_bytes = 0
-        overflowed = False
-        for line in lines:
-            buffered.append(line)
-            buffered_bytes += len(line) + 1
-            if buffered_bytes > self.STREAM_THRESHOLD_BYTES:
-                overflowed = True
-                break
-        if not overflowed:
-            return self.submit_text(
-                "\n".join(buffered), specs, fmt="std", name=resolved_name, tags=tags, force=force
-            )
-        stream = self.stream_begin(resolved_name, specs=(), save=True)
-        for start in range(0, len(buffered), 1024):
-            stream.feed_lines(buffered[start : start + 1024])
-        batch: List[str] = []
-        for line in lines:  # continue the same lazy iteration
-            batch.append(line)
-            if len(batch) >= 1024:
+        # One trace context covers the whole upload, whichever path it
+        # takes — the stream ingest and the follow-up analyze must land
+        # in the same distributed trace.
+        ctx = obs_context.active_context() or obs_context.new_context()
+        with obs_context.use_context(ctx):
+            lines = (std_line(event) for event in iter_trace_file(path, fmt=infer_format(path)))
+            buffered: List[str] = []
+            buffered_bytes = 0
+            overflowed = False
+            for line in lines:
+                buffered.append(line)
+                buffered_bytes += len(line) + 1
+                if buffered_bytes > self.STREAM_THRESHOLD_BYTES:
+                    overflowed = True
+                    break
+            if not overflowed:
+                return self.submit_text(
+                    "\n".join(buffered), specs, fmt="std", name=resolved_name, tags=tags, force=force
+                )
+            stream = self.stream_begin(resolved_name, specs=(), save=True)
+            for start in range(0, len(buffered), 1024):
+                stream.feed_lines(buffered[start : start + 1024])
+            batch: List[str] = []
+            for line in lines:  # continue the same lazy iteration
+                batch.append(line)
+                if len(batch) >= 1024:
+                    stream.feed_lines(batch)
+                    batch = []
+            if batch:
                 stream.feed_lines(batch)
-                batch = []
-        if batch:
-            stream.feed_lines(batch)
-        final = stream.end(tags=tags or ("uploaded",))
-        return self.analyze(str(final["digest"]), specs, force=force)
+            final = stream.end(tags=tags or ("uploaded",))
+            return self.analyze(str(final["digest"]), specs, force=force)
 
     # -- streaming ingest --------------------------------------------------------------
 
     def stream_begin(
         self, name: str, specs: Sequence[str], save: bool = False
     ) -> "StreamHandle":
-        """Open a streaming-ingest session on this connection."""
-        self.request({"op": "stream_begin", "name": name, "specs": list(specs), "save": save})
-        return StreamHandle(self)
+        """Open a streaming-ingest session on this connection.
+
+        The stream pins one trace context for its whole lifetime: every
+        ``feed`` and the final ``stream_end`` carry the same ``trace``
+        field, so the server-side walk parents all its spans under one
+        trace no matter how many messages the ingest took.
+        """
+        ctx = obs_context.active_context() or obs_context.new_context()
+        request: Dict[str, object] = {
+            "op": "stream_begin",
+            "name": name,
+            "specs": list(specs),
+            "save": save,
+        }
+        obs_context.stamp_message(request, ctx)
+        self.request(request)
+        return StreamHandle(self, context=ctx)
 
     # -- polling -----------------------------------------------------------------------
 
@@ -311,9 +356,17 @@ class ServeClient:
 class StreamHandle:
     """A live streaming-ingest session (one per connection)."""
 
-    def __init__(self, client: ServeClient) -> None:
+    def __init__(
+        self, client: ServeClient, context: Optional[obs_context.TraceContext] = None
+    ) -> None:
         self._client = client
+        self._context = context
         self.events_sent = 0
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The distributed trace id pinned to this stream, if any."""
+        return self._context.trace_id if self._context is not None else None
 
     def feed(self, event: Event) -> Dict[str, object]:
         """Send one event; the response carries races found since the last call."""
@@ -334,7 +387,10 @@ class StreamHandle:
 
     def feed_lines(self, lines: Sequence[str]) -> Dict[str, object]:
         """Send raw STD lines (the wire-level form of :meth:`feed`)."""
-        response = self._client.request({"op": "feed", "lines": list(lines)})
+        request: Dict[str, object] = {"op": "feed", "lines": list(lines)}
+        if self._context is not None:
+            obs_context.stamp_message(request, self._context)
+        response = self._client.request(request)
         self.events_sent = int(response.get("events", self.events_sent))  # type: ignore[arg-type]
         return response
 
@@ -343,4 +399,9 @@ class StreamHandle:
         request: Dict[str, object] = {"op": "stream_end"}
         if tags:
             request["tags"] = list(tags)
-        return self._client.request(request)
+        if self._context is not None:
+            obs_context.stamp_message(request, self._context)
+        response = self._client.request(request)
+        if self._context is not None:
+            response.setdefault("trace_id", self._context.trace_id)
+        return response

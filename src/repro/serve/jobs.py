@@ -26,7 +26,13 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from collections import deque
 
+from pathlib import Path
+from typing import Union
+
 from ..api.spec import coerce_spec
+from ..obs import context as obs_context
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from .corpus import TraceCorpus
 from .pool import WorkerPool, WorkerTask
 from .results import ResultsStore
@@ -56,6 +62,13 @@ class AnalysisJob:
     attempts: int = 0
     error: Optional[str] = None
     submitted_unix: float = field(default_factory=time.time)
+    #: The submitter's distributed trace context (traceparent string),
+    #: captured at submission so the worker's spans — and the synthetic
+    #: ``job.queue_wait`` span — land in the client's trace.
+    traceparent: Optional[str] = None
+    #: Monotonic stamp taken when the job entered the pending queue;
+    #: dispatch turns the difference into the queue-wait histogram.
+    queued_monotonic_ns: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable job descriptor (the ``status`` op's job rows)."""
@@ -133,9 +146,14 @@ class Scheduler:
         chunk_events: int = 2048,
         parallel_workers: int = 4,
         parallel_threshold_events: int = 100_000,
+        obs_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.corpus = corpus
         self.results = results
+        #: Job-scoped observability directory: when set, dispatched tasks
+        #: carry it so each worker process exports its spans to a
+        #: per-pid file under it (``spans-<pid>.jsonl``).
+        self.obs_dir = Path(obs_dir) if obs_dir is not None else None
         self.queue = JobQueue(num_shards)
         self.pool = WorkerPool(
             workers=workers,
@@ -163,10 +181,15 @@ class Scheduler:
         self._closing = False
         self._lock = threading.Lock()
         self._drained = threading.Condition(self._lock)
+        # Metrics registry binding of the current run (None = disabled);
+        # bound once at start() so queue paths pay one check, like the pool.
+        self._obs: Optional[obs_metrics.MetricsRegistry] = None
 
     # -- lifecycle ---------------------------------------------------------------------
 
     def start(self) -> "Scheduler":
+        registry = obs_metrics.get_registry()
+        self._obs = registry if registry.enabled else None
         self.pool.start()
         return self
 
@@ -200,6 +223,11 @@ class Scheduler:
         entry = self.corpus.get(digest)
         queued: List[str] = []
         cached: List[str] = []
+        # Captured once per submission: the handler thread's active
+        # context (the open serve.op.* span, or the client's raw
+        # context) becomes the parent of everything the job does.
+        submit_ctx = obs_context.active_context()
+        traceparent = submit_ctx.to_traceparent() if submit_ctx is not None else None
         for spec_text in specs:
             spec = coerce_spec(spec_text).key
             job_id = job_id_of(digest, spec)
@@ -217,11 +245,19 @@ class Scheduler:
                     queued.append(job_id)
                     continue
                 job = AnalysisJob(
-                    job_id=job_id, digest=digest, spec=spec, trace_name=entry.name
+                    job_id=job_id,
+                    digest=digest,
+                    spec=spec,
+                    trace_name=entry.name,
+                    traceparent=traceparent,
+                    queued_monotonic_ns=time.monotonic_ns(),
                 )
                 self._jobs[job_id] = job
                 self.queue.push(job)
                 queued.append(job_id)
+        obs = self._obs
+        if obs is not None:
+            obs.gauge("jobs.queued").set(len(self.queue))
         self._dispatch()
         return queued, cached
 
@@ -252,8 +288,39 @@ class Scheduler:
                     trace_name=job.trace_name,
                     chunk_events=self.chunk_events,
                     parallel=parallel,
+                    traceparent=job.traceparent,
+                    obs_dir=str(self.obs_dir) if self.obs_dir is not None else None,
                 )
+            self._record_queue_wait(job)
             self.pool.submit(task)
+
+    def _record_queue_wait(self, job: AnalysisJob) -> None:
+        """Account one job's pending-queue dwell time (metrics + span).
+
+        The wait is an interval nobody is "inside" as code, so it is
+        measured between the submit and dispatch stamps and exported as
+        a synthetic ``job.queue_wait`` span of the submitter's trace —
+        the queue phase of ``repro obs timeline``.
+        """
+        if not job.queued_monotonic_ns:
+            return
+        wait_ns = time.monotonic_ns() - job.queued_monotonic_ns
+        obs = self._obs
+        if obs is not None:
+            obs.histogram("scheduler.queue_wait_ns").observe(wait_ns)
+            obs.gauge("jobs.queued").set(len(self.queue))
+        if job.traceparent and obs_tracing.tracing_enabled():
+            ctx = obs_context.context_from_message({"trace": job.traceparent})
+            if ctx is not None:
+                obs_tracing.export_span(
+                    "job.queue_wait",
+                    job.queued_monotonic_ns,
+                    job.queued_monotonic_ns + wait_ns,
+                    trace_id=ctx.trace_id,
+                    parent_sid=ctx.span_id,
+                    job=job.job_id,
+                    spec=job.spec,
+                )
 
     def _on_result(
         self,
@@ -271,7 +338,19 @@ class Scheduler:
         # to FAILED — or its dispatch slot leaks forever.
         if job is not None and payload is not None:
             try:
-                self.results.record(job.digest, job.spec, payload)
+                # The persist span closes the job's distributed trace:
+                # parented under the submitter's context so the timeline
+                # shows submit → queue → analyze → persist end to end.
+                ctx = (
+                    obs_context.context_from_message({"trace": job.traceparent})
+                    if job.traceparent
+                    else None
+                )
+                with obs_context.use_context(ctx):
+                    with obs_tracing.span(
+                        "job.persist", job=task_id, digest=job.digest[:12]
+                    ):
+                        self.results.record(job.digest, job.spec, payload)
             except Exception as record_error:  # noqa: BLE001 - surfaced on the job
                 payload = None
                 error = f"result recording failed: {type(record_error).__name__}: {record_error}"

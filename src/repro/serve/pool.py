@@ -71,7 +71,16 @@ class WorkerTask:
     the right call for corpus-stored traces whatever encoding the store
     uses.  ``fault`` is test instrumentation for the crash-isolation and
     timeout paths (``"exit"`` hard-kills the worker mid-task, ``"hang"``
-    blocks it) — production schedulers never set it.
+    blocks it, ``"exit_once"`` hard-kills only the first attempt — a
+    marker file beside the trace lets the retry proceed) — production
+    schedulers never set it.
+
+    ``traceparent`` carries the submitter's distributed trace context
+    (:mod:`repro.obs.context`) across the process boundary, and
+    ``obs_dir`` names the job-scoped observability directory: when set,
+    the worker configures its own span exporter to a per-pid file under
+    it (``spans-<pid>.jsonl``) and parents its spans — ``worker.task``
+    down to the parallel chunk spans — under the remote context.
 
     ``parallel`` asks the worker to run the analysis segment-parallel
     with that many threads (:meth:`Session.run` with ``parallel=N``);
@@ -88,6 +97,8 @@ class WorkerTask:
     chunk_events: int = 2048
     parallel: int = 1
     fault: Optional[str] = None
+    traceparent: Optional[str] = None
+    obs_dir: Optional[str] = None
 
 
 def _is_colf_file(path: str, fmt: Optional[str]) -> bool:
@@ -103,19 +114,8 @@ def _is_colf_file(path: str, fmt: Optional[str]) -> bool:
         return False
 
 
-def execute_task(task: WorkerTask) -> Dict[str, object]:
-    """Run one task to completion in the current process.
-
-    This is the function the worker processes execute; it is equally
-    callable in-process (the unit tests use it that way).  Returns the
-    JSON-serializable result payload that gets folded into the results
-    store.
-    """
-    if task.fault == "exit":  # test instrumentation: simulate a worker crash
-        os._exit(13)
-    if task.fault == "hang":  # test instrumentation: simulate a wedged analysis
-        time.sleep(3600)
-
+def _run_task_session(task: WorkerTask):
+    """The analysis itself: one Session walk over the task's trace file."""
     from ..api import Session, coerce_spec
     from ..trace.io import iter_trace_chunks
 
@@ -129,13 +129,83 @@ def execute_task(task: WorkerTask) -> Dict[str, object]:
         from ..api.sources import ColfSource
 
         with ColfSource(task.trace_path, name=task.trace_name or task.trace_path) as source:
-            result = session.run(source, batch_size=task.chunk_events, parallel=task.parallel)
-    else:
+            return session.run(source, batch_size=task.chunk_events, parallel=task.parallel)
+    from ..obs import tracing as obs_tracing
+
+    # The chunked feed below bypasses Session.run (and with it the
+    # session.run span Session.run opens), so open the equivalent span
+    # here — the timeline's analyze phase must cover both walk shapes.
+    with obs_tracing.span(
+        "session.run", trace=task.trace_name or task.trace_path, specs=1
+    ) as walk_span:
         session.begin(name=task.trace_name or task.trace_path)
         feed_batch = session.feed_batch
-        for chunk in iter_trace_chunks(task.trace_path, fmt=task.fmt, batch_size=task.chunk_events):
+        for chunk in iter_trace_chunks(
+            task.trace_path, fmt=task.fmt, batch_size=task.chunk_events
+        ):
             feed_batch(chunk)
         result = session.finish()
+        walk_span.set(events=result.num_events)
+    return result
+
+
+def execute_task(task: WorkerTask) -> Dict[str, object]:
+    """Run one task to completion in the current process.
+
+    This is the function the worker processes execute; it is equally
+    callable in-process (the unit tests use it that way).  Returns the
+    JSON-serializable result payload that gets folded into the results
+    store.
+    """
+    if task.fault == "exit":  # test instrumentation: simulate a worker crash
+        os._exit(13)
+    if task.fault == "exit_once":  # test instrumentation: crash the first attempt only
+        marker = task.trace_path + ".crash-marker"
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8"):
+                pass
+            os._exit(13)
+    if task.fault == "hang":  # test instrumentation: simulate a wedged analysis
+        time.sleep(3600)
+
+    from ..obs import context as obs_context
+    from ..obs import tracing as obs_tracing
+
+    # Worker-side tracing setup.  Each worker process exports to its own
+    # per-pid file (one writer per file — no cross-process interleaving)
+    # and attaches the task's remote context, so every span recorded
+    # below parents under the submitter's trace.  In-process callers
+    # (unit tests, run_batch embedders) that already configured tracing
+    # keep their exporter; the obs_dir file is only opened when this
+    # process owns none.
+    owns_tracing = False
+    if task.obs_dir and not obs_tracing.tracing_enabled():
+        from pathlib import Path
+
+        obs_dir = Path(task.obs_dir)
+        obs_dir.mkdir(parents=True, exist_ok=True)
+        obs_tracing.configure_tracing(obs_dir / f"spans-{os.getpid()}.jsonl")
+        owns_tracing = True
+    remote = (
+        obs_context.context_from_message({"trace": task.traceparent})
+        if task.traceparent
+        else None
+    )
+    token = obs_context.attach_context(remote) if remote is not None else None
+    try:
+        with obs_tracing.span(
+            "worker.task", job=task.task_id, spec=task.spec, parallel=task.parallel
+        ):
+            result = _run_task_session(task)
+    finally:
+        if token is not None:
+            obs_context.detach_context(token)
+        if owns_tracing:
+            obs_tracing.shutdown_tracing()
+
+    from ..api import coerce_spec
+
+    spec = coerce_spec(task.spec)
     analysis = result[spec]
 
     payload: Dict[str, object] = {

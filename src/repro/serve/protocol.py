@@ -33,6 +33,15 @@ handlers):
 ``shutdown``
     Graceful server stop.
 
+Any request may additionally carry a ``trace`` field: a
+W3C-``traceparent``-style string (``00-<trace_id>-<span_id>-<flags>``,
+see :mod:`repro.obs.context`) propagating the client's distributed
+trace context.  Servers parse it leniently — a malformed value is
+ignored, never an error — and attach it to all work done for the
+request, so spans recorded server- and worker-side parent under the
+client's trace and ``repro obs timeline`` can reconstruct the job end
+to end.  Responses to submission ops echo the ``trace_id``.
+
 This module only frames and parses messages; it has no socket or
 threading opinions, so both the server's ``rfile``/``wfile`` pair and
 the client's socket makefile handles use it symmetrically.

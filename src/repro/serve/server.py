@@ -38,8 +38,10 @@ from ..analysis.result import Race
 from ..api import QueueSource, Session
 from ..api.spec import coerce_spec
 from ..cli_util import package_version
+from ..obs import context as obs_context
 from ..obs import metrics as obs_metrics
 from ..obs import proc as obs_proc
+from ..obs import tracing as obs_tracing
 from ..obs.logging import get_logger
 from ..trace.event import Event
 from ..trace.io import StdParser, TraceFormatError, iter_csv, iter_std, std_line
@@ -75,9 +77,19 @@ class _StreamState:
     #: Seconds a feed waits on a full queue before declaring the walk stalled.
     FEED_TIMEOUT = 30.0
 
-    def __init__(self, name: str, specs: Sequence[str], save: bool) -> None:
+    def __init__(
+        self,
+        name: str,
+        specs: Sequence[str],
+        save: bool,
+        context: Optional[obs_context.TraceContext] = None,
+    ) -> None:
         self.name = name
         self.save = save
+        #: The stream's distributed trace context, captured at
+        #: stream_begin: the walk thread runs under it so the live
+        #: session's spans parent into the client's trace.
+        self._context = context
         self.spec_keys = [coerce_spec(spec).key for spec in specs]
         self._races: List[Race] = []
         self._races_lock = threading.Lock()
@@ -117,7 +129,10 @@ class _StreamState:
     def _run_walk(self) -> None:
         try:
             assert self.session is not None and self.source is not None
-            self.result = self.session.run(self.source)
+            # Fresh thread = fresh contextvars: re-attach the stream's
+            # trace context explicitly or the walk's spans orphan.
+            with obs_context.use_context(self._context):
+                self.result = self.session.run(self.source)
         except BaseException as error:  # noqa: BLE001 - re-raised at stream_end
             self._walk_error = error
 
@@ -252,13 +267,25 @@ class ServeHandler(socketserver.StreamRequestHandler):
             if handler is None:
                 response = error_response(f"unknown op {op!r}")
             else:
+                # Context propagation: the request's traceparent (if any)
+                # becomes the ambient context for everything this op does
+                # — the serve.op.* span parents under it, and work handed
+                # onward (scheduler jobs, stream walks) captures it.
+                remote = obs_context.context_from_message(request)
+                token = (
+                    obs_context.attach_context(remote) if remote is not None else None
+                )
                 try:
-                    response = handler(request)
+                    with obs_tracing.span(f"serve.op.{op}", op=str(op)):
+                        response = handler(request)
                 except (CorpusError, TraceFormatError, ValueError) as error:
                     response = error_response(str(error))
                 except Exception as error:  # noqa: BLE001 - keep the server alive
                     log.warning("internal error handling %r: %s", op, error)
                     response = error_response(f"internal error: {type(error).__name__}: {error}")
+                finally:
+                    if token is not None:
+                        obs_context.detach_context(token)
             registry = self.server.obs_registry
             if registry is not None:
                 registry.counter("server.requests", op=str(op)).inc()
@@ -323,11 +350,28 @@ class ServeHandler(socketserver.StreamRequestHandler):
             row["rss_bytes"] = (
                 obs_proc.rss_bytes(int(pid)) if row.get("alive") and pid else None
             )
+        queue_stats: Dict[str, object] = {
+            "depth": sum(shard_depths),
+            "shards": shard_depths,
+        }
+        # Queue latency lives in the stats payload itself (not only the
+        # metrics snapshot) so the human `repro status` view — which
+        # requests metrics=false — still renders it.
+        registry = server.obs_registry
+        if registry is not None:
+            wait = registry.get("scheduler.queue_wait_ns")
+            if wait is not None:
+                wait_dict = wait.as_dict()  # type: ignore[attr-defined]
+                queue_stats["wait"] = {
+                    "count": wait_dict["count"],
+                    "mean_ns": wait_dict["mean_ns"],
+                    "max_ns": wait_dict["max_ns"],
+                }
         stats: Dict[str, object] = {
             "uptime_seconds": round(uptime, 3),
             "pid": os.getpid(),
             "rss_bytes": obs_proc.rss_bytes(),
-            "queue": {"depth": sum(shard_depths), "shards": shard_depths},
+            "queue": queue_stats,
             "jobs": scheduler.counts(),
             "inflight": scheduler.pool.inflight,
             "results": len(server.results),
@@ -422,7 +466,12 @@ class ServeHandler(socketserver.StreamRequestHandler):
                 "save=true (ingest only), or both"
             )
         name = str(request.get("name", "")) or "stream"
-        self._stream = _StreamState(name=name, specs=[str(s) for s in specs], save=save)
+        self._stream = _StreamState(
+            name=name,
+            specs=[str(s) for s in specs],
+            save=save,
+            context=obs_context.active_context(),
+        )
         self._race_cursor = 0
         return ok_response(name=name, specs=self._stream.spec_keys, save=save)
 
@@ -500,6 +549,7 @@ class TraceServer(socketserver.ThreadingTCPServer):
         workers: int = 2,
         task_timeout: Optional[float] = None,
         num_shards: int = 8,
+        obs_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         # The server process is long-lived and its request rate is tiny
         # next to the analysis work, so it runs with metrics on; worker
@@ -511,12 +561,32 @@ class TraceServer(socketserver.ThreadingTCPServer):
         self.obs_registry: Optional[obs_metrics.MetricsRegistry] = registry
         self.corpus = TraceCorpus(corpus_dir)
         self.results = ResultsStore(self.corpus.root / "results.json")
+        # Distributed tracing: an explicit obs_dir turns span recording
+        # on for the whole job path (server + every worker, one per-pid
+        # file each under obs_dir); with tracing already configured by
+        # the embedder/CLI, workers still get a default obs_dir under
+        # the corpus so their spans have somewhere to land.
+        self._owns_tracing = False
+        if obs_dir is not None:
+            self.obs_dir: Optional[Path] = Path(obs_dir)
+            self.obs_dir.mkdir(parents=True, exist_ok=True)
+            if not obs_tracing.tracing_enabled():
+                obs_tracing.configure_tracing(
+                    self.obs_dir / f"spans-server-{os.getpid()}.jsonl"
+                )
+                self._owns_tracing = True
+        elif obs_tracing.tracing_enabled():
+            self.obs_dir = self.corpus.root / "obs"
+            self.obs_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            self.obs_dir = None
         self.scheduler = Scheduler(
             self.corpus,
             self.results,
             workers=workers,
             task_timeout=task_timeout,
             num_shards=num_shards,
+            obs_dir=self.obs_dir,
         )
         self.started_unix = time.time()
         self._shutdown_thread: Optional[threading.Thread] = None
@@ -560,6 +630,8 @@ class TraceServer(socketserver.ThreadingTCPServer):
         self.scheduler.close(timeout=timeout)
         self.server_close()
         log.info("server on %s:%d closed", self.address[0], self.address[1])
+        if self._owns_tracing:
+            obs_tracing.shutdown_tracing()
         # Restore the registry's pre-server state so an in-process
         # embedder (the tests, notebooks) doesn't come out of a server
         # run with global metrics silently switched on.
@@ -574,12 +646,14 @@ def serve(
     workers: int = 2,
     task_timeout: Optional[float] = None,
     num_shards: int = 8,
+    obs_dir: Optional[Union[str, Path]] = None,
 ) -> TraceServer:
     """Construct a :class:`TraceServer` bound to ``(host, port)``.
 
     The caller owns the serve loop: call ``serve_forever()`` (blocking)
     or drive it from a thread; ``server.address`` reports the bound
-    port when ``port`` was 0.
+    port when ``port`` was 0.  ``obs_dir`` enables distributed span
+    recording for every job (server + workers) into that directory.
     """
     return TraceServer(
         (host, port),
@@ -587,4 +661,5 @@ def serve(
         workers=workers,
         task_timeout=task_timeout,
         num_shards=num_shards,
+        obs_dir=obs_dir,
     )

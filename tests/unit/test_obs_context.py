@@ -1,0 +1,196 @@
+"""Trace-context propagation: traceparent parsing, ambient scoping, stamping.
+
+The distributed-tracing invariant (CONTRIBUTING: spans are parented,
+never orphaned) rests on three mechanics pinned here: the ``traceparent``
+wire form survives a parse/format round-trip, protocol messages carry
+the context through ``encode_message``/``read_message`` untouched, and
+:func:`active_context` prefers the live span over the attached context
+so nested hops chain instead of flattening.
+"""
+
+import io
+import threading
+
+import pytest
+
+from repro.obs.context import (
+    FLAG_SAMPLED,
+    MESSAGE_FIELD,
+    TraceContext,
+    active_context,
+    attach_context,
+    context_from_message,
+    current_context,
+    detach_context,
+    new_context,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    stamp_message,
+    use_context,
+)
+from repro.obs.tracing import configure_tracing, shutdown_tracing, span
+from repro.serve.protocol import encode_message, read_message, write_message
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing_state():
+    shutdown_tracing()
+    yield
+    shutdown_tracing()
+
+
+class TestTraceparentForm:
+    def test_round_trip(self):
+        ctx = new_context()
+        parsed = parse_traceparent(ctx.to_traceparent())
+        assert parsed == ctx
+
+    def test_wire_shape(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8, flags=1)
+        assert ctx.to_traceparent() == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+    def test_unknown_version_is_accepted(self):
+        parsed = parse_traceparent(f"cc-{'ab' * 16}-{'cd' * 8}-01")
+        assert parsed.trace_id == "ab" * 16
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "not a traceparent",
+            f"00-{'ab' * 16}-{'cd' * 8}",  # missing flags
+            f"00-{'AB' * 16}-{'cd' * 8}-01",  # uppercase hex
+            f"00-{'ab' * 15}-{'cd' * 8}-01",  # short trace id
+            f"00-{'0' * 32}-{'cd' * 8}-01",  # all-zero trace id
+            f"00-{'ab' * 16}-{'0' * 16}-01",  # all-zero span id
+        ],
+    )
+    def test_malformed_raises(self, text):
+        with pytest.raises(ValueError):
+            parse_traceparent(text)
+
+    def test_non_string_raises(self):
+        with pytest.raises(ValueError):
+            parse_traceparent(12345)
+
+    def test_sampled_flag(self):
+        assert new_context().sampled
+        assert not new_context(flags=0).sampled
+        assert parse_traceparent(f"00-{'ab' * 16}-{'cd' * 8}-00").sampled is False
+
+    def test_child_keeps_trace_changes_span(self):
+        ctx = new_context()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        assert child.flags == ctx.flags
+
+
+class TestIdGeneration:
+    def test_shapes(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)
+        int(new_span_id(), 16)
+
+    def test_span_ids_unique_across_threads(self):
+        seen = []
+
+        def grab():
+            seen.extend(new_span_id() for _ in range(200))
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(seen)) == len(seen)
+
+
+class TestAmbientContext:
+    def test_default_is_none(self):
+        assert current_context() is None
+        assert active_context() is None
+
+    def test_attach_detach(self):
+        ctx = new_context()
+        token = attach_context(ctx)
+        try:
+            assert current_context() is ctx
+        finally:
+            detach_context(token)
+        assert current_context() is None
+
+    def test_use_context_scopes(self):
+        ctx = new_context()
+        with use_context(ctx):
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_use_context_none_is_noop(self):
+        with use_context(None) as scoped:
+            assert scoped is None
+            assert current_context() is None
+
+    def test_new_threads_start_empty(self):
+        ctx = new_context()
+        seen = []
+        with use_context(ctx):
+            thread = threading.Thread(target=lambda: seen.append(current_context()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_active_context_prefers_live_span(self, tmp_path):
+        configure_tracing(tmp_path / "spans.jsonl")
+        remote = new_context()
+        with use_context(remote):
+            with span("serve.op.submit") as op_span:
+                active = active_context()
+                # Inside the span the outgoing parent is the span itself,
+                # not the remote context it parented under.
+                assert active.trace_id == remote.trace_id
+                assert active.span_id == op_span.sid
+                assert active.span_id != remote.span_id
+            assert active_context() == remote
+
+
+class TestMessageStamping:
+    def test_stamp_uses_attached_context(self):
+        ctx = new_context()
+        with use_context(ctx):
+            payload = stamp_message({"op": "submit"})
+        assert payload[MESSAGE_FIELD] == ctx.to_traceparent()
+        assert context_from_message(payload) == ctx
+
+    def test_stamp_without_context_leaves_payload_alone(self):
+        payload = stamp_message({"op": "submit"})
+        assert MESSAGE_FIELD not in payload
+
+    def test_explicit_stamp_wins_and_is_not_restamped(self):
+        pinned = new_context()
+        ambient = new_context()
+        payload = stamp_message({"op": "stream_feed"}, context=pinned)
+        with use_context(ambient):
+            stamp_message(payload)
+        assert context_from_message(payload) == pinned
+
+    def test_malformed_trace_field_is_ignored(self):
+        assert context_from_message({"op": "submit", "trace": "garbage"}) is None
+        assert context_from_message({"op": "submit", "trace": 7}) is None
+        assert context_from_message({"op": "submit"}) is None
+
+    def test_round_trips_through_protocol_encoding(self):
+        ctx = new_context()
+        payload = stamp_message({"op": "submit", "text": "w 1 x"}, context=ctx)
+        decoded = read_message(io.BytesIO(encode_message(payload)))
+        assert decoded[MESSAGE_FIELD] == ctx.to_traceparent()
+        assert context_from_message(decoded) == ctx
+
+    def test_round_trips_through_protocol_stream(self):
+        ctx = new_context()
+        buffer = io.BytesIO()
+        write_message(buffer, stamp_message({"op": "analyze", "digest": "d"}, context=ctx))
+        buffer.seek(0)
+        assert context_from_message(read_message(buffer)) == ctx

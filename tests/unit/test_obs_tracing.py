@@ -137,17 +137,31 @@ class TestNesting:
 
 
 class TestReadSpans:
-    def test_rejects_non_schema_lines(self, tmp_path):
+    def test_strict_rejects_non_schema_lines(self, tmp_path):
         target = tmp_path / "bad.jsonl"
         target.write_text('{"schema":"other/1"}\n')
         with pytest.raises(ValueError, match="not a"):
-            read_spans(target)
+            read_spans(target, strict=True)
 
-    def test_rejects_invalid_json(self, tmp_path):
+    def test_strict_rejects_invalid_json(self, tmp_path):
         target = tmp_path / "bad.jsonl"
         target.write_text("not json\n")
         with pytest.raises(ValueError, match="not valid JSON"):
-            read_spans(target)
+            read_spans(target, strict=True)
+
+    def test_lenient_skips_and_counts_corrupt_lines(self, tmp_path):
+        target = tmp_path / "spans.jsonl"
+        configure_tracing(target)
+        with span("s"):
+            pass
+        shutdown_tracing()
+        with open(target, "a") as handle:
+            handle.write("not json\n")
+            handle.write('{"schema":"other/1"}\n')
+        errors = []
+        records = read_spans(target, errors=errors)
+        assert [record["name"] for record in records] == ["s"]
+        assert len(errors) == 2
 
     def test_skips_blank_lines(self, tmp_path):
         target = tmp_path / "spans.jsonl"
