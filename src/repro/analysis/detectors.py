@@ -35,6 +35,14 @@ from typing import Callable, Dict, Optional
 from ..clocks.base import Clock
 from ..trace.event import Event
 from .result import DetectionSummary, Race
+from .serial import (
+    decode_int_map,
+    decode_key,
+    encode_int_map,
+    encode_key,
+    race_from_record,
+    race_to_record,
+)
 
 
 @dataclass
@@ -122,6 +130,59 @@ class _BaseDetector:
             self.summary.races.append(race)
         if self._on_race is not None:
             self._on_race(race)
+
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the detector's per-variable state + summary.
+
+        Everything order-sensitive (the per-variable map, the inflated
+        ``reads`` map, MAZ's ``last_access`` map) travels as association
+        lists so dict insertion order — which race order and check
+        counts depend on — survives the round trip exactly.
+        """
+        states = []
+        for variable, state in self._states.items():
+            states.append(
+                [
+                    encode_key(variable),
+                    state.write_tid,
+                    state.write_clk,
+                    state.read_tid,
+                    state.read_clk,
+                    None if state.reads is None else encode_int_map(state.reads),
+                    encode_int_map(state.last_access),
+                ]
+            )
+        return {
+            "states": states,
+            "checks": self.summary.checks,
+            "total_reported": self.summary.total_reported,
+            "races": [race_to_record(race) for race in self.summary.races],
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Rebuild detector state from a :meth:`snapshot` payload.
+
+        Already-reported races are restored into the summary without
+        re-firing the ``on_race`` callback — they were narrated when
+        first found; only post-restore races stream out.
+        """
+        self.summary = DetectionSummary(
+            races=[race_from_record(record) for record in snapshot["races"]],  # type: ignore[union-attr]
+            checks=int(snapshot["checks"]),  # type: ignore[arg-type]
+            total_reported=int(snapshot["total_reported"]),  # type: ignore[arg-type]
+        )
+        self._states = {}
+        for encoded, wtid, wclk, rtid, rclk, reads, last_access in snapshot["states"]:  # type: ignore[union-attr]
+            self._states[decode_key(encoded)] = _VariableAccessState(
+                write_tid=int(wtid),
+                write_clk=int(wclk),
+                read_tid=int(rtid),
+                read_clk=int(rclk),
+                reads=None if reads is None else decode_int_map(reads),
+                last_access=decode_int_map(last_access),
+            )
 
 
 class RaceDetector(_BaseDetector):

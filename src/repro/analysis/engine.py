@@ -47,6 +47,13 @@ from ..trace.event import Event, OpKind
 from ..trace.io import DEFAULT_BATCH_SIZE
 from ..trace.trace import Trace
 from .result import AnalysisResult, DetectionSummary, Race
+from .serial import (
+    ENGINE_STATE_VERSION,
+    decode_key,
+    decode_vt,
+    encode_clock_map,
+    encode_vt,
+)
 
 #: A per-kind handler: ``(event, clock)`` with ``clock`` the (already
 #: incremented) clock of the event's thread.  ``None`` means "no rule"
@@ -211,6 +218,121 @@ class PartialOrderAnalysis:
     def _detection_summary(self) -> Optional[DetectionSummary]:
         """The detector's summary, if a detector is attached."""
         return None
+
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def _snapshot_extra(self) -> Dict[str, object]:
+        """Subclass hook: the analysis-specific state of the snapshot.
+
+        Extended by SHB/MAZ for their last-write/last-read maps and by
+        every detecting analysis for its detector state.
+        """
+        return {}
+
+    def _restore_extra(self, extra: Dict[str, object]) -> None:
+        """Subclass hook: rebuild the analysis-specific snapshot state."""
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Serialize the full mid-run engine state to a JSON-safe dict.
+
+        Together with :meth:`restore_state` this is the explicit
+        serialization surface of the engine: everything a run holds in
+        live objects — the clock context's thread universe, every
+        non-empty thread/lock clock as a vector time plus its tree
+        anchor, subclass maps, detector state, timestamps and work
+        counts — captured between two ``feed_batch`` calls.  Feeding the
+        remaining events into a restored analysis yields the same
+        timestamps, the same races in the same order and the same check
+        counts as the uninterrupted run; work counters are the one
+        exception for tree clocks (a re-seeded tree is flat, so its
+        traversal work can differ — the same caveat the segment-parallel
+        runner documents).
+        """
+        context = self.context
+        if context is None:
+            raise RuntimeError("snapshot_state() called before begin()")
+        thread_clocks = []
+        for tid, clock in self.thread_clocks.items():
+            vector_time = clock.as_dict()
+            if vector_time:
+                thread_clocks.append([tid, encode_vt(vector_time)])
+        counter = context.counter
+        return {
+            "version": ENGINE_STATE_VERSION,
+            "order": self.PARTIAL_ORDER,
+            "trace_name": self._trace_name,
+            "events_fed": self._events_fed,
+            "elapsed_ns": time.perf_counter_ns() - self._started_ns,
+            "threads": list(context.threads),
+            "thread_clocks": thread_clocks,
+            "lock_clocks": encode_clock_map(self.lock_clocks),
+            "timestamps": (
+                None
+                if self._timestamps is None
+                else [encode_vt(timestamp) for timestamp in self._timestamps]
+            ),
+            "work": (
+                None
+                if counter is None
+                else {
+                    "entries_processed": counter.entries_processed,
+                    "entries_updated": counter.entries_updated,
+                    "joins": counter.joins,
+                    "copies": counter.copies,
+                    "increments": counter.increments,
+                }
+            ),
+            "extra": self._snapshot_extra(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Resume a run from a :meth:`snapshot_state` payload.
+
+        Starts a fresh run (:meth:`begin`) with the snapshot's thread
+        universe, then seeds every clock via ``seed_vector_time`` —
+        thread clocks anchored at their owner, lock clocks at the last
+        releasing thread recorded in the snapshot.  The analysis must be
+        configured identically (same order, same ``detect`` /
+        ``capture_timestamps`` / ``count_work`` switches) to the one
+        that took the snapshot.
+        """
+        if state.get("version") != ENGINE_STATE_VERSION:
+            raise ValueError(
+                f"unsupported engine snapshot version {state.get('version')!r}"
+            )
+        if state.get("order") != self.PARTIAL_ORDER:
+            raise ValueError(
+                f"snapshot is for order {state.get('order')!r}, "
+                f"not {self.PARTIAL_ORDER!r}"
+            )
+        self.begin(threads=state["threads"], trace_name=str(state["trace_name"]))
+        for tid, pairs in state["thread_clocks"]:  # type: ignore[union-attr]
+            tid = int(tid)
+            self.clock_of_thread(tid).seed_vector_time(decode_vt(pairs), anchor=tid)
+        for encoded, pairs, anchor in state["lock_clocks"]:  # type: ignore[union-attr]
+            self.clock_of_lock(decode_key(encoded)).seed_vector_time(
+                decode_vt(pairs), anchor=anchor
+            )
+        self._restore_extra(state["extra"])  # type: ignore[arg-type]
+        timestamps = state.get("timestamps")
+        if self.capture_timestamps:
+            if timestamps is None:
+                raise ValueError("snapshot was taken without capture_timestamps")
+            self._timestamps = [decode_vt(pairs) for pairs in timestamps]  # type: ignore[union-attr]
+        counter = self.context.counter if self.context is not None else None
+        if counter is not None:
+            work = state.get("work")
+            if work is None:
+                raise ValueError("snapshot was taken without count_work")
+            counter.entries_processed = int(work["entries_processed"])  # type: ignore[index]
+            counter.entries_updated = int(work["entries_updated"])  # type: ignore[index]
+            counter.joins = int(work["joins"])  # type: ignore[index]
+            counter.copies = int(work["copies"])  # type: ignore[index]
+            counter.increments = int(work["increments"])  # type: ignore[index]
+        self._events_fed = int(state["events_fed"])  # type: ignore[arg-type]
+        # Resume the wall clock where the snapshot left off, so the final
+        # result's elapsed_ns spans the analysis time, not the downtime.
+        self._started_ns = time.perf_counter_ns() - int(state["elapsed_ns"])  # type: ignore[arg-type]
 
     # -- the incremental driver --------------------------------------------------------
 

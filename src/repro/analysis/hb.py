@@ -56,6 +56,20 @@ class HBAnalysis(PartialOrderAnalysis):
     def _detection_summary(self) -> Optional[DetectionSummary]:
         return self._detector.summary if self._detector is not None else None
 
+    def _snapshot_extra(self) -> Dict[str, object]:
+        extra = super()._snapshot_extra()
+        if self._detector is not None:
+            extra["detector"] = self._detector.snapshot()
+        return extra
+
+    def _restore_extra(self, extra: Dict[str, object]) -> None:
+        super()._restore_extra(extra)
+        if self._detector is not None:
+            detector_state = extra.get("detector")
+            if detector_state is None:
+                raise ValueError("snapshot was taken without detect=True")
+            self._detector.restore(detector_state)  # type: ignore[arg-type]
+
 
 def compute_hb(trace: Trace, clock_class=None, **kwargs) -> AnalysisResult:
     """Convenience wrapper: run :class:`HBAnalysis` over ``trace``.

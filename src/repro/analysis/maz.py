@@ -28,6 +28,7 @@ from ..trace.trace import Trace
 from .detectors import ReversiblePairDetector
 from .engine import PartialOrderAnalysis
 from .result import AnalysisResult, DetectionSummary
+from .serial import decode_key, decode_vt, encode_clock_map, encode_key, encode_vt
 
 
 class MAZAnalysis(PartialOrderAnalysis):
@@ -110,6 +111,45 @@ class MAZAnalysis(PartialOrderAnalysis):
 
     def _detection_summary(self) -> Optional[DetectionSummary]:
         return self._detector.summary if self._detector is not None else None
+
+    def _snapshot_extra(self) -> Dict[str, object]:
+        extra = super()._snapshot_extra()
+        extra["writes"] = encode_clock_map(self._last_write_clocks)
+        reads = []
+        for (tid, variable), clock in self._last_read_clocks.items():
+            vector_time = clock.as_dict()
+            if vector_time:
+                reads.append([tid, encode_key(variable), encode_vt(vector_time)])
+        extra["reads"] = reads
+        extra["readers"] = [
+            [encode_key(variable), sorted(tids)]
+            for variable, tids in self._readers_since_write.items()
+            if tids
+        ]
+        if self._detector is not None:
+            extra["detector"] = self._detector.snapshot()
+        return extra
+
+    def _restore_extra(self, extra: Dict[str, object]) -> None:
+        super()._restore_extra(extra)
+        for encoded, pairs, anchor in extra["writes"]:  # type: ignore[union-attr]
+            self.last_write_clock(decode_key(encoded)).seed_vector_time(
+                decode_vt(pairs), anchor=anchor
+            )
+        for tid, encoded, pairs in extra["reads"]:  # type: ignore[union-attr]
+            tid = int(tid)
+            # A thread's last-read clock is a monotone copy of its own
+            # clock at read time, so the reading thread is the anchor.
+            self.last_read_clock(tid, decode_key(encoded)).seed_vector_time(
+                decode_vt(pairs), anchor=tid
+            )
+        for encoded, tids in extra["readers"]:  # type: ignore[union-attr]
+            self.readers_since_write(decode_key(encoded)).update(int(t) for t in tids)
+        if self._detector is not None:
+            detector_state = extra.get("detector")
+            if detector_state is None:
+                raise ValueError("snapshot was taken without detect=True")
+            self._detector.restore(detector_state)  # type: ignore[arg-type]
 
 
 def compute_maz(trace: Trace, clock_class=None, **kwargs) -> AnalysisResult:

@@ -26,6 +26,7 @@ from ..trace.trace import Trace
 from .detectors import RaceDetector
 from .engine import EventHandler, PartialOrderAnalysis
 from .result import AnalysisResult, DetectionSummary
+from .serial import decode_key, decode_vt, encode_clock_map
 
 
 class SHBAnalysis(PartialOrderAnalysis):
@@ -81,6 +82,25 @@ class SHBAnalysis(PartialOrderAnalysis):
 
     def _detection_summary(self) -> Optional[DetectionSummary]:
         return self._detector.summary if self._detector is not None else None
+
+    def _snapshot_extra(self) -> Dict[str, object]:
+        extra = super()._snapshot_extra()
+        extra["writes"] = encode_clock_map(self._last_write_clocks)
+        if self._detector is not None:
+            extra["detector"] = self._detector.snapshot()
+        return extra
+
+    def _restore_extra(self, extra: Dict[str, object]) -> None:
+        super()._restore_extra(extra)
+        for encoded, pairs, anchor in extra["writes"]:  # type: ignore[union-attr]
+            self.last_write_clock(decode_key(encoded)).seed_vector_time(
+                decode_vt(pairs), anchor=anchor
+            )
+        if self._detector is not None:
+            detector_state = extra.get("detector")
+            if detector_state is None:
+                raise ValueError("snapshot was taken without detect=True")
+            self._detector.restore(detector_state)  # type: ignore[arg-type]
 
 
 def compute_shb(trace: Trace, clock_class=None, **kwargs) -> AnalysisResult:

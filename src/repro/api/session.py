@@ -328,6 +328,56 @@ class Session:
             elapsed_ns=walk_elapsed_ns,
         )
 
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Serialize the in-flight walk to a JSON-safe payload.
+
+        Captures every spec's full engine state (clocks, detector maps,
+        timestamps, work counts — see
+        :meth:`~repro.analysis.engine.PartialOrderAnalysis.snapshot_state`)
+        plus the session's own bookkeeping, between two feed calls.  A
+        fresh session constructed with the *same specs* can
+        :meth:`restore` the payload and continue feeding from the next
+        event: the finished results are identical to an uninterrupted
+        walk (work counters excepted for tree clocks, whose re-seeded
+        tree shapes can differ).  This is what lets a serve streaming
+        session survive a server restart.
+        """
+        if not self._runners:
+            raise RuntimeError("checkpoint() called before begin()")
+        return {
+            "name": self._name,
+            "events_fed": self._events_fed,
+            "elapsed_ns": list(self._elapsed_ns),
+            "specs": [spec.key for spec in self.specs],
+            "analyses": {
+                spec.key: analysis.snapshot_state()
+                for spec, analysis in zip(self.specs, self._runners)
+            },
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Resume a walk from a :meth:`checkpoint` payload.
+
+        The session must have been constructed with the same specs (by
+        canonical key, in the same order) as the one that checkpointed.
+        Races reported before the checkpoint do not re-fire ``on_race``.
+        """
+        keys = [spec.key for spec in self.specs]
+        if list(state["specs"]) != keys:  # type: ignore[arg-type]
+            raise ValueError(
+                f"checkpoint is for specs {state['specs']!r}, session has {keys!r}"
+            )
+        # begin() builds fresh runners and binds obs; each runner then
+        # re-begins inside restore_state with the snapshot's universe.
+        self.begin(name=str(state["name"]))
+        analyses = state["analyses"]
+        for spec, analysis in zip(self.specs, self._runners):
+            analysis.restore_state(analyses[spec.key])  # type: ignore[index]
+        self._events_fed = int(state["events_fed"])  # type: ignore[arg-type]
+        self._elapsed_ns = [int(ns) for ns in state["elapsed_ns"]]  # type: ignore[union-attr]
+
     # -- the one-call driver -----------------------------------------------------------
 
     def run(

@@ -1,0 +1,200 @@
+"""Deterministic fault injection for the serve pipeline.
+
+Production inference stacks earn their durability claims by killing
+their own processes on purpose; this module is that discipline for
+``repro serve``.  Everything is seeded — a :class:`FaultInjector`
+holds one ``random.Random(seed)`` and every decision (kill this worker?
+tear this write? stall this IO?) is drawn from it, so a chaos test that
+fails replays *identically* under the same seed.
+
+Three consumer surfaces:
+
+* **tests** — the torn-write helpers (:func:`tear_tail`,
+  :func:`append_garbage`) and :func:`kill_process` drive the torture and
+  differential-recovery suites;
+* **`repro serve --chaos[=seed]`** — a :class:`ChaosMonkey` thread
+  SIGKILLs random live workers at seeded jittered intervals, proving the
+  retry/quarantine/journal machinery on a dev box;
+* **clients under test** — :func:`reset_socket` closes a socket with
+  ``SO_LINGER 0`` so the peer sees a hard RST (``ECONNRESET``), the
+  exact transient the client's backoff must absorb.
+
+Nothing here is imported by production code paths except the chaos flag
+wiring; injectors are inert unless explicitly constructed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import socket
+import struct
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+#: Exit signal used for hard kills — the "process vanished" fault, not a
+#: catchable shutdown.
+KILL_SIGNAL = signal.SIGKILL if hasattr(signal, "SIGKILL") else signal.SIGTERM
+
+
+class FaultInjector:
+    """Seeded yes/no + magnitude decisions for fault sites.
+
+    ``rates`` maps a fault kind (free-form string, e.g. ``"worker_kill"``,
+    ``"torn_write"``, ``"stall"``) to a probability in ``[0, 1]``;
+    unknown kinds never fire.  All draws come from one private
+    ``random.Random(seed)``, so a fixed seed gives a fixed fault
+    schedule regardless of wall clock or interleaving *within one
+    decision site* (concurrent sites should each own an injector).
+    """
+
+    def __init__(self, seed: int = 0, rates: Optional[Dict[str, float]] = None) -> None:
+        self.seed = seed
+        self.rates = dict(rates or {})
+        self._random = random.Random(seed)
+
+    def should(self, kind: str) -> bool:
+        """One seeded Bernoulli draw against the kind's configured rate."""
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        return self._random.random() < rate
+
+    def uniform(self, low: float, high: float) -> float:
+        """One seeded uniform draw (stall durations, kill intervals)."""
+        return self._random.uniform(low, high)
+
+    def choice(self, options: List[object]) -> object:
+        """One seeded choice among ``options`` (victim selection)."""
+        return self._random.choice(options)
+
+    def maybe_stall(self, kind: str = "stall", max_seconds: float = 0.05) -> float:
+        """Sleep a seeded duration when the ``kind`` rate fires.
+
+        Returns the stall applied (0.0 when the draw declined) — the
+        slow-IO fault: long enough to shuffle thread interleavings,
+        bounded so suites stay fast.
+        """
+        if not self.should(kind):
+            return 0.0
+        duration = self.uniform(0.0, max_seconds)
+        time.sleep(duration)
+        return duration
+
+
+# -- process faults ----------------------------------------------------------------------
+
+
+def kill_process(pid: int) -> None:
+    """SIGKILL ``pid`` (no cleanup, no handlers — the crash being tested).
+
+    A process that is already gone is not an error: chaos races real
+    exits by design.
+    """
+    try:
+        os.kill(pid, KILL_SIGNAL)
+    except (ProcessLookupError, PermissionError):
+        pass
+
+
+class ChaosMonkey:
+    """Background thread SIGKILLing random live worker processes.
+
+    ``victims`` is a zero-argument callable returning the currently
+    killable pids (e.g. the worker pool's live process ids) — evaluated
+    fresh each round, so respawned workers rejoin the lottery.  Interval
+    and victim selection are drawn from the injector, so a seed fully
+    determines the kill schedule.
+    """
+
+    def __init__(
+        self,
+        victims: Callable[[], List[int]],
+        *,
+        seed: int = 0,
+        interval: float = 2.0,
+        kill_rate: float = 0.5,
+    ) -> None:
+        self._victims = victims
+        self._injector = FaultInjector(seed, rates={"worker_kill": kill_rate})
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Pids killed so far (for tests and status reporting).
+        self.kills: List[int] = []
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-chaos-monkey", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._injector.uniform(0.5, self._interval)):
+            if not self._injector.should("worker_kill"):
+                continue
+            pids = [pid for pid in self._victims() if pid]
+            if not pids:
+                continue
+            victim = int(self._injector.choice(list(pids)))  # type: ignore[arg-type]
+            kill_process(victim)
+            self.kills.append(victim)
+
+
+# -- torn-write faults -------------------------------------------------------------------
+
+
+def tear_tail(path: Union[str, Path], drop_bytes: int) -> int:
+    """Truncate the last ``drop_bytes`` bytes off ``path`` (a torn write).
+
+    Models a crash mid-append: the file ends in an incomplete record.
+    Returns the resulting size.  Dropping more than the file holds
+    empties it (a crash can tear everything).
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(0, size - max(0, drop_bytes))
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def append_garbage(path: Union[str, Path], data: bytes = b'{"torn":') -> None:
+    """Append an unterminated/corrupt record — a tear that *looks* like data."""
+    with open(path, "ab") as handle:
+        handle.write(data)
+
+
+# -- network faults ----------------------------------------------------------------------
+
+
+def reset_socket(sock: socket.socket) -> None:
+    """Close ``sock`` so the peer sees a hard RST, not a graceful FIN.
+
+    ``SO_LINGER`` with a zero timeout makes ``close()`` discard any
+    unsent data and send RST — the peer's next read/write raises
+    ``ECONNRESET``, which is the transient the client retry logic is
+    specified against.
+    """
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,185 @@
+"""The durable job journal (``repro-serve-journal/1``).
+
+An append-only JSON-lines file recording every job state transition the
+scheduler makes: ``submit`` when a (trace × spec) cell is queued,
+``dispatch`` each time it is handed to a worker, and ``complete`` /
+``fail`` / ``quarantine`` when it reaches a terminal state.  On restart
+the server replays the journal: any job whose *last* recorded event is
+non-terminal was in flight when the process died and gets re-queued
+(idempotently — the results store is content-addressed, so a job that
+actually finished but whose ``complete`` record was lost is simply
+served from cache on resubmit).
+
+Durability contract (the same one :class:`repro.obs.tracing.SpanExporter`
+relies on): the file is opened ``O_APPEND`` and every record goes out as
+a single ``os.write`` of one encoded line, which POSIX guarantees lands
+as one contiguous append — concurrent scheduler threads never interleave
+partial JSON, and a crash can only tear the *final* line.  The reader is
+lenient in the same way as :func:`repro.obs.tracing.read_spans`: torn,
+corrupt or foreign lines are skipped (and optionally described into an
+``errors`` list), never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+#: Schema tag stamped on (and required of) every journal line.
+JOURNAL_SCHEMA = "repro-serve-journal/1"
+
+#: Journal events that end a job's lifecycle; anything else left as a
+#: job's last event marks it as orphaned by a crash.
+TERMINAL_EVENTS = frozenset({"complete", "fail", "quarantine"})
+
+
+class JobJournal:
+    """Append-only writer of job state transitions.
+
+    Safe to share between threads without a lock: every :meth:`record`
+    is one ``os.write`` syscall.  A ``None``-path journal is not
+    supported — callers that run without durability simply do not
+    construct one (the scheduler treats its journal as optional).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+
+    def record(self, event: str, job_id: str, **fields: object) -> None:
+        """Append one transition; a no-op after :meth:`close`."""
+        fd = self._fd
+        if fd is None:
+            return
+        payload: Dict[str, object] = {
+            "schema": JOURNAL_SCHEMA,
+            "event": event,
+            "job_id": job_id,
+            "unix": time.time(),
+        }
+        payload.update(fields)
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        os.write(fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        fd = self._fd
+        self._fd = None
+        if fd is not None:
+            os.close(fd)
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def iter_journal(
+    path: Union[str, Path],
+    *,
+    strict: bool = False,
+    errors: Optional[List[str]] = None,
+) -> Iterator[Dict[str, object]]:
+    """Lazily parse a journal file (lenient by default, like span files).
+
+    Corrupt or foreign lines are skipped — the journal of a crashed
+    server may legitimately end in a torn line — and described into
+    ``errors`` when a list is supplied.  ``strict=True`` raises instead,
+    for tests that pin the format.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError as error:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: not valid JSON: {error}"
+                    ) from error
+                if errors is not None:
+                    errors.append(f"{path}:{line_number}: not valid JSON")
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != JOURNAL_SCHEMA
+                or not isinstance(record.get("job_id"), str)
+                or not isinstance(record.get("event"), str)
+            ):
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: not a {JOURNAL_SCHEMA!r} record: "
+                        f"{text[:80]}"
+                    )
+                if errors is not None:
+                    errors.append(f"{path}:{line_number}: not a journal record")
+                continue
+            yield record
+
+
+def read_journal(
+    path: Union[str, Path],
+    *,
+    strict: bool = False,
+    errors: Optional[List[str]] = None,
+) -> List[Dict[str, object]]:
+    """Load a whole journal file (missing file = empty journal)."""
+    if not Path(path).exists():
+        return []
+    return list(iter_journal(path, strict=strict, errors=errors))
+
+
+@dataclass
+class JournalRecord:
+    """The replayed lifecycle of one job: its identity + last transition."""
+
+    job_id: str
+    digest: str = ""
+    spec: str = ""
+    trace_name: str = ""
+    last_event: str = ""
+    error: Optional[str] = None
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def orphaned(self) -> bool:
+        """True when the job never reached a terminal state — it was in
+        flight (queued or running) when the process died."""
+        return self.last_event not in TERMINAL_EVENTS
+
+
+def replay_journal(records: List[Dict[str, object]]) -> Dict[str, JournalRecord]:
+    """Fold journal lines into per-job lifecycle state, in first-seen order.
+
+    Identity fields (digest/spec/trace) are carried by the ``submit``
+    record and retained across later transitions; a job whose submit
+    line was torn away still replays (from its job_id alone) but cannot
+    be re-queued — callers skip records with an empty digest.
+    """
+    jobs: Dict[str, JournalRecord] = {}
+    for record in records:
+        job_id = str(record["job_id"])
+        entry = jobs.get(job_id)
+        if entry is None:
+            entry = jobs[job_id] = JournalRecord(job_id=job_id)
+        for attr in ("digest", "spec"):
+            value = record.get(attr)
+            if isinstance(value, str) and value:
+                setattr(entry, attr, value)
+        trace_name = record.get("trace")
+        if isinstance(trace_name, str) and trace_name:
+            entry.trace_name = trace_name
+        entry.last_event = str(record["event"])
+        entry.events.append(entry.last_event)
+        error = record.get("error")
+        entry.error = str(error) if isinstance(error, str) else None
+    return jobs

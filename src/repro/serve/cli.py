@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 from typing import Dict, Optional, Sequence
@@ -73,6 +74,32 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="record distributed job spans (server + one file per worker pid) "
         "into DIR; reconstruct with 'repro obs timeline DIR'",
     )
+    parser.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crash/timeout retries per job before it is quarantined "
+        "(default: the pool's retry-once policy)",
+    )
+    parser.add_argument(
+        "--parallel-threshold",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help="corpus traces at or above this event count run segment-parallel "
+        "in the workers (default: 100000)",
+    )
+    parser.add_argument(
+        "--chaos",
+        nargs="?",
+        const=0,
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="DEV ONLY: run a seeded chaos monkey that SIGKILLs random "
+        "workers, exercising the retry/quarantine/journal machinery",
+    )
     add_observability_args(parser)
     return parser
 
@@ -92,15 +119,38 @@ def main_serve(argv: Optional[Sequence[str]] = None) -> int:
         task_timeout=args.job_timeout,
         num_shards=args.shards,
         obs_dir=args.obs_dir,
+        retry_budget=args.retry_budget,
+        parallel_threshold_events=args.parallel_threshold,
+        chaos_seed=args.chaos,
     )
     host, port = server.address
     # The first stdout line is machine-readable on purpose: wrappers (and
     # the integration tests) parse the bound address from it, which is
     # what makes `--port 0` usable.
     print(f"serving on {host}:{port} (corpus {args.corpus}, {args.workers} workers)", flush=True)
+    if server.recovered_jobs:
+        print(
+            f"recovered {len(server.recovered_jobs)} orphaned job(s) from the journal",
+            flush=True,
+        )
+
+    # Graceful shutdown on SIGTERM/SIGINT: stop accepting, drain the
+    # pool, flush journal/results/metrics, exit 0 — so `kill <pid>` (and
+    # a supervisor's stop) is a clean restart point, while `kill -9`
+    # stays the crash the journal/checkpoint machinery recovers from.
+    def _handle_signal(signum: int, _frame: object) -> None:
+        name = signal.Signals(signum).name
+        print(f"received {name}; draining and shutting down", file=sys.stderr, flush=True)
+        server.begin_shutdown()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _handle_signal)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread embedding
+            pass
     try:
         server.serve_forever(poll_interval=0.2)
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - SIGINT is normally handled above
         print("interrupted; shutting down", file=sys.stderr)
     finally:
         server.close()
@@ -158,11 +208,15 @@ def main_submit(argv: Optional[Sequence[str]] = None) -> int:
                 f"({response['events']} events, {len(response['jobs'])} jobs queued, "
                 f"{len(response['cached'])} cached)"
             )
+            for job_id in response.get("quarantined", []):
+                say(f"  {job_id}: QUARANTINED (release with --force)")
             if args.wait:
                 # Wait on *this submission's* jobs only — another
                 # client's backlog must not time us out.
                 rows = client.wait_for_jobs(response["jobs"], timeout=args.timeout)
-                failed_jobs = [row for row in rows if row["status"] == "failed"]
+                failed_jobs = [
+                    row for row in rows if row["status"] in ("failed", "quarantined")
+                ]
                 response = dict(response)
                 response["jobs_detail"] = rows
                 response["results"] = client.results(digest)
@@ -328,9 +382,22 @@ def main_status(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(
         f"jobs: {jobs['pending']} pending, {jobs['running']} running, "
-        f"{jobs['done']} done, {jobs['failed']} failed "
+        f"{jobs['done']} done, {jobs['failed']} failed, "
+        f"{jobs.get('quarantined', 0)} quarantined "
         f"(shard depths {scheduler['shards']})"
     )
+    recovery = status.get("recovery") or {}
+    quarantine = scheduler.get("quarantine") or {}
+    if recovery.get("jobs_recovered") or quarantine.get("count"):
+        print(
+            f"recovery: {recovery.get('jobs_recovered', 0)} job(s) re-queued from "
+            f"the journal at startup, {quarantine.get('count', 0)} quarantined"
+        )
+    for entry in quarantine.get("jobs", []) if args.detail else []:
+        print(
+            f"  quarantined {entry.get('job_id')}: {entry.get('error')} "
+            f"(after {entry.get('attempts')} attempts)"
+        )
     if payload.get("stats"):
         _render_stats(payload["stats"])
     elif isinstance(scheduler.get("pool"), dict):

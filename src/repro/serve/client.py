@@ -30,12 +30,15 @@ enabled (``--obs-spans``), submissions additionally record a
 
 from __future__ import annotations
 
+import errno
+import random
 import socket
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..obs import context as obs_context
+from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 from ..trace.event import Event
 from ..trace.io import infer_format, iter_trace_file, std_line
@@ -45,6 +48,33 @@ from .protocol import DEFAULT_PORT, ProtocolError, read_message, write_message
 
 class ServeClientError(RuntimeError):
     """Raised when the server answers with an error (or the link breaks)."""
+
+
+#: Errno values treated as transient connection faults worth a retry.
+_TRANSIENT_ERRNOS = frozenset({errno.ECONNRESET, errno.ECONNREFUSED, errno.EPIPE})
+
+
+def _is_transient(error: BaseException) -> bool:
+    """Connection faults a reconnect can plausibly fix.
+
+    Resets, refusals and broken pipes are what a restarting or
+    momentarily overloaded server looks like from outside; protocol
+    garbage and timeouts are not retried (a timeout may mean the op is
+    still running — retrying it could double work).
+    """
+    if isinstance(error, socket.timeout):
+        return False
+    if isinstance(
+        error,
+        (
+            ConnectionResetError,
+            ConnectionRefusedError,
+            ConnectionAbortedError,
+            BrokenPipeError,
+        ),
+    ):
+        return True
+    return isinstance(error, OSError) and error.errno in _TRANSIENT_ERRNOS
 
 
 def parse_address(text: str) -> Tuple[str, int]:
@@ -59,28 +89,109 @@ def parse_address(text: str) -> Tuple[str, int]:
 
 
 class ServeClient:
-    """One connection to a running trace-analysis server."""
+    """One connection to a running trace-analysis server.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    Connection establishment and *idempotent* requests ride a bounded
+    exponential backoff with full jitter: a reset or refused connection
+    (a restarting server, a chaos-killed socket) is reconnected and the
+    request replayed up to ``retries`` times.  Only the read-only /
+    idempotent ops in :attr:`RETRYABLE_OPS` are ever replayed —
+    ``submit`` and ``analyze`` are idempotent by content address, but a
+    stream ``feed`` is not (replaying one could double-feed events), so
+    stream ops always surface their transient as an error and the
+    caller resumes explicitly via :meth:`stream_resume`.
+    """
+
+    #: Ops safe to replay after a transient connection fault: reads,
+    #: plus the content-addressed (hence idempotent) submission ops.
+    RETRYABLE_OPS = frozenset(
+        {"ping", "status", "stats", "results", "submit", "analyze"}
+    )
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        retry_seed: Optional[int] = None,
+    ) -> None:
         self.host = host
         self.port = port
-        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        # Seedable jitter so chaos tests replay an exact retry schedule.
+        self._rng = random.Random(retry_seed)
+        self._socket: Optional[socket.socket] = None
+        self._rfile = None
+        self._wfile = None
+        self._connect()
+
+    @classmethod
+    def connect(cls, address: str, timeout: float = 30.0, **kwargs: object) -> "ServeClient":
+        """Connect to a ``host:port`` string."""
+        host, port = parse_address(address)
+        return cls(host, port, timeout=timeout, **kwargs)  # type: ignore[arg-type]
+
+    def _connect_once(self) -> None:
+        self._socket = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        self._socket.settimeout(self.timeout)
         self._rfile = self._socket.makefile("rb")
         self._wfile = self._socket.makefile("wb")
 
-    @classmethod
-    def connect(cls, address: str, timeout: float = 30.0) -> "ServeClient":
-        """Connect to a ``host:port`` string."""
-        host, port = parse_address(address)
-        return cls(host, port, timeout=timeout)
-
-    def close(self) -> None:
-        for stream in (self._rfile, self._wfile):
+    def _connect(self) -> None:
+        """Establish the connection, retrying transient refusals."""
+        attempt = 0
+        while True:
             try:
-                stream.close()
+                self._connect_once()
+                return
+            except OSError as error:
+                self._teardown()
+                if attempt >= self.retries or not _is_transient(error):
+                    raise
+                attempt += 1
+                self._count_retry("retry")
+                self._backoff_sleep(attempt)
+
+    def _teardown(self) -> None:
+        """Drop the (possibly broken) connection; a retry reconnects."""
+        for stream in (self._rfile, self._wfile):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        self._rfile = None
+        self._wfile = None
+        if self._socket is not None:
+            try:
+                self._socket.close()
             except OSError:
                 pass
-        self._socket.close()
+            self._socket = None
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        """Full-jitter exponential backoff: sleep U(0, min(cap, base·2^n))."""
+        ceiling = min(self.backoff_max, self.backoff * (2 ** (attempt - 1)))
+        time.sleep(self._rng.uniform(0.0, ceiling))
+
+    @staticmethod
+    def _count_retry(outcome: str) -> None:
+        registry = obs_metrics.get_registry()
+        if registry.enabled:
+            registry.counter("client.retries", outcome=outcome).inc()
+
+    def close(self) -> None:
+        self._teardown()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -90,24 +201,54 @@ class ServeClient:
 
     # -- plumbing ----------------------------------------------------------------------
 
+    def _roundtrip(self, payload: Dict[str, object]) -> Dict[str, object]:
+        if self._wfile is None or self._rfile is None:
+            self._connect_once()
+        write_message(self._wfile, payload)
+        response = read_message(self._rfile)
+        if response is None:
+            # EOF mid-request is the graceful spelling of a reset: the
+            # server went away between our write and its reply.
+            raise ConnectionResetError(
+                f"server {self.host}:{self.port} closed the connection"
+            )
+        return response
+
     def request(self, payload: Dict[str, object]) -> Dict[str, object]:
         """Send one request, read one response; raises on error responses.
 
         The single stamp point for trace propagation: whatever context
         is active (an open client span, or one attached by a submission
-        helper) rides out as the message's ``trace`` field.
+        helper) rides out as the message's ``trace`` field.  Transient
+        connection faults on :attr:`RETRYABLE_OPS` reconnect and replay
+        under the client's backoff budget.
         """
         obs_context.stamp_message(payload)
-        try:
-            write_message(self._wfile, payload)
-            response = read_message(self._rfile)
-        except (ProtocolError, OSError) as error:
-            raise ServeClientError(f"connection to {self.host}:{self.port} failed: {error}") from error
-        if response is None:
-            raise ServeClientError(f"server {self.host}:{self.port} closed the connection")
-        if not response.get("ok"):
-            raise ServeClientError(str(response.get("error", "unknown server error")))
-        return response
+        op = payload.get("op")
+        retryable = isinstance(op, str) and op in self.RETRYABLE_OPS
+        attempt = 0
+        retried = False
+        while True:
+            try:
+                response = self._roundtrip(payload)
+            except (ProtocolError, OSError) as error:
+                self._teardown()
+                if not (retryable and attempt < self.retries and _is_transient(error)):
+                    if retried:
+                        self._count_retry("exhausted")
+                    raise ServeClientError(
+                        f"connection to {self.host}:{self.port} failed: {error}"
+                    ) from error
+                attempt += 1
+                retried = True
+                self._count_retry("retry")
+                self._backoff_sleep(attempt)
+                continue
+            if retried:
+                self._count_retry("recovered")
+            if not response.get("ok"):
+                raise ServeClientError(str(response.get("error", "unknown server error")))
+            return response
 
     # -- ops ---------------------------------------------------------------------------
 
@@ -258,7 +399,12 @@ class ServeClient:
     # -- streaming ingest --------------------------------------------------------------
 
     def stream_begin(
-        self, name: str, specs: Sequence[str], save: bool = False
+        self,
+        name: str,
+        specs: Sequence[str],
+        save: bool = False,
+        checkpoint: bool = False,
+        checkpoint_every: Optional[int] = None,
     ) -> "StreamHandle":
         """Open a streaming-ingest session on this connection.
 
@@ -266,6 +412,11 @@ class ServeClient:
         ``feed`` and the final ``stream_end`` carry the same ``trace``
         field, so the server-side walk parents all its spans under one
         trace no matter how many messages the ingest took.
+
+        With ``checkpoint=True`` the server durably snapshots the
+        stream's analysis state every ``checkpoint_every`` events; after
+        a server crash, :meth:`stream_resume` reopens the stream at the
+        last snapshot.
         """
         ctx = obs_context.active_context() or obs_context.new_context()
         request: Dict[str, object] = {
@@ -274,9 +425,29 @@ class ServeClient:
             "specs": list(specs),
             "save": save,
         }
+        if checkpoint:
+            request["checkpoint"] = True
+            if checkpoint_every is not None:
+                request["checkpoint_every"] = int(checkpoint_every)
         obs_context.stamp_message(request, ctx)
         self.request(request)
         return StreamHandle(self, context=ctx)
+
+    def stream_resume(self, name: str) -> Tuple["StreamHandle", Dict[str, object]]:
+        """Reopen a checkpointed stream at its last durable snapshot.
+
+        Returns ``(handle, response)``: ``handle.events_sent`` is the
+        number of events the checkpoint covers — re-feed the source from
+        that offset — and the response carries the races the resumed
+        session had already found.
+        """
+        ctx = obs_context.active_context() or obs_context.new_context()
+        request: Dict[str, object] = {"op": "stream_resume", "name": name}
+        obs_context.stamp_message(request, ctx)
+        response = self.request(request)
+        handle = StreamHandle(self, context=ctx)
+        handle.events_sent = int(response.get("events", 0))  # type: ignore[arg-type]
+        return handle, response
 
     # -- polling -----------------------------------------------------------------------
 
@@ -307,7 +478,7 @@ class ServeClient:
     def wait_for_jobs(
         self, job_ids: Sequence[str], timeout: float = 120.0, poll: float = 0.1
     ) -> List[Dict[str, object]]:
-        """Poll until the given jobs reach a terminal state (done *or* failed).
+        """Poll until the given jobs reach a terminal state (done, failed, quarantined).
 
         Returns the job rows in ``job_ids`` order — callers must inspect
         each row's ``status``/``error``, since a failed job is a normal
@@ -338,7 +509,8 @@ class ServeClient:
             unfinished = [
                 job_id
                 for job_id in wanted
-                if job_id in rows and rows[job_id].get("status") not in ("done", "failed")
+                if job_id in rows
+                and rows[job_id].get("status") not in ("done", "failed", "quarantined")
             ]
             if not unfinished:
                 return [

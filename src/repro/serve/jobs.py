@@ -33,8 +33,10 @@ from ..api.spec import coerce_spec
 from ..obs import context as obs_context
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
+from ..recovery.journal import JobJournal
+from ..recovery.quarantine import QuarantineStore
 from .corpus import TraceCorpus
-from .pool import WorkerPool, WorkerTask
+from .pool import MAX_ATTEMPTS, WorkerPool, WorkerTask, is_crash_error
 from .results import ResultsStore
 
 #: Default number of pending-queue shards.
@@ -48,6 +50,9 @@ class JobStatus(str, Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    #: Crash-class failures past the retry budget: parked in the
+    #: persisted quarantine instead of looping through the fleet.
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -69,6 +74,9 @@ class AnalysisJob:
     #: Monotonic stamp taken when the job entered the pending queue;
     #: dispatch turns the difference into the queue-wait histogram.
     queued_monotonic_ns: int = 0
+    #: True for jobs re-queued by journal replay after a restart — the
+    #: ``repro status`` "recovered" line.
+    recovered: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable job descriptor (the ``status`` op's job rows)."""
@@ -81,6 +89,7 @@ class AnalysisJob:
             "attempts": self.attempts,
             "error": self.error,
             "submitted_unix": self.submitted_unix,
+            "recovered": self.recovered,
         }
 
 
@@ -147,6 +156,9 @@ class Scheduler:
         parallel_workers: int = 4,
         parallel_threshold_events: int = 100_000,
         obs_dir: Optional[Union[str, Path]] = None,
+        retry_budget: Optional[int] = None,
+        journal: Optional[JobJournal] = None,
+        quarantine: Optional[QuarantineStore] = None,
     ) -> None:
         self.corpus = corpus
         self.results = results
@@ -154,13 +166,29 @@ class Scheduler:
         #: carry it so each worker process exports its spans to a
         #: per-pid file under it (``spans-<pid>.jsonl``).
         self.obs_dir = Path(obs_dir) if obs_dir is not None else None
+        #: Durable job journal (optional): every submit/dispatch/terminal
+        #: transition is appended so a restart can replay and re-queue
+        #: whatever was in flight.
+        self.journal = journal
+        #: Persisted poison-job list (optional): crash-class failures
+        #: past the retry budget land here instead of re-queueing.
+        self.quarantine = quarantine
+        #: Crash/timeout retries allowed per job on top of the first
+        #: attempt (``None`` = the pool's historical default of one).
+        self.retry_budget = retry_budget
         self.queue = JobQueue(num_shards)
         self.pool = WorkerPool(
             workers=workers,
             task_timeout=task_timeout,
             on_result=self._on_result,
             chunk_events=chunk_events,
+            max_attempts=(retry_budget + 1 if retry_budget is not None else MAX_ATTEMPTS),
         )
+        #: Test instrumentation mirroring :attr:`WorkerTask.fault`: maps a
+        #: job id to a fault string injected at dispatch.  The fault and
+        #: chaos suites use it to make specific jobs poison; production
+        #: paths never populate it.
+        self.task_faults: Dict[str, str] = {}
         # Keep a small multiple of the worker count in flight so workers
         # never idle while the round-robin pop preserves shard fairness
         # for everything still queued.
@@ -210,19 +238,28 @@ class Scheduler:
     # -- submission --------------------------------------------------------------------
 
     def submit(
-        self, digest: str, specs: Sequence[str], force: bool = False
-    ) -> Tuple[List[str], List[str]]:
-        """Queue the (``digest`` × ``specs``) cells; returns ``(queued, cached)``.
+        self,
+        digest: str,
+        specs: Sequence[str],
+        force: bool = False,
+        recovered: bool = False,
+    ) -> Tuple[List[str], List[str], List[str]]:
+        """Queue the (``digest`` × ``specs``) cells.
 
-        Cells whose result the store already holds are skipped and
-        reported in ``cached`` (pass ``force=True`` to recompute them);
-        cells already pending or running are returned in ``queued``
-        without double-enqueueing.  Spec strings are canonicalized, so
-        ``"HB+tree"`` and ``"hb+tc"`` name the same cell.
+        Returns ``(queued, cached, quarantined)``.  Cells whose result
+        the store already holds are skipped and reported in ``cached``
+        (pass ``force=True`` to recompute them); cells already pending
+        or running are returned in ``queued`` without double-enqueueing;
+        cells parked in the quarantine stay parked and are reported in
+        ``quarantined`` (``force=True`` releases them for a fresh run).
+        Spec strings are canonicalized, so ``"HB+tree"`` and ``"hb+tc"``
+        name the same cell.  ``recovered`` marks jobs re-queued by
+        journal replay, for the status surface.
         """
         entry = self.corpus.get(digest)
         queued: List[str] = []
         cached: List[str] = []
+        quarantined: List[str] = []
         # Captured once per submission: the handler thread's active
         # context (the open serve.op.* span, or the client's raw
         # context) becomes the parent of everything the job does.
@@ -231,6 +268,12 @@ class Scheduler:
         for spec_text in specs:
             spec = coerce_spec(spec_text).key
             job_id = job_id_of(digest, spec)
+            if self.quarantine is not None and job_id in self.quarantine:
+                if force:
+                    self.quarantine.remove(job_id)
+                else:
+                    quarantined.append(job_id)
+                    continue
             if not force and self.results.has(digest, spec):
                 cached.append(job_id)
                 continue
@@ -251,15 +294,25 @@ class Scheduler:
                     trace_name=entry.name,
                     traceparent=traceparent,
                     queued_monotonic_ns=time.monotonic_ns(),
+                    recovered=recovered,
                 )
                 self._jobs[job_id] = job
                 self.queue.push(job)
                 queued.append(job_id)
+            if self.journal is not None:
+                self.journal.record(
+                    "submit",
+                    job_id,
+                    digest=digest,
+                    spec=spec,
+                    trace=entry.name,
+                    recovered=recovered,
+                )
         obs = self._obs
         if obs is not None:
             obs.gauge("jobs.queued").set(len(self.queue))
         self._dispatch()
-        return queued, cached
+        return queued, cached, quarantined
 
     def _dispatch(self) -> None:
         """Top the pool up to ``max_inflight`` tasks from the sharded queue."""
@@ -288,10 +341,13 @@ class Scheduler:
                     trace_name=job.trace_name,
                     chunk_events=self.chunk_events,
                     parallel=parallel,
+                    fault=self.task_faults.get(job.job_id),
                     traceparent=job.traceparent,
                     obs_dir=str(self.obs_dir) if self.obs_dir is not None else None,
                 )
             self._record_queue_wait(job)
+            if self.journal is not None:
+                self.journal.record("dispatch", job.job_id, digest=job.digest, spec=job.spec)
             self.pool.submit(task)
 
     def _record_queue_wait(self, job: AnalysisJob) -> None:
@@ -354,17 +410,52 @@ class Scheduler:
             except Exception as record_error:  # noqa: BLE001 - surfaced on the job
                 payload = None
                 error = f"result recording failed: {type(record_error).__name__}: {record_error}"
+        quarantine_this = False
         with self._lock:
             if job is not None:
                 job.attempts = attempts
                 if error is None:
                     job.status = JobStatus.DONE
+                elif (
+                    self.quarantine is not None
+                    and is_crash_error(error)
+                    and not self._closing
+                ):
+                    # The retry budget is spent (the pool only reports a
+                    # crash-class error once it gave up) — park the job
+                    # instead of failing the fleet over and over.
+                    job.status = JobStatus.QUARANTINED
+                    job.error = error
+                    quarantine_this = True
                 else:
                     job.status = JobStatus.FAILED
                     job.error = error
             self._inflight = max(0, self._inflight - 1)
             self._prune_history_locked()
             self._drained.notify_all()
+        if job is not None:
+            if quarantine_this:
+                assert self.quarantine is not None and error is not None
+                self.quarantine.add(
+                    job.job_id,
+                    digest=job.digest,
+                    spec=job.spec,
+                    trace_name=job.trace_name,
+                    error=error,
+                    attempts=attempts,
+                )
+                obs = self._obs
+                if obs is not None:
+                    obs.counter("scheduler.quarantined").inc()
+            if self.journal is not None:
+                if error is None:
+                    self.journal.record("complete", job.job_id)
+                elif quarantine_this:
+                    self.journal.record(
+                        "quarantine", job.job_id, error=error, attempts=attempts
+                    )
+                else:
+                    self.journal.record("fail", job.job_id, error=error)
         self._dispatch()
 
     def _prune_history_locked(self) -> None:
@@ -376,7 +467,7 @@ class Scheduler:
             (
                 job
                 for job in self._jobs.values()
-                if job.status in (JobStatus.DONE, JobStatus.FAILED)
+                if job.status in (JobStatus.DONE, JobStatus.FAILED, JobStatus.QUARANTINED)
             ),
             key=lambda job: job.submitted_unix,
         )
@@ -429,6 +520,15 @@ class Scheduler:
             # crashed and then succeeded looked identical to a clean run.
             "pool": self.pool.counters(),
         }
+        with self._lock:
+            snapshot["recovered"] = sum(
+                1 for job in self._jobs.values() if job.recovered
+            )
+        if self.quarantine is not None:
+            quarantine: Dict[str, object] = {"count": len(self.quarantine)}
+            if detail:
+                quarantine["jobs"] = self.quarantine.all()
+            snapshot["quarantine"] = quarantine
         if job_ids is not None:
             with self._lock:
                 snapshot["job_list"] = [

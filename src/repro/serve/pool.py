@@ -20,9 +20,11 @@ worker "sent" moments before dying).
 The monitor thread supervises the fleet:
 
 * **crash isolation** — a worker that dies mid-task is replaced and its
-  task retried once (a second crash fails the task with the exit code);
+  task retried up to the pool's ``max_attempts`` budget (default: one
+  retry; the final crash fails the task with the exit code);
 * **per-task timeout** — a task assigned longer than ``task_timeout``
-  seconds gets its worker terminated and is retried once on a fresh one;
+  seconds gets its worker terminated and is retried on a fresh one,
+  against the same attempt budget;
 * **clean failures** — a task that raises a Python exception (missing
   file, malformed trace, unknown spec) is *not* retried: exceptions are
   deterministic, so the error string is reported immediately;
@@ -53,11 +55,31 @@ from ..obs.logging import get_logger
 
 _log = get_logger(__name__)
 
-#: A task is attempted at most this many times (first run + one retry).
+#: Default attempt cap: first run + one retry.  Pools take a
+#: ``max_attempts`` parameter (the scheduler's retry budget + 1) that
+#: overrides this.
 MAX_ATTEMPTS = 2
+
+#: Error-string prefixes of the *non-deterministic* failure class: the
+#: worker vanished or wedged, rather than the task raising a Python
+#: exception.  These are what the pool retries and what the scheduler
+#: quarantines once the retry budget is spent.
+CRASH_ERROR_PREFIXES = ("worker crashed", "task timed out")
 
 #: Result callback signature: (task_id, payload-or-None, error-or-None, attempts).
 ResultCallback = Callable[[str, Optional[Dict[str, object]], Optional[str], int], None]
+
+
+def is_crash_error(error: Optional[str]) -> bool:
+    """Whether a task error means the worker died/hung (vs a clean failure).
+
+    Clean failures (a Python exception from the task: missing file,
+    malformed trace, unknown spec) are deterministic and never retried;
+    crash-class errors exhaust a retry budget and mark the job as
+    poison.  The classification keys on the stable error strings the
+    pool itself produces.
+    """
+    return error is not None and error.startswith(CRASH_ERROR_PREFIXES)
 
 
 @dataclass(frozen=True, slots=True)
@@ -276,11 +298,17 @@ class WorkerPool:
         on_result: Optional[ResultCallback] = None,
         chunk_events: int = 2048,
         poll_interval: float = 0.05,
+        max_attempts: int = MAX_ATTEMPTS,
     ) -> None:
         if workers < 1:
             raise ValueError("a worker pool needs at least one worker")
+        if max_attempts < 1:
+            raise ValueError("a task needs at least one attempt")
         self.num_workers = workers
         self.task_timeout = task_timeout
+        #: Crash/timeout attempt cap per task (first run included); the
+        #: scheduler sets this from its configurable retry budget.
+        self.max_attempts = max_attempts
         self.chunk_events = chunk_events
         self._on_result = on_result
         self._poll_interval = poll_interval
@@ -669,7 +697,7 @@ class WorkerPool:
         state.assigned_monotonic = None
         # During shutdown there is no fleet left to retry on — requeueing
         # would strand the task and keep the monitor alive forever.
-        if state.attempts < MAX_ATTEMPTS and not self._stopping:
+        if state.attempts < self.max_attempts and not self._stopping:
             self._counters["retries"] += 1
             self._bump_obs_counter("retry")
             self._backlog.append(state.task)

@@ -29,7 +29,16 @@ handlers):
     Streaming ingest: events arrive as STD lines (``line`` or a batched
     ``lines`` list), are fed into an incremental session while the
     producer is still sending, and every ``feed`` response carries the
-    races found since the previous one.
+    races found since the previous one.  ``stream_begin`` may carry
+    ``checkpoint=true`` (plus an optional ``checkpoint_every`` event
+    cadence): the server then periodically persists the session's full
+    analysis state so the stream survives a server crash.
+``stream_resume``
+    Re-open a checkpointed stream by ``name`` after a crash.  The
+    response reports how many events the last durable checkpoint covers
+    (the producer re-feeds from that offset) and the races already
+    found; the connection then continues with ``feed``/``stream_end``
+    as usual.
 ``shutdown``
     Graceful server stop.
 

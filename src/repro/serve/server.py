@@ -35,14 +35,27 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.result import Race
+from ..analysis.serial import race_from_record, race_to_record
 from ..api import QueueSource, Session
 from ..api.spec import coerce_spec
 from ..cli_util import package_version
+from ..faults import ChaosMonkey
 from ..obs import context as obs_context
 from ..obs import metrics as obs_metrics
 from ..obs import proc as obs_proc
 from ..obs import tracing as obs_tracing
 from ..obs.logging import get_logger
+from ..recovery import (
+    JobJournal,
+    JournalRecord,
+    QuarantineStore,
+    SnapshotError,
+    read_journal,
+    read_snapshot,
+    replay_journal,
+    snapshot_path_for_stream,
+    write_snapshot,
+)
 from ..trace.event import Event
 from ..trace.io import StdParser, TraceFormatError, iter_csv, iter_std, std_line
 from .corpus import CorpusError, TraceCorpus
@@ -69,6 +82,17 @@ class _StreamState:
     instead of unbounded buffering), and ``save=true`` spools the
     incoming events to a gzipped temp file instead of keeping them in
     RAM, so streaming a multi-gigabyte trace costs O(queue) memory.
+
+    Checkpointed streams (``checkpoint=true`` at ``stream_begin``) trade
+    the walk thread for durability: events are analyzed *synchronously*
+    in the handler thread, so between two ``feed`` messages the session
+    is quiescent and every piece of state (engine clocks, detector maps,
+    spool byte offset, reported races) refers to the same event prefix.
+    Every ``checkpoint_every`` events the spool's gzip member is closed
+    and a versioned snapshot is atomically replaced on disk; after a
+    ``kill -9`` of the server, ``stream_resume`` rebuilds the stream at
+    the last checkpoint and tells the producer which event offset to
+    re-feed from.
     """
 
     #: Events buffered between the socket handler and the walk thread.
@@ -77,12 +101,18 @@ class _StreamState:
     #: Seconds a feed waits on a full queue before declaring the walk stalled.
     FEED_TIMEOUT = 30.0
 
+    #: Default events between checkpoints when the client enables
+    #: checkpointing without choosing a cadence.
+    CHECKPOINT_EVERY = 1024
+
     def __init__(
         self,
         name: str,
         specs: Sequence[str],
         save: bool,
         context: Optional[obs_context.TraceContext] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 0,
     ) -> None:
         self.name = name
         self.save = save
@@ -98,29 +128,141 @@ class _StreamState:
         # trace repeat as heavily as a file's, so after warmup each
         # incoming line costs dict hits instead of a regex match.
         self._parser = StdParser()
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.checkpoint_every = checkpoint_every
+        self._last_checkpoint_events = 0
+        self.snapshot_path: Optional[Path] = None
+        if self.checkpoint_dir is not None:
+            self.snapshot_path = snapshot_path_for_stream(self.checkpoint_dir, name)
         self.spool_path: Optional[Path] = None
         self._spool = None
         if save:
-            handle, raw_path = tempfile.mkstemp(prefix="repro-stream-", suffix=".std.gz")
-            os.close(handle)
-            self.spool_path = Path(raw_path)
-            self._spool = gzip.open(self.spool_path, "wt", encoding="utf-8")
+            if self.snapshot_path is not None:
+                # Checkpointed spools need a durable, deterministic home:
+                # a resumed stream must find the bytes the crashed server
+                # already spooled, so the spool lives next to its
+                # snapshot instead of in a fresh temp file.
+                self.spool_path = self.snapshot_path.with_name(
+                    self.snapshot_path.stem + ".std.gz"
+                )
+                self.spool_path.parent.mkdir(parents=True, exist_ok=True)
+                self._spool = gzip.open(self.spool_path, "wt", encoding="utf-8")
+            else:
+                handle, raw_path = tempfile.mkstemp(
+                    prefix="repro-stream-", suffix=".std.gz"
+                )
+                os.close(handle)
+                self.spool_path = Path(raw_path)
+                self._spool = gzip.open(self.spool_path, "wt", encoding="utf-8")
         self.result = None
         self._walk_error: Optional[BaseException] = None
         # Ingest-only streams (no specs, save=true) skip the live session
         # entirely: events only flow to the spool.  This is the bounded-
         # memory upload path big `repro submit`s use before `analyze`.
-        if self.spec_keys:
+        if self.spec_keys and self.snapshot_path is None:
             self.source: Optional[QueueSource] = QueueSource(name=name, maxsize=self.QUEUE_BOUND)
             self.session: Optional[Session] = Session(self.spec_keys, on_race=self._collect_race)
             self._walk: Optional[threading.Thread] = threading.Thread(
                 target=self._run_walk, daemon=True
             )
             self._walk.start()
+        elif self.spec_keys:
+            # Checkpointed: no walk thread — feeds run the analysis
+            # inline so a snapshot taken between feeds is exact.
+            self.source = None
+            self.session = Session(self.spec_keys, on_race=self._collect_race)
+            self.session.begin(name=name)
+            self._walk = None
         else:
             self.source = None
             self.session = None
             self._walk = None
+
+    @classmethod
+    def resume(
+        cls,
+        name: str,
+        checkpoint_dir: Union[str, Path],
+        context: Optional[obs_context.TraceContext] = None,
+    ) -> "_StreamState":
+        """Rebuild a checkpointed stream from its last on-disk snapshot.
+
+        Raises :class:`SnapshotError` when no usable checkpoint exists.
+        The save spool (if any) is truncated back to the byte offset the
+        snapshot recorded — events spooled after the checkpoint were
+        never durably acknowledged and will be re-fed by the producer.
+        """
+        path = snapshot_path_for_stream(checkpoint_dir, name)
+        payload = read_snapshot(path)
+        if payload.get("name") != name:
+            raise SnapshotError(
+                f"{path} checkpoints stream {payload.get('name')!r}, not {name!r}"
+            )
+        specs = [str(spec) for spec in payload.get("specs") or []]
+        every = int(payload.get("checkpoint_every") or cls.CHECKPOINT_EVERY)
+        # Construct with save=False — opening the spool "wt" here would
+        # truncate the very bytes the resume needs — then re-attach it.
+        state = cls(
+            name,
+            specs,
+            save=False,
+            context=context,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=every,
+        )
+        state.save = bool(payload.get("save"))
+        if state.save:
+            spool_bytes = int(payload.get("spool_bytes") or 0)
+            spool_path = path.with_name(path.stem + ".std.gz")
+            if not spool_path.exists():
+                raise SnapshotError(f"checkpoint {path} references a missing spool")
+            if spool_path.stat().st_size < spool_bytes:
+                raise SnapshotError(
+                    f"spool {spool_path} is shorter than its checkpoint recorded"
+                )
+            with open(spool_path, "rb+") as handle:
+                handle.truncate(spool_bytes)
+            state.spool_path = spool_path
+            # Appending opens a new gzip member; readers concatenate
+            # members transparently, so the final ingest sees one trace.
+            state._spool = gzip.open(spool_path, "at", encoding="utf-8")
+        session_state = payload.get("session")
+        if state.session is not None:
+            if not isinstance(session_state, dict):
+                raise SnapshotError(f"checkpoint {path} carries no session state")
+            state.session.restore(session_state)
+        state.events_sent = int(payload.get("events") or 0)
+        state._last_checkpoint_events = state.events_sent
+        races = payload.get("races")
+        if isinstance(races, list):
+            state._races = [race_from_record(record) for record in races]
+        return state
+
+    def checkpoint_now(self) -> Path:
+        """Write one atomic checkpoint: spool offset + full session state."""
+        if self.snapshot_path is None:
+            raise RuntimeError("stream was not opened with checkpoint=true")
+        spool_bytes = None
+        if self._spool is not None:
+            # Close the member so the bytes on disk form a complete gzip
+            # archive ending exactly at the checkpointed event.
+            self._spool.close()
+            spool_bytes = os.path.getsize(self.spool_path)  # type: ignore[arg-type]
+            self._spool = gzip.open(self.spool_path, "at", encoding="utf-8")
+        with self._races_lock:
+            races = [race_to_record(race) for race in self._races]
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "specs": list(self.spec_keys),
+            "save": self.save,
+            "checkpoint_every": self.checkpoint_every,
+            "events": self.events_sent,
+            "spool_bytes": spool_bytes,
+            "races": races,
+            "session": self.session.checkpoint() if self.session is not None else None,
+        }
+        self._last_checkpoint_events = self.events_sent
+        return write_snapshot(self.snapshot_path, payload)
 
     def _collect_race(self, race: Race) -> None:
         with self._races_lock:
@@ -187,7 +329,22 @@ class _StreamState:
                     f"stream backlog full after {self.FEED_TIMEOUT}s: the analysis "
                     "walk cannot keep up or has stalled"
                 ) from None
+        elif self.session is not None:
+            # Checkpointed streams analyze inline (no walk thread): when
+            # this returns, the session has fully absorbed the batch and
+            # a checkpoint taken below covers exactly these events.
+            try:
+                self.session.feed_batch(events)
+            except BaseException as error:
+                self._walk_error = error
+                raise
         self._commit(events)
+        if (
+            self.snapshot_path is not None
+            and self.checkpoint_every > 0
+            and self.events_sent - self._last_checkpoint_events >= self.checkpoint_every
+        ):
+            self.checkpoint_now()
         return events
 
     def _commit(self, events: Sequence[Event]) -> None:
@@ -214,13 +371,20 @@ class _StreamState:
         if self._spool is not None:
             self._spool.close()
             self._spool = None
-        if self._walk is None:
-            return None
-        self._walk.join(timeout)
-        if self._walk.is_alive():
-            raise RuntimeError("stream analysis walk did not finish")
+        if self._walk is not None:
+            self._walk.join(timeout)
+            if self._walk.is_alive():
+                raise RuntimeError("stream analysis walk did not finish")
+            if self._walk_error is not None:
+                raise RuntimeError(f"stream analysis failed: {self._walk_error}")
+            self.discard_snapshot()
+            return self.result
         if self._walk_error is not None:
             raise RuntimeError(f"stream analysis failed: {self._walk_error}")
+        if self.session is not None:
+            # Synchronous (checkpointed) stream: close it inline.
+            self.result = self.session.finish()
+        self.discard_snapshot()
         return self.result
 
     def discard_spool(self) -> None:
@@ -232,11 +396,31 @@ class _StreamState:
             self.spool_path.unlink(missing_ok=True)
             self.spool_path = None
 
+    def discard_snapshot(self) -> None:
+        """Delete the checkpoint snapshot (the stream finished cleanly)."""
+        if self.snapshot_path is not None:
+            self.snapshot_path.unlink(missing_ok=True)
+
     def abort(self) -> None:
-        """Tear down a stream whose connection died mid-send."""
+        """Tear down a stream whose connection died mid-send.
+
+        A checkpointed stream is *kept*, not torn down: its last (or a
+        freshly attempted) snapshot and the spool it references stay on
+        disk so ``stream_resume`` can pick the stream back up.
+        """
         if self.source is not None and not self.source.closed:
             self.source.close()
-        self.discard_spool()
+        if self.snapshot_path is not None:
+            try:
+                if self._walk_error is None:
+                    self.checkpoint_now()
+            except Exception as error:  # noqa: BLE001 - best-effort final snapshot
+                log.warning("final checkpoint of stream %r failed: %s", self.name, error)
+            if self._spool is not None:
+                self._spool.close()
+                self._spool = None
+        else:
+            self.discard_spool()
         if self._walk is not None:
             self._walk.join(5.0)
 
@@ -327,6 +511,11 @@ class ServeHandler(socketserver.StreamRequestHandler):
                 detail=detail,
                 job_ids=[str(job_id) for job_id in job_ids] if job_ids is not None else None,
             ),
+            recovery={
+                "journal": str(self.server.journal.path),
+                "jobs_recovered": len(self.server.recovered_jobs),
+                "quarantined": len(self.server.quarantine),
+            },
         )
 
     def _op_stats(self, request: Dict[str, object]) -> Dict[str, object]:
@@ -418,7 +607,9 @@ class ServeHandler(socketserver.StreamRequestHandler):
             parse(text.splitlines()), name=name, tags=tags
         )
         force = bool(request.get("force", False))
-        queued, cached = self.server.scheduler.submit(entry.digest, spec_keys, force=force)
+        queued, cached, quarantined = self.server.scheduler.submit(
+            entry.digest, spec_keys, force=force
+        )
         return ok_response(
             digest=entry.digest,
             created=created,
@@ -426,6 +617,7 @@ class ServeHandler(socketserver.StreamRequestHandler):
             events=entry.events,
             jobs=queued,
             cached=cached,
+            quarantined=quarantined,
         )
 
     def _op_analyze(self, request: Dict[str, object]) -> Dict[str, object]:
@@ -439,7 +631,9 @@ class ServeHandler(socketserver.StreamRequestHandler):
         spec_keys = [coerce_spec(str(spec)).key for spec in specs]
         entry = self.server.corpus.get(digest)
         force = bool(request.get("force", False))
-        queued, cached = self.server.scheduler.submit(entry.digest, spec_keys, force=force)
+        queued, cached, quarantined = self.server.scheduler.submit(
+            entry.digest, spec_keys, force=force
+        )
         return ok_response(
             digest=entry.digest,
             created=False,
@@ -447,6 +641,7 @@ class ServeHandler(socketserver.StreamRequestHandler):
             events=entry.events,
             jobs=queued,
             cached=cached,
+            quarantined=quarantined,
         )
 
     # -- streaming ingest --------------------------------------------------------------
@@ -466,14 +661,56 @@ class ServeHandler(socketserver.StreamRequestHandler):
                 "save=true (ingest only), or both"
             )
         name = str(request.get("name", "")) or "stream"
+        checkpoint = bool(request.get("checkpoint", False))
+        checkpoint_every = int(
+            request.get("checkpoint_every", _StreamState.CHECKPOINT_EVERY)  # type: ignore[arg-type]
+        )
+        if checkpoint and checkpoint_every < 1:
+            return error_response("stream_begin 'checkpoint_every' must be >= 1")
         self._stream = _StreamState(
             name=name,
             specs=[str(s) for s in specs],
             save=save,
             context=obs_context.active_context(),
+            checkpoint_dir=self.server.recovery_dir if checkpoint else None,
+            checkpoint_every=checkpoint_every if checkpoint else 0,
         )
         self._race_cursor = 0
-        return ok_response(name=name, specs=self._stream.spec_keys, save=save)
+        return ok_response(
+            name=name, specs=self._stream.spec_keys, save=save, checkpoint=checkpoint
+        )
+
+    def _op_stream_resume(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Re-open a checkpointed stream at its last durable snapshot.
+
+        The response's ``events`` is the number of events the checkpoint
+        covers — the producer re-feeds its source from that offset; the
+        races the resumed session had already reported ride back in
+        ``races`` so a fresh client still ends up with the full set.
+        """
+        if self._stream is not None:
+            return error_response("a stream is already open on this connection")
+        name = str(request.get("name", ""))
+        if not name:
+            return error_response("stream_resume needs the stream 'name'")
+        try:
+            stream = _StreamState.resume(
+                name,
+                self.server.recovery_dir,
+                context=obs_context.active_context(),
+            )
+        except SnapshotError as error:
+            return error_response(str(error))
+        self._stream = stream
+        races, self._race_cursor = stream.races_since(0)
+        return ok_response(
+            name=name,
+            specs=stream.spec_keys,
+            save=stream.save,
+            events=stream.events_sent,
+            races=races,
+            race_count=self._race_cursor,
+        )
 
     def _op_feed(self, request: Dict[str, object]) -> Dict[str, object]:
         stream = self._stream
@@ -550,6 +787,9 @@ class TraceServer(socketserver.ThreadingTCPServer):
         task_timeout: Optional[float] = None,
         num_shards: int = 8,
         obs_dir: Optional[Union[str, Path]] = None,
+        retry_budget: Optional[int] = None,
+        parallel_threshold_events: Optional[int] = None,
+        chaos_seed: Optional[int] = None,
     ) -> None:
         # The server process is long-lived and its request rate is tiny
         # next to the analysis work, so it runs with metrics on; worker
@@ -561,6 +801,21 @@ class TraceServer(socketserver.ThreadingTCPServer):
         self.obs_registry: Optional[obs_metrics.MetricsRegistry] = registry
         self.corpus = TraceCorpus(corpus_dir)
         self.results = ResultsStore(self.corpus.root / "results.json")
+        #: Stream checkpoints (and their spools) live here, inside the
+        #: corpus root: the data directory is the unit of recovery.
+        self.recovery_dir = self.corpus.root / "recovery"
+        # Read what the previous incarnation left behind *before*
+        # opening the journal for append: these records drive the
+        # orphan re-queue after the scheduler starts.
+        journal_path = self.corpus.root / "journal.jsonl"
+        journal_errors: List[str] = []
+        previous = replay_journal(read_journal(journal_path, errors=journal_errors))
+        for problem in journal_errors:
+            log.warning("journal: skipped %s", problem)
+        self.journal = JobJournal(journal_path)
+        self.quarantine = QuarantineStore(self.corpus.root / "quarantine.json")
+        #: Job ids re-queued by journal replay at this startup.
+        self.recovered_jobs: List[str] = []
         # Distributed tracing: an explicit obs_dir turns span recording
         # on for the whole job path (server + every worker, one per-pid
         # file each under obs_dir); with tracing already configured by
@@ -580,6 +835,9 @@ class TraceServer(socketserver.ThreadingTCPServer):
             self.obs_dir.mkdir(parents=True, exist_ok=True)
         else:
             self.obs_dir = None
+        scheduler_kwargs: Dict[str, object] = {}
+        if parallel_threshold_events is not None:
+            scheduler_kwargs["parallel_threshold_events"] = parallel_threshold_events
         self.scheduler = Scheduler(
             self.corpus,
             self.results,
@@ -587,6 +845,17 @@ class TraceServer(socketserver.ThreadingTCPServer):
             task_timeout=task_timeout,
             num_shards=num_shards,
             obs_dir=self.obs_dir,
+            retry_budget=retry_budget,
+            journal=self.journal,
+            quarantine=self.quarantine,
+            **scheduler_kwargs,  # type: ignore[arg-type]
+        )
+        #: The chaos monkey (``repro serve --chaos``): SIGKILLs random
+        #: live workers on a seeded schedule; ``None`` in normal runs.
+        self.chaos: Optional[ChaosMonkey] = (
+            ChaosMonkey(self._chaos_victims, seed=chaos_seed)
+            if chaos_seed is not None
+            else None
         )
         self.started_unix = time.time()
         self._shutdown_thread: Optional[threading.Thread] = None
@@ -594,10 +863,16 @@ class TraceServer(socketserver.ThreadingTCPServer):
         # Start the worker processes before the socket threads: forked
         # children should not inherit handler-thread state.
         self.scheduler.start()
+        self._replay_orphans(previous)
+        if self.chaos is not None:
+            self.chaos.start()
         try:
             super().__init__(address, ServeHandler)
         except BaseException:
+            if self.chaos is not None:
+                self.chaos.stop()
             self.scheduler.close(timeout=2.0)
+            self.journal.close()
             raise
         log.info(
             "listening on %s:%d (%d workers, corpus %s)",
@@ -613,6 +888,67 @@ class TraceServer(socketserver.ThreadingTCPServer):
         host, port = self.server_address[:2]
         return str(host), int(port)
 
+    def _chaos_victims(self) -> List[int]:
+        """Live worker pids the chaos monkey may kill (never the server)."""
+        return [
+            int(row["pid"])  # type: ignore[arg-type]
+            for row in self.scheduler.pool.worker_stats()
+            if row.get("alive") and row.get("pid")
+        ]
+
+    def _replay_orphans(self, previous: Dict[str, JournalRecord]) -> None:
+        """Re-queue the jobs a previous incarnation left in flight.
+
+        Idempotent against every way a job can have actually finished:
+        ``submit`` skips cells the results store holds (a job whose
+        ``complete`` record was torn away is served from cache) and
+        cells parked in the quarantine.  A record whose ``submit`` line
+        was lost (no digest) or whose trace left the corpus cannot be
+        re-queued and is logged instead.
+
+        A ``complete`` record whose cell is *missing* from the results
+        store is also re-queued: the store's persistence is throttled,
+        so a crash can journal the completion yet lose the payload — the
+        journal proves the job ran, the store is the source of truth for
+        whether the result survived.
+        """
+        by_digest: Dict[str, List[str]] = {}
+        for record in previous.values():
+            if not record.digest or not record.spec:
+                continue
+            lost_result = record.last_event == "complete" and not self.scheduler.results.has(
+                record.digest, record.spec
+            )
+            if not record.orphaned and not lost_result:
+                continue
+            by_digest.setdefault(record.digest, []).append(record.spec)
+        for digest, specs in by_digest.items():
+            try:
+                queued, _cached, _quarantined = self.scheduler.submit(
+                    digest, specs, recovered=True
+                )
+            except (CorpusError, ValueError) as error:
+                log.warning(
+                    "journal replay: cannot re-queue %s × %s: %s",
+                    digest[:12],
+                    specs,
+                    error,
+                )
+                continue
+            self.recovered_jobs.extend(queued)
+            for job_id in queued:
+                with obs_tracing.span("job.recovered", job=job_id, digest=digest[:12]):
+                    pass
+        if self.recovered_jobs:
+            registry = self.obs_registry
+            if registry is not None:
+                registry.counter("recovery.jobs_recovered").inc(len(self.recovered_jobs))
+            log.info(
+                "journal replay re-queued %d orphaned job(s): %s",
+                len(self.recovered_jobs),
+                ", ".join(self.recovered_jobs[:8]),
+            )
+
     def serve_forever(self, poll_interval: float = 0.5) -> None:
         self._loop_started = True
         super().serve_forever(poll_interval)
@@ -625,9 +961,15 @@ class TraceServer(socketserver.ThreadingTCPServer):
 
     def close(self, timeout: Optional[float] = 10.0) -> None:
         """Full teardown: stop serving, drain the pool, release the socket."""
+        if self.chaos is not None:
+            self.chaos.stop()
         if self._loop_started:
             self.shutdown()
         self.scheduler.close(timeout=timeout)
+        # The journal closes after the scheduler: draining jobs write
+        # their terminal records first, so a clean shutdown leaves no
+        # orphans for the next start to replay.
+        self.journal.close()
         self.server_close()
         log.info("server on %s:%d closed", self.address[0], self.address[1])
         if self._owns_tracing:
@@ -647,6 +989,9 @@ def serve(
     task_timeout: Optional[float] = None,
     num_shards: int = 8,
     obs_dir: Optional[Union[str, Path]] = None,
+    retry_budget: Optional[int] = None,
+    parallel_threshold_events: Optional[int] = None,
+    chaos_seed: Optional[int] = None,
 ) -> TraceServer:
     """Construct a :class:`TraceServer` bound to ``(host, port)``.
 
@@ -654,6 +999,9 @@ def serve(
     or drive it from a thread; ``server.address`` reports the bound
     port when ``port`` was 0.  ``obs_dir`` enables distributed span
     recording for every job (server + workers) into that directory.
+    ``retry_budget`` bounds crash/timeout retries per job before
+    quarantine; ``chaos_seed`` arms the fault-injection monkey (dev
+    only: workers are SIGKILLed on a seeded schedule).
     """
     return TraceServer(
         (host, port),
@@ -662,4 +1010,7 @@ def serve(
         task_timeout=task_timeout,
         num_shards=num_shards,
         obs_dir=obs_dir,
+        retry_budget=retry_budget,
+        parallel_threshold_events=parallel_threshold_events,
+        chaos_seed=chaos_seed,
     )

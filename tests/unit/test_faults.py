@@ -1,0 +1,87 @@
+"""Unit tests of :mod:`repro.faults`: the seeded fault-injection harness.
+
+Determinism is the load-bearing property: a chaos run that fails must
+replay *identically* under the same seed, so every decision an injector
+makes is pinned to its private ``random.Random(seed)``.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+from repro.faults import ChaosMonkey, FaultInjector, kill_process
+
+
+class TestFaultInjector:
+    def test_same_seed_same_schedule(self):
+        def draw(seed):
+            injector = FaultInjector(seed, rates={"kill": 0.5})
+            return [
+                (injector.should("kill"), round(injector.uniform(0, 1), 9))
+                for _ in range(200)
+            ]
+
+        assert draw(7) == draw(7)
+        assert draw(7) != draw(8)
+
+    def test_unknown_and_zero_rate_kinds_never_fire(self):
+        injector = FaultInjector(0, rates={"off": 0.0})
+        assert not any(injector.should("off") for _ in range(100))
+        assert not any(injector.should("never-configured") for _ in range(100))
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(3, rates={"sure": 1.0})
+        assert all(injector.should("sure") for _ in range(100))
+
+    def test_maybe_stall_is_bounded_and_seeded(self):
+        injector = FaultInjector(1, rates={"stall": 1.0})
+        stall = injector.maybe_stall(max_seconds=0.001)
+        assert 0.0 <= stall <= 0.001
+        assert FaultInjector(1, rates={}).maybe_stall(max_seconds=0.001) == 0.0
+
+    def test_choice_is_seeded(self):
+        options = list(range(50))
+        picks_a = [FaultInjector(5).choice(options) for _ in range(3)]
+        picks_b = [FaultInjector(5).choice(options) for _ in range(3)]
+        assert picks_a == picks_b
+
+
+class TestProcessFaults:
+    def test_kill_process_kills_and_tolerates_gone_pids(self):
+        victim = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            kill_process(victim.pid)
+            assert victim.wait(timeout=10) != 0
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        kill_process(victim.pid)  # already reaped: must not raise
+
+    def test_chaos_monkey_kills_from_the_victim_list(self):
+        victims = [
+            subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+            for _ in range(2)
+        ]
+        pids = [victim.pid for victim in victims]
+        monkey = ChaosMonkey(lambda: list(pids), seed=1, interval=0.05, kill_rate=1.0)
+        monkey.start()
+        try:
+            deadline = time.monotonic() + 10
+            while not monkey.kills and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            monkey.stop()
+            for victim in victims:
+                if victim.poll() is None:
+                    victim.kill()
+                victim.wait(timeout=10)
+        assert monkey.kills and set(monkey.kills) <= set(pids)
+
+    def test_chaos_monkey_with_no_victims_is_harmless(self):
+        monkey = ChaosMonkey(lambda: [], seed=0, interval=0.01, kill_rate=1.0)
+        monkey.start()
+        time.sleep(0.05)
+        monkey.stop()
+        assert monkey.kills == []
+        assert os.getpid()  # we are, in fact, still alive

@@ -247,7 +247,7 @@ class TestScheduler:
         results = ResultsStore(tmp_path / "results.json")
         scheduler = Scheduler(corpus, results, workers=2).start()
         try:
-            queued, cached = scheduler.submit(entry.digest, ["hb+tc+detect", "shb+vc+detect"])
+            queued, cached, _ = scheduler.submit(entry.digest, ["hb+tc+detect", "shb+vc+detect"])
             assert len(queued) == 2 and cached == []
             assert scheduler.wait_idle(timeout=60)
             counts = scheduler.counts()
@@ -266,7 +266,7 @@ class TestScheduler:
         try:
             scheduler.submit(entry.digest, ["hb+tc+detect"])
             assert scheduler.wait_idle(timeout=60)
-            queued, cached = scheduler.submit(entry.digest, ["hb+tc+detect"])
+            queued, cached, _ = scheduler.submit(entry.digest, ["hb+tc+detect"])
             assert queued == [] and cached == [job_id_of(entry.digest, "hb+tc+detect")]
         finally:
             scheduler.close()
@@ -288,7 +288,7 @@ class TestScheduler:
         entry, _ = corpus.ingest(racy_trace)
         scheduler = Scheduler(corpus, ResultsStore(), workers=1).start()
         try:
-            queued, _ = scheduler.submit(entry.digest, ["hb+tc", "hb+vc"])
+            queued, _, _ = scheduler.submit(entry.digest, ["hb+tc", "hb+vc"])
             assert scheduler.wait_idle(timeout=60)
             snapshot = scheduler.status_snapshot(job_ids=[queued[0], "nope:missing"])
             rows = snapshot["job_list"]
